@@ -1,0 +1,118 @@
+// Command servo-bot drives one or more workload bots against a running
+// servo-server instance over TCP, in the spirit of the Yardstick benchmark
+// bots the paper's experiments use.
+//
+// Usage:
+//
+//	servo-bot -addr 127.0.0.1:25565 -n 10 -behavior random -duration 60s
+//
+// Behaviors: random (Table II mix), star (walk away from spawn), idle.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"servo/internal/netproto"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:25565", "server address")
+	n := flag.Int("n", 1, "number of bots")
+	behavior := flag.String("behavior", "random", "bot behavior: random, star, idle")
+	duration := flag.Duration("duration", 60*time.Second, "how long to run")
+	speed := flag.Float64("speed", 3, "movement speed for the star behavior")
+	flag.Parse()
+
+	var wg sync.WaitGroup
+	var updates, chunks int64
+	for i := 0; i < *n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if err := runBot(id, *addr, *behavior, *speed, *duration, &updates, &chunks); err != nil {
+				log.Printf("bot-%d: %v", id, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	fmt.Printf("servo-bot: %d bots done; received %d state updates, %d chunks\n",
+		*n, atomic.LoadInt64(&updates), atomic.LoadInt64(&chunks))
+}
+
+func runBot(id int, addr, behavior string, speed float64, d time.Duration, updates, chunks *int64) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dial: %w", err)
+	}
+	defer conn.Close()
+
+	if err := netproto.Write(conn, netproto.Message{
+		Type: netproto.MsgJoin, Name: fmt.Sprintf("bot-%d", id),
+	}); err != nil {
+		return err
+	}
+
+	// Reader goroutine: count what the server streams to us.
+	go func() {
+		r := netproto.NewReader(conn)
+		for {
+			m, err := r.Next()
+			if err != nil {
+				return
+			}
+			switch m.Type {
+			case netproto.MsgStateUpdate:
+				atomic.AddInt64(updates, 1)
+			case netproto.MsgChunkData:
+				atomic.AddInt64(chunks, 1)
+			}
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(int64(id) + 1))
+	deadline := time.Now().Add(d)
+	angle := 2 * math.Pi * float64(id%16) / 16
+	var x, z float64
+	for time.Now().Before(deadline) {
+		var msg netproto.Message
+		switch behavior {
+		case "star":
+			x += math.Cos(angle) * speed
+			z += math.Sin(angle) * speed
+			msg = netproto.Message{Type: netproto.MsgMove, DestX: x, DestZ: z, Speed: speed}
+		case "idle":
+			msg = netproto.Message{Type: netproto.MsgPing, Nonce: uint64(id)}
+		default: // random: rough Table II mix
+			switch roll := rng.Float64(); {
+			case roll < 0.4:
+				msg = netproto.Message{
+					Type:  netproto.MsgMove,
+					DestX: x + rng.Float64()*32 - 16,
+					DestZ: z + rng.Float64()*32 - 16,
+					Speed: 1 + rng.Float64()*7,
+				}
+			case roll < 0.7:
+				msg = netproto.Message{Type: netproto.MsgBreakBlock}
+			case roll < 0.9:
+				msg = netproto.Message{Type: netproto.MsgPing, Nonce: rng.Uint64()}
+			case roll < 0.95:
+				msg = netproto.Message{Type: netproto.MsgChat, Text: "hello"}
+			default:
+				msg = netproto.Message{Type: netproto.MsgSetInventory, Item: uint8(rng.Intn(36))}
+			}
+		}
+		if err := netproto.Write(conn, msg); err != nil {
+			return err
+		}
+		time.Sleep(time.Second)
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+// Storage cache: measure terrain retrieval latency across the three
+// storage configurations of the paper's §IV-F — local disk, raw serverless
+// storage, and serverless storage behind Servo's pre-fetching cache — the
+// Fig. 13 comparison as a runnable demo.
+//
+//	go run ./examples/storage-cache
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"servo/internal/blob"
+	"servo/internal/servo/tcache"
+	"servo/internal/sim"
+	"servo/internal/terrain"
+	"servo/internal/world"
+)
+
+func main() {
+	loop := sim.NewLoop(3)
+
+	// Populate a remote (premium-tier) store with terrain.
+	remote := blob.NewStore(loop, blob.TierPremium)
+	local := blob.NewStore(loop, blob.TierLocal)
+	gen := terrain.Default{Seed: 3}
+	var positions []world.ChunkPos
+	for x := 0; x < 40; x++ {
+		for z := 0; z < 10; z++ {
+			pos := world.ChunkPos{X: x, Z: z}
+			positions = append(positions, pos)
+			data := gen.Generate(pos).Encode()
+			remote.Put(tcache.Key(pos), data, nil)
+			local.Put(tcache.Key(pos), data, nil)
+		}
+	}
+	loop.Run()
+
+	cache := tcache.New(loop, remote, tcache.DefaultConfig())
+
+	// Read every chunk the way a moving player would: prefetch a little
+	// ahead, then demand-read.
+	var localLat, remoteLat []time.Duration
+	for i, pos := range positions {
+		if i+8 < len(positions) {
+			cache.Prefetch(positions[i+4 : i+8])
+		}
+		start := loop.Now()
+		local.Get(tcache.Key(pos), func([]byte, error) {
+			localLat = append(localLat, loop.Now()-start)
+		})
+		remote.Get(tcache.Key(pos), func([]byte, error) {
+			remoteLat = append(remoteLat, loop.Now()-start)
+		})
+		cache.Get(pos, func([]byte, error) {})
+		loop.RunUntil(loop.Now() + 2*time.Second)
+	}
+	loop.Run()
+
+	fmt.Println("terrain retrieval latency over", len(positions), "chunk reads:")
+	fmt.Printf("%-20s p50=%-10v p99=%-10v max=%v\n", "local disk",
+		pct(localLat, 0.50), pct(localLat, 0.99), pct(localLat, 1))
+	fmt.Printf("%-20s p50=%-10v p99=%-10v max=%v\n", "serverless",
+		pct(remoteLat, 0.50), pct(remoteLat, 0.99), pct(remoteLat, 1))
+	b := cache.RetrievalLatency.Box()
+	fmt.Printf("%-20s p50=%-10v p95=%-10v max=%v\n", "serverless+cache", b.P50, b.P95, b.Max)
+	fmt.Printf("cache: %d hits, %d misses, %d prefetches issued\n",
+		cache.Hits.Value(), cache.Misses.Value(), cache.PrefetchIssued.Value())
+}
+
+func pct(lats []time.Duration, p float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lats...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	i := int(p * float64(len(s)-1))
+	return s[i]
+}

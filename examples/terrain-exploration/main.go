@@ -1,0 +1,58 @@
+// Terrain exploration: five players sprint away from spawn with increasing
+// speed (the paper's Sinc workload) on a procedurally generated world.
+// Compare serverless terrain generation (Servo) against a local worker
+// pool (Opencraft): the Fig. 10 experiment as a runnable demo.
+//
+//	go run ./examples/terrain-exploration
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"servo"
+)
+
+func main() {
+	fmt.Println("5 players, speed +1 block/s every 200s, default world")
+	fmt.Println("view margin = distance to closest missing terrain (128 = perfect)")
+	fmt.Println()
+	fmt.Printf("%-8s %-12s %-24s %-24s\n", "t", "speed", "Servo view margin", "Opencraft view margin")
+
+	servoInst := newInst(true)
+	defer servoInst.Stop()
+	localInst := newInst(false)
+	defer localInst.Stop()
+
+	step := 50 * time.Second
+	for i := 1; i <= 12; i++ {
+		servoInst.Run(step)
+		localInst.Run(step)
+		t := time.Duration(i) * step
+		speed := 1 + int(t/(200*time.Second))
+		fmt.Printf("%-8s %-12d %-24d %-24d\n",
+			t.Truncate(time.Second), speed, servoInst.ViewMargin(), localInst.ViewMargin())
+	}
+
+	fmt.Println()
+	fmt.Printf("Servo ticks:     %s\n", servoInst.TickStats())
+	fmt.Printf("Opencraft ticks: %s\n", localInst.TickStats())
+	if fn := servoInst.System().TGFn; fn != nil {
+		fmt.Printf("generation functions: %d invocations, mean latency %v\n",
+			fn.Invocations.Count(), fn.Latency.Mean())
+	}
+}
+
+func newInst(serverless bool) *servo.Instance {
+	cfg := servo.Config{Seed: 11, WorldType: "default"}
+	if serverless {
+		cfg.Servo = servo.Serverless{Terrain: true}
+	} else {
+		cfg.Profile = servo.Opencraft
+	}
+	inst := servo.NewInstance(cfg)
+	for i := 0; i < 5; i++ {
+		inst.Connect(fmt.Sprintf("runner-%d", i), servo.BehaviorSinc)
+	}
+	return inst
+}

@@ -1,0 +1,244 @@
+// Package blob simulates serverless (managed) object storage — Azure Blob
+// Storage and AWS S3 in the paper. The store holds real bytes in memory;
+// only the request latency is modelled, with the distribution shapes the
+// paper measures in Fig. 3 and Fig. 13:
+//
+//   - a lognormal latency body whose median sits in the low tens of
+//     milliseconds;
+//   - a heavy outlier tail reaching hundreds of milliseconds ("outliers
+//     reach 500 ms latency", §IV-F), more pronounced on the Standard tier
+//     than on Premium (Fig. 3);
+//   - per-operation and per-byte billing meters.
+//
+// A Local tier models the baseline's local-disk persistence: sub-
+// millisecond latency with rare small outliers (§IV-F: local storage
+// completes 99.9% of requests within 16 ms and never exceeds 123 ms).
+package blob
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"servo/internal/metrics"
+	"servo/internal/sim"
+)
+
+// Tier selects a latency/cost model.
+type Tier int
+
+// Storage tiers. TierLocal models the baseline's local disk; TierPremium
+// and TierStandard model the two Azure Blob Storage plans of Fig. 3.
+const (
+	TierLocal Tier = iota + 1
+	TierPremium
+	TierStandard
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	switch t {
+	case TierLocal:
+		return "local"
+	case TierPremium:
+		return "premium"
+	case TierStandard:
+		return "standard"
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// Model holds the latency distributions of one tier.
+type Model struct {
+	Read  sim.Dist
+	Write sim.Dist
+	// BytesPerSec is the transfer bandwidth added on top of the
+	// first-byte latency; larger objects (terrain chunks) take visibly
+	// longer than small ones (player data), as in the paper's Fig. 3.
+	BytesPerSec float64
+}
+
+// transferTime returns the size-dependent component of an operation.
+func (m Model) transferTime(n int) time.Duration {
+	if m.BytesPerSec <= 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / m.BytesPerSec * float64(time.Second))
+}
+
+// ModelFor returns the calibrated latency model for a tier.
+//
+// Calibration anchors (paper Fig. 3, Fig. 13, §IV-F):
+//   - local: p50 ≈ 1 ms, p99.9 ≈ 16 ms, max ≈ 123 ms;
+//   - premium: p50 ≈ 25 ms, p99 ≈ 5× local p99, p99.9 ≈ 226 ms,
+//     outliers to ~500 ms;
+//   - standard: p50 ≈ 45 ms with a wider body and outliers past 750 ms
+//     (Fig. 3 shows terrain downloads breaching the 100 ms FPS threshold
+//     routinely on Standard).
+func ModelFor(tier Tier) Model {
+	switch tier {
+	case TierLocal:
+		return Model{
+			Read: sim.Mixture{
+				Body: sim.LogNormal{Scale: time.Millisecond, Mu: 0.0, Sigma: 0.5},
+				Tail: sim.Uniform{Low: 10 * time.Millisecond, High: 123 * time.Millisecond},
+				P:    0.0008,
+			},
+			Write:       sim.LogNormal{Scale: time.Millisecond, Mu: 0.5, Sigma: 0.5},
+			BytesPerSec: 400e6, // NVMe-class local disk
+		}
+	case TierPremium:
+		return Model{
+			Read: sim.Mixture{
+				Body: sim.Shifted{Base: sim.LogNormal{Scale: time.Millisecond, Mu: 2.6, Sigma: 0.55}, Offset: 8 * time.Millisecond},
+				Tail: sim.Uniform{Low: 150 * time.Millisecond, High: 520 * time.Millisecond},
+				P:    0.002,
+			},
+			Write:       sim.Shifted{Base: sim.LogNormal{Scale: time.Millisecond, Mu: 3.0, Sigma: 0.5}, Offset: 10 * time.Millisecond},
+			BytesPerSec: 80e6, // premium-tier throughput
+		}
+	default: // TierStandard
+		return Model{
+			Read: sim.Mixture{
+				Body: sim.Shifted{Base: sim.LogNormal{Scale: time.Millisecond, Mu: 3.3, Sigma: 0.7}, Offset: 10 * time.Millisecond},
+				Tail: sim.Uniform{Low: 250 * time.Millisecond, High: 1000 * time.Millisecond},
+				P:    0.004,
+			},
+			Write:       sim.Shifted{Base: sim.LogNormal{Scale: time.Millisecond, Mu: 3.6, Sigma: 0.6}, Offset: 12 * time.Millisecond},
+			BytesPerSec: 25e6, // standard-tier throughput
+		}
+	}
+}
+
+// Billing rates approximating Azure Blob hot-tier pricing: per 10k
+// operations and per GB transferred.
+const (
+	dollarsPerReadOp    = 0.004 / 10000
+	dollarsPerWriteOp   = 0.05 / 10000
+	dollarsPerGBEgress  = 0.087
+	dollarsPerGBStorage = 0.0184 // per month; charged on peak usage
+)
+
+// ErrNotFound is returned for reads of missing keys.
+var ErrNotFound = errors.New("blob: object not found")
+
+// Store is a simulated object store bound to a clock.
+type Store struct {
+	clock   sim.Clock
+	model   Model
+	tier    Tier
+	objects map[string][]byte
+
+	// Metrics observable by experiments.
+	ReadLatency  metrics.Sample
+	WriteLatency metrics.Sample
+	Reads        metrics.Counter
+	Writes       metrics.Counter
+	bytesOut     int64
+	peakBytes    int64
+	curBytes     int64
+}
+
+// NewStore returns an empty store of the given tier.
+func NewStore(clock sim.Clock, tier Tier) *Store {
+	return &Store{
+		clock:   clock,
+		model:   ModelFor(tier),
+		tier:    tier,
+		objects: make(map[string][]byte),
+	}
+}
+
+// Tier returns the store's service tier.
+func (s *Store) Tier() Tier { return s.tier }
+
+// Get fetches the object at key asynchronously; cb runs on the clock after
+// the modelled read latency with a copy of the data, or ErrNotFound.
+func (s *Store) Get(key string, cb func(data []byte, err error)) {
+	data, ok := s.objects[key]
+	lat := s.model.Read.Sample(s.clock.RNG()) + s.model.transferTime(len(data))
+	s.Reads.Inc()
+	s.ReadLatency.Add(lat)
+	s.clock.After(lat, func() {
+		if !ok {
+			cb(nil, fmt.Errorf("%w: %q", ErrNotFound, key))
+			return
+		}
+		out := make([]byte, len(data))
+		copy(out, data)
+		s.bytesOut += int64(len(data))
+		cb(out, nil)
+	})
+}
+
+// Put stores a copy of data under key asynchronously; cb (which may be nil)
+// runs after the modelled write latency.
+func (s *Store) Put(key string, data []byte, cb func(err error)) {
+	lat := s.model.Write.Sample(s.clock.RNG()) + s.model.transferTime(len(data))
+	s.Writes.Inc()
+	s.WriteLatency.Add(lat)
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.clock.After(lat, func() {
+		if old, ok := s.objects[key]; ok {
+			s.curBytes -= int64(len(old))
+		}
+		s.objects[key] = cp
+		s.curBytes += int64(len(cp))
+		if s.curBytes > s.peakBytes {
+			s.peakBytes = s.curBytes
+		}
+		if cb != nil {
+			cb(nil)
+		}
+	})
+}
+
+// Delete removes the object at key asynchronously.
+func (s *Store) Delete(key string, cb func(err error)) {
+	lat := s.model.Write.Sample(s.clock.RNG())
+	s.clock.After(lat, func() {
+		if old, ok := s.objects[key]; ok {
+			s.curBytes -= int64(len(old))
+			delete(s.objects, key)
+		}
+		if cb != nil {
+			cb(nil)
+		}
+	})
+}
+
+// Exists reports whether key currently holds an object (no latency: used by
+// tests and warm-up code, not by the game path).
+func (s *Store) Exists(key string) bool {
+	_, ok := s.objects[key]
+	return ok
+}
+
+// Len returns the number of stored objects.
+func (s *Store) Len() int { return len(s.objects) }
+
+// CopyFrom clones every object of src into s instantly, without latency or
+// billing. It is a harness utility for handing one experiment phase's data
+// to a fresh storage stack (and for test fixtures); the game path never
+// uses it.
+func (s *Store) CopyFrom(src *Store) {
+	for k, v := range src.objects {
+		cp := make([]byte, len(v))
+		copy(cp, v)
+		s.objects[k] = cp
+		s.curBytes += int64(len(cp))
+	}
+	if s.curBytes > s.peakBytes {
+		s.peakBytes = s.curBytes
+	}
+}
+
+// BilledDollars returns the accumulated cost: operations, egress, and one
+// month of peak storage.
+func (s *Store) BilledDollars() float64 {
+	return float64(s.Reads.Value())*dollarsPerReadOp +
+		float64(s.Writes.Value())*dollarsPerWriteOp +
+		float64(s.bytesOut)/1e9*dollarsPerGBEgress +
+		float64(s.peakBytes)/1e9*dollarsPerGBStorage
+}

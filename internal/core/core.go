@@ -1,0 +1,283 @@
+// Package core assembles Servo: it wires the speculative execution unit
+// (internal/servo/specexec), serverless terrain generation
+// (internal/servo/tgen), and cached remote storage (internal/servo/rstore
+// + tcache) into an MVE server (internal/mve) backed by a simulated FaaS
+// platform and blob store.
+//
+// Each serverless component can be toggled independently, matching the
+// L / S / L+S component matrix of the paper's Table I, so the same
+// constructor builds every configuration the experiments compare.
+package core
+
+import (
+	"time"
+
+	"servo/internal/blob"
+	"servo/internal/faas"
+	"servo/internal/mve"
+	"servo/internal/sc"
+	"servo/internal/servo/rstore"
+	"servo/internal/servo/specexec"
+	"servo/internal/servo/tcache"
+	"servo/internal/servo/tgen"
+	"servo/internal/sim"
+	"servo/internal/terrain"
+	"servo/internal/world"
+)
+
+// SCFunctionName is the deployment name of the construct simulation
+// function.
+const SCFunctionName = "simulate-construct"
+
+// Config selects which Servo components are serverless and their tuning.
+type Config struct {
+	// Seed drives terrain generation and, through the clock, everything
+	// else.
+	Seed int64
+	// WorldType is "flat" or "default" (Table I).
+	WorldType string
+	// ViewDistance in blocks (0 → the 128-block default).
+	ViewDistance int
+	// TickInterval (0 → 50 ms).
+	TickInterval time.Duration
+
+	// Profile sets the cost profile; 0 → mve.ProfileServo.
+	Profile mve.Profile
+	// Cost optionally overrides the profile cost table.
+	Cost *mve.CostParams
+
+	// ServerlessSC offloads simulated constructs (paper §III-C).
+	ServerlessSC bool
+	// ServerlessTG offloads terrain generation (paper §III-D).
+	ServerlessTG bool
+	// ServerlessRS stores chunks in managed storage behind the
+	// pre-fetching cache (paper §III-E). When false and LocalStore is
+	// true, chunks persist to a local-disk-class store instead.
+	ServerlessRS bool
+	// LocalStore persists chunks locally when ServerlessRS is false
+	// (the baselines' behaviour in the storage experiments).
+	LocalStore bool
+
+	// SpecExec tunes the speculative execution unit.
+	SpecExec specexec.Config
+	// SCFn and TGFn tune the two functions; zero values take calibrated
+	// defaults.
+	SCFn faas.Config
+	TGFn faas.Config
+	// StorageTier for remote storage (0 → Premium).
+	StorageTier blob.Tier
+	// Remote, if non-nil, is used as the backing object store instead of
+	// creating a fresh one — e.g. to restart a server over an existing
+	// world (the Fig. 13 read phase).
+	Remote *blob.Store
+	// CacheConfig tunes the terrain cache.
+	CacheConfig *tcache.Config
+	// DisableCache bypasses the terrain cache for ServerlessRS (the
+	// "Serverless" curve of Fig. 13).
+	DisableCache bool
+	// WrapStore, if non-nil, wraps the assembled chunk store before the
+	// server boots (e.g. with a latency-measurement probe), so that even
+	// boot-time world loading is observed.
+	WrapStore func(mve.ChunkStore) mve.ChunkStore
+}
+
+// System is an assembled Servo (or baseline) instance.
+type System struct {
+	Server   *mve.Server
+	Platform *faas.Platform
+
+	// SpecExec is the speculative execution unit (nil unless
+	// ServerlessSC).
+	SpecExec *specexec.Manager
+	// SCFn and TGFn are the deployed functions (nil if unused).
+	SCFn *faas.Function
+	TGFn *faas.Function
+	// TGBackend is the serverless terrain backend (nil unless
+	// ServerlessTG).
+	TGBackend *tgen.Backend
+
+	// Remote, Cache, and RStore are the storage stack (nil unless a
+	// store is configured).
+	Remote *blob.Store
+	Cache  *tcache.Cache
+	RStore *rstore.Store
+}
+
+// DefaultSCFnConfig returns the construct-simulation function
+// configuration, calibrated so that one simulation step of the paper's
+// 252-block construct costs ≈2.0 ms of single-vCPU time: §IV-G's anchor of
+// ~488 steps/s for 252-block constructs.
+func DefaultSCFnConfig() faas.Config {
+	cfg := faas.DefaultConfig()
+	probe := sc.BuildSized(252).Clone()
+	units := probe.Step()
+	if units <= 0 {
+		units = 1
+	}
+	cfg.NsPerWorkUnit = time.Duration(2.0 * float64(time.Millisecond) / float64(units))
+	return cfg
+}
+
+// DefaultTGFnConfig returns the terrain-generation function configuration:
+// ~600 ms of single-vCPU time per default-world chunk (Fig. 11's anchor:
+// sub-second generation at 10240 MB, >3 s at 320 MB).
+func DefaultTGFnConfig() faas.Config {
+	cfg := faas.DefaultConfig()
+	units := (terrain.Default{}).WorkUnits()
+	cfg.NsPerWorkUnit = time.Duration(600 * float64(time.Millisecond) / float64(units))
+	cfg.ExecNoiseSigma = 0.18 // Fig. 11: wide boxes even at high memory
+	// Terrain generation parallelises worse than the circuit simulator,
+	// so memory configurations above ~2 vCPUs see diminishing returns
+	// (Fig. 11b: cost-efficiency favors the small configurations).
+	cfg.ParallelFrac = 0.7
+	return cfg
+}
+
+// New assembles a system on the clock. With all serverless toggles off it
+// builds a pure baseline server (profile-dependent), which is how the
+// experiment harness constructs Opencraft and Minecraft.
+func New(clock sim.Clock, cfg Config) *System {
+	sys := &System{}
+	profile := cfg.Profile
+	if profile == 0 {
+		profile = mve.ProfileServo
+	}
+	needPlatform := cfg.ServerlessSC || cfg.ServerlessTG
+	if needPlatform {
+		sys.Platform = faas.NewPlatform(clock)
+	}
+
+	srvCfg := mve.Config{
+		Profile:      profile,
+		WorldType:    cfg.WorldType,
+		Seed:         cfg.Seed,
+		ViewDistance: cfg.ViewDistance,
+		TickInterval: cfg.TickInterval,
+		Cost:         cfg.Cost,
+	}
+
+	if cfg.ServerlessSC {
+		fnCfg := cfg.SCFn
+		if fnCfg.NsPerWorkUnit == 0 {
+			fnCfg = DefaultSCFnConfig()
+		}
+		sys.SCFn = sys.Platform.Register(SCFunctionName, fnCfg, specexec.Handler)
+		spec := cfg.SpecExec
+		if spec.StepsPerInvocation == 0 {
+			spec = specexec.DefaultConfig()
+		}
+		sys.SpecExec = specexec.NewManager(sys.Platform, SCFunctionName, spec)
+		srvCfg.SC = &scAdapter{mgr: sys.SpecExec}
+	}
+
+	if cfg.ServerlessTG {
+		fnCfg := cfg.TGFn
+		if fnCfg.NsPerWorkUnit == 0 {
+			fnCfg = DefaultTGFnConfig()
+		}
+		gen := terrain.ForWorldType(cfg.WorldType, cfg.Seed)
+		sys.TGFn = tgen.Register(sys.Platform, gen, fnCfg)
+		sys.TGBackend = tgen.NewBackend(sys.Platform, tgen.FunctionName)
+		srvCfg.Terrain = sys.TGBackend
+	}
+
+	switch {
+	case cfg.ServerlessRS:
+		tier := cfg.StorageTier
+		if tier == 0 {
+			tier = blob.TierPremium
+		}
+		sys.Remote = cfg.Remote
+		if sys.Remote == nil {
+			sys.Remote = blob.NewStore(clock, tier)
+		}
+		if cfg.DisableCache {
+			srvCfg.Store = &uncachedStore{remote: sys.Remote}
+		} else {
+			cacheCfg := tcache.DefaultConfig()
+			if cfg.CacheConfig != nil {
+				cacheCfg = *cfg.CacheConfig
+			}
+			sys.Cache = tcache.New(clock, sys.Remote, cacheCfg)
+			sys.Cache.StartFlusher()
+			sys.RStore = rstore.New(sys.Cache)
+			srvCfg.Store = sys.RStore
+		}
+	case cfg.LocalStore:
+		sys.Remote = cfg.Remote
+		if sys.Remote == nil {
+			sys.Remote = blob.NewStore(clock, blob.TierLocal)
+		}
+		srvCfg.Store = &uncachedStore{remote: sys.Remote}
+	}
+
+	if cfg.WrapStore != nil && srvCfg.Store != nil {
+		srvCfg.Store = cfg.WrapStore(srvCfg.Store)
+	}
+	sys.Server = mve.NewServer(clock, srvCfg)
+	return sys
+}
+
+// scAdapter adapts the speculative execution unit to mve.SCBackend.
+type scAdapter struct {
+	mgr *specexec.Manager
+}
+
+var _ mve.SCBackend = (*scAdapter)(nil)
+
+func (a *scAdapter) Add(c *sc.Construct) uint64 { return a.mgr.Add(c) }
+func (a *scAdapter) Remove(id uint64)           { a.mgr.Remove(id) }
+func (a *scAdapter) Modify(id uint64, mutate func(*sc.Construct)) bool {
+	return a.mgr.Modify(id, mutate)
+}
+func (a *scAdapter) Count() int { return a.mgr.Len() }
+
+func (a *scAdapter) Tick(tick uint64) mve.SCTickWork {
+	w := a.mgr.Tick()
+	return mve.SCTickWork{
+		WorkUnits:    w.WorkUnits,
+		LocalSteps:   w.LocalSteps,
+		AppliedSteps: w.AppliedSteps + w.ReplaySteps,
+		Simulated:    a.mgr.Len() > 0,
+	}
+}
+
+// uncachedStore is a direct blob-backed chunk store with no cache: the
+// baselines' local persistence (TierLocal) and Fig. 13's uncached
+// serverless configuration.
+type uncachedStore struct {
+	remote *blob.Store
+}
+
+var _ mve.ChunkStore = (*uncachedStore)(nil)
+
+func (u *uncachedStore) Load(pos world.ChunkPos, cb func(*world.Chunk, bool)) {
+	u.remote.Get(tcache.Key(pos), func(data []byte, err error) {
+		if err != nil {
+			cb(nil, false)
+			return
+		}
+		c, derr := world.DecodeChunk(data)
+		if derr != nil {
+			cb(nil, false)
+			return
+		}
+		cb(c, true)
+	})
+}
+
+func (u *uncachedStore) Store(c *world.Chunk) {
+	u.remote.Put(tcache.Key(c.Pos), c.Encode(), nil)
+}
+
+// SavePlayer implements mve.PlayerStore.
+func (u *uncachedStore) SavePlayer(name string, data []byte) {
+	u.remote.Put(rstore.PlayerKey(name), data, nil)
+}
+
+// LoadPlayer implements mve.PlayerStore.
+func (u *uncachedStore) LoadPlayer(name string, cb func([]byte, bool)) {
+	u.remote.Get(rstore.PlayerKey(name), func(data []byte, err error) {
+		cb(data, err == nil)
+	})
+}

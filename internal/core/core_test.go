@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"servo/internal/blob"
+	"servo/internal/mve"
+	"servo/internal/sc"
+	"servo/internal/sim"
+	"servo/internal/world"
+)
+
+func TestBaselineAssemblyHasNoServerlessParts(t *testing.T) {
+	loop := sim.NewLoop(1)
+	sys := New(loop, Config{Profile: mve.ProfileOpencraft, WorldType: "flat"})
+	if sys.Platform != nil || sys.SpecExec != nil || sys.TGBackend != nil {
+		t.Fatal("baseline assembly created serverless components")
+	}
+	sys.Server.Start()
+	loop.RunUntil(time.Second)
+	if sys.Server.TickDurations.Len() == 0 {
+		t.Fatal("baseline server did not tick")
+	}
+}
+
+func TestFullServoAssembly(t *testing.T) {
+	loop := sim.NewLoop(2)
+	sys := New(loop, Config{
+		WorldType:    "flat",
+		ServerlessSC: true,
+		ServerlessTG: true,
+		ServerlessRS: true,
+	})
+	if sys.Platform == nil || sys.SpecExec == nil || sys.TGBackend == nil ||
+		sys.Cache == nil || sys.RStore == nil || sys.Remote == nil {
+		t.Fatal("full Servo assembly is missing components")
+	}
+	if sys.SCFn == nil || sys.TGFn == nil {
+		t.Fatal("functions not deployed")
+	}
+	sys.Server.SpawnConstruct(sc.NewClock(3, 1), world.BlockPos{X: 2, Y: 5, Z: 2})
+	sys.Server.Connect("p", nil)
+	sys.Server.Start()
+	loop.RunUntil(30 * time.Second)
+	if sys.SCFn.Invocations.Count() == 0 {
+		t.Fatal("construct was never offloaded")
+	}
+	if sys.Server.TickDurations.Len() < 500 {
+		t.Fatalf("only %d ticks in 30s", sys.Server.TickDurations.Len())
+	}
+}
+
+func TestServoServerlessSCMatchesLocalSimulation(t *testing.T) {
+	// End-to-end determinism: the same construct in a Servo server and in
+	// a baseline server goes through identical states tick for tick.
+	loopA := sim.NewLoop(3)
+	servo := New(loopA, Config{WorldType: "flat", ServerlessSC: true})
+	loopB := sim.NewLoop(3)
+	baseline := New(loopB, Config{Profile: mve.ProfileServo, WorldType: "flat"})
+	// Use the Servo profile for the baseline too so its LocalSC steps
+	// every tick like the speculative unit does.
+
+	c := sc.NewLampBank(4, 8)
+	anchor := world.BlockPos{X: 4, Y: 5, Z: 4}
+	idA := servo.Server.SpawnConstruct(c.Clone(), anchor)
+	idB := baseline.Server.SpawnConstruct(c.Clone(), anchor)
+
+	servo.Server.Start()
+	baseline.Server.Start()
+	for i := 0; i < 200; i++ {
+		loopA.RunUntil(loopA.Now() + 50*time.Millisecond)
+		loopB.RunUntil(loopB.Now() + 50*time.Millisecond)
+		a := servo.SpecExec.Construct(idA)
+		b := baseline.Server.SCs().(*mve.LocalSC).Construct(idB)
+		if a.Steps() != b.Steps() && a.Hash() != b.Hash() {
+			// Steps can momentarily differ by scheduling boundary; states must match.
+			t.Fatalf("tick %d: Servo construct state diverged from baseline", i)
+		}
+	}
+}
+
+func TestServerlessTGFillsViewWithoutLocalWorkers(t *testing.T) {
+	loop := sim.NewLoop(4)
+	sys := New(loop, Config{WorldType: "default", ServerlessTG: true})
+	p := sys.Server.Connect("p", nil)
+	sys.Server.Start()
+	loop.RunUntil(time.Second)
+	p.X = 500 // leave the preloaded spawn region
+	loop.RunUntil(2 * time.Minute)
+	if got := sys.Server.MinViewMargin(); got != sys.Server.Config().ViewDistance {
+		t.Fatalf("view margin %d after 2 min of serverless generation", got)
+	}
+	if sys.TGFn.Invocations.Count() == 0 {
+		t.Fatal("no generation invocations")
+	}
+	if busy, queued := sys.TGBackend.Load(); busy != 0 || queued != 0 {
+		t.Fatal("serverless backend must report no local load")
+	}
+}
+
+func TestRemoteStorageRoundTripsChunks(t *testing.T) {
+	// Generate terrain, let it flush to remote storage, drop the world,
+	// and verify a second server loads identical chunks from storage.
+	loop := sim.NewLoop(5)
+	sysA := New(loop, Config{WorldType: "default", Seed: 9, ServerlessRS: true})
+	// An explorer walks beyond the preloaded spawn region so fresh terrain
+	// goes through the demand-generation path and is persisted.
+	p := sysA.Server.Connect("p", nil)
+	sysA.Server.Start()
+	loop.RunUntil(time.Second)
+	p.X = 400 // teleport outside the preload; the scan demands new chunks
+	loop.RunUntil(90 * time.Second)
+	sysA.Server.Stop()
+	sysA.Cache.Flush()
+	loop.RunUntil(loop.Now() + 10*time.Second)
+	if sysA.Remote.Len() == 0 {
+		t.Fatal("nothing persisted to remote storage")
+	}
+
+	// A chunk near the teleport target went through demand generation.
+	pos := world.ChunkPos{X: 25, Z: 0}
+	want := sysA.Server.World().Chunk(pos)
+	if want == nil {
+		t.Fatal("test chunk not loaded in source world")
+	}
+
+	// A fresh store stack over the same remote must return the same chunk.
+	sysB := &System{Remote: sysA.Remote}
+	_ = sysB
+	var got *world.Chunk
+	store := &uncachedStore{remote: sysA.Remote}
+	store.Load(pos, func(c *world.Chunk, ok bool) {
+		if ok {
+			got = c
+		}
+	})
+	loop.RunUntil(loop.Now() + 5*time.Second)
+	if got == nil {
+		t.Fatal("chunk not found in remote storage")
+	}
+	if !got.Equal(want) {
+		t.Fatal("persisted chunk differs from in-memory chunk")
+	}
+}
+
+func TestUncachedStoreMissingChunk(t *testing.T) {
+	loop := sim.NewLoop(6)
+	store := &uncachedStore{remote: blob.NewStore(loop, blob.TierLocal)}
+	called := false
+	store.Load(world.ChunkPos{X: 5, Z: 5}, func(c *world.Chunk, ok bool) {
+		called = true
+		if ok || c != nil {
+			t.Error("missing chunk must report ok=false")
+		}
+	})
+	loop.Run()
+	if !called {
+		t.Fatal("callback never delivered")
+	}
+}
+
+func TestDefaultFnConfigsCalibrated(t *testing.T) {
+	scCfg := DefaultSCFnConfig()
+	if scCfg.NsPerWorkUnit <= 0 {
+		t.Fatal("SC function speed not calibrated")
+	}
+	// One step of the 252-block construct ≈ 2 ms at one vCPU.
+	probe := sc.BuildSized(252).Clone()
+	units := probe.Step()
+	stepTime := time.Duration(units) * scCfg.NsPerWorkUnit
+	if stepTime < 1500*time.Microsecond || stepTime > 2500*time.Microsecond {
+		t.Fatalf("252-block step time = %v, want ≈ 2ms", stepTime)
+	}
+
+	tgCfg := DefaultTGFnConfig()
+	genTime := time.Duration((12800)) * tgCfg.NsPerWorkUnit
+	if genTime < 500*time.Millisecond || genTime > 700*time.Millisecond {
+		t.Fatalf("chunk generation time = %v, want ≈ 600ms", genTime)
+	}
+}
+
+func TestSCAdapterModifyPath(t *testing.T) {
+	loop := sim.NewLoop(7)
+	sys := New(loop, Config{WorldType: "flat", ServerlessSC: true})
+	id := sys.Server.SpawnConstruct(sc.NewClock(3, 1), world.BlockPos{X: 2, Y: 5, Z: 2})
+	if !sys.Server.SCs().Modify(id, func(c *sc.Construct) {}) {
+		t.Fatal("Modify through the adapter failed")
+	}
+	if sys.Server.SCs().Modify(999, func(c *sc.Construct) {}) {
+		t.Fatal("Modify of unknown id must fail")
+	}
+	sys.Server.SCs().Remove(id)
+	if sys.Server.SCs().Count() != 0 {
+		t.Fatal("Remove through the adapter failed")
+	}
+}

@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"servo/internal/metrics"
+)
+
+// TableI prints the experiment overview (paper Table I): the registry of
+// every experiment this harness reproduces, its component modes, workload,
+// and the entry point that regenerates it.
+func TableI(w io.Writer) {
+	fmt.Fprintln(w, "Table I — Overview of Experiments (L = local, S = serverless)")
+	t := metrics.Table{Header: []string{
+		"experiment", "focus", "SC", "TG", "RS", "players", "behavior", "world", "regenerate with",
+	}}
+	t.AddRow("IV-B (Fig 7)", "SC: system scalability", "L+S", "L", "L", "10-200", "A", "flat", "servo-bench -exp fig7a,fig7b")
+	t.AddRow("IV-C (Fig 8,9)", "SC: latency hiding", "L+S", "L", "L", "1", "-", "flat", "servo-bench -exp fig8,fig9")
+	t.AddRow("IV-D (Fig 10,11)", "TG: QoS", "-", "S", "L", "5", "Sinc", "default", "servo-bench -exp fig10,fig11")
+	t.AddRow("IV-E (Fig 12)", "TG: system scalability", "-", "L+S", "L+S", "to 30", "S3,S8,R", "default", "servo-bench -exp fig12a,fig12b")
+	t.AddRow("IV-F (Fig 13)", "RS: perf. variability", "-", "-", "S", "8", "S3", "default", "servo-bench -exp fig13")
+	t.AddRow("IV-G", "SC: performance", "S", "-", "-", "1", "-", "flat", "servo-bench -exp sec4g")
+	fmt.Fprint(w, t.String())
+}
+
+// TableII prints the random-behavior action distribution (paper Table II).
+func TableII(w io.Writer) {
+	fmt.Fprintln(w, "Table II — Player actions in the random behavior (R)")
+	t := metrics.Table{Header: []string{"probability", "action"}}
+	t.AddRow("40%", "Move to a random destination at 1 to 8 blocks per second.")
+	t.AddRow("30%", "Break or place a nearby block.")
+	t.AddRow("20%", "Stand still.")
+	t.AddRow("5%", "Send a message to all other players.")
+	t.AddRow("5%", "Set inventory to a random item.")
+	fmt.Fprint(w, t.String())
+}
+
+// Runner executes one named experiment and prints its report.
+type Runner struct {
+	Name        string
+	Description string
+	Run         func(opt Options, w io.Writer)
+}
+
+// Runners returns the registry of all experiments, keyed by the names
+// accepted by `servo-bench -exp`.
+func Runners() []Runner {
+	return []Runner{
+		{"tab1", "Table I: experiment overview", func(_ Options, w io.Writer) { TableI(w) }},
+		{"tab2", "Table II: random behavior actions", func(_ Options, w io.Writer) { TableII(w) }},
+		{"fig1", "Fig 1: headline max players", func(o Options, w io.Writer) { Fig1(o).Print(w) }},
+		{"fig3", "Fig 3: blob download latency", func(o Options, w io.Writer) { Fig3(o).Print(w) }},
+		{"fig7a", "Fig 7a: max players vs SC count", func(o Options, w io.Writer) { Fig7a(o).Print(w) }},
+		{"fig7b", "Fig 7b: tick distributions at 200 SCs", func(o Options, w io.Writer) { Fig7b(o).Print(w) }},
+		{"fig8", "Fig 8: speculation efficiency", func(o Options, w io.Writer) { Fig8(o).Print(w) }},
+		{"fig9", "Fig 9: invocation latency and cost", func(o Options, w io.Writer) { Fig9(o).Print(w) }},
+		{"fig10", "Fig 10: terrain generation QoS", func(o Options, w io.Writer) { Fig10(o).Print(w) }},
+		{"fig11", "Fig 11: generation vs function memory", func(o Options, w io.Writer) { Fig11(o).Print(w) }},
+		{"fig12a", "Fig 12a: terrain scalability S3/S8", func(o Options, w io.Writer) { Fig12a(o).Print(w) }},
+		{"fig12b", "Fig 12b: terrain scalability R", func(o Options, w io.Writer) { Fig12b(o).Print(w) }},
+		{"fig13", "Fig 13: storage latency ICDF", func(o Options, w io.Writer) { Fig13(o).Print(w) }},
+		{"sec4g", "Sec IV-G: offload throughput", func(o Options, w io.Writer) { Sec4G(o).Print(w) }},
+		{"abl-loop", "Ablation: loop detection on/off", func(o Options, w io.Writer) { AblationLoop(o).Print(w) }},
+		{"abl-prefetch", "Ablation: cache pre-fetching on/off", func(o Options, w io.Writer) { AblationPrefetch(o).Print(w) }},
+		{"abl-platform", "Ablation: AWS vs Azure presets", func(o Options, w io.Writer) { AblationPlatform(o).Print(w) }},
+	}
+}
+
+// RunByName runs the comma-separated experiment list ("all" runs every
+// experiment) writing reports to w. Unknown names return an error listing
+// valid ones.
+func RunByName(names string, opt Options, w io.Writer) error {
+	reg := Runners()
+	index := make(map[string]Runner, len(reg))
+	valid := make([]string, 0, len(reg))
+	for _, r := range reg {
+		index[r.Name] = r
+		valid = append(valid, r.Name)
+	}
+	var selected []Runner
+	if names == "all" {
+		selected = reg
+	} else {
+		for _, name := range strings.Split(names, ",") {
+			name = strings.TrimSpace(name)
+			r, ok := index[name]
+			if !ok {
+				sort.Strings(valid)
+				return fmt.Errorf("unknown experiment %q (valid: %s, all)", name, strings.Join(valid, ", "))
+			}
+			selected = append(selected, r)
+		}
+	}
+	for i, r := range selected {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		r.Run(opt, w)
+	}
+	return nil
+}

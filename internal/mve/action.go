@@ -1,0 +1,62 @@
+package mve
+
+import (
+	"fmt"
+
+	"servo/internal/world"
+)
+
+// ActionKind enumerates the player actions of the MVE protocol, covering
+// the random-behavior action mix of Table II.
+type ActionKind int
+
+// Action kinds.
+const (
+	ActionMove ActionKind = iota + 1 // move toward a destination at a speed
+	ActionPlaceBlock
+	ActionBreakBlock
+	ActionChat         // message to all players on the instance
+	ActionSetInventory // switch the held item
+	ActionIdle         // stand still (explicit no-op)
+)
+
+// String implements fmt.Stringer.
+func (k ActionKind) String() string {
+	switch k {
+	case ActionMove:
+		return "move"
+	case ActionPlaceBlock:
+		return "place"
+	case ActionBreakBlock:
+		return "break"
+	case ActionChat:
+		return "chat"
+	case ActionSetInventory:
+		return "inventory"
+	case ActionIdle:
+		return "idle"
+	}
+	return fmt.Sprintf("action(%d)", int(k))
+}
+
+// Action is one player command handed to the server.
+type Action struct {
+	Kind ActionKind
+
+	// Move parameters: world-coordinate destination and speed in blocks
+	// per second.
+	DestX, DestZ float64
+	Speed        float64
+
+	// Block parameters for place/break.
+	Pos   world.BlockPos
+	Block world.Block
+
+	// Inventory slot for ActionSetInventory.
+	Item uint8
+}
+
+// MoveTo builds a move action.
+func MoveTo(x, z, speed float64) Action {
+	return Action{Kind: ActionMove, DestX: x, DestZ: z, Speed: speed}
+}

@@ -1,0 +1,83 @@
+package mve
+
+import (
+	"math"
+	"math/rand"
+
+	"servo/internal/world"
+)
+
+// PlayerID identifies a connected player.
+type PlayerID int
+
+// Player is one connected player session and its avatar.
+type Player struct {
+	ID   PlayerID
+	Name string
+
+	// Avatar position (block coordinates; Y follows the terrain surface).
+	X, Z float64
+
+	// Movement state: the avatar advances toward (destX, destZ) at
+	// speed blocks/second.
+	destX, destZ float64
+	speed        float64
+
+	// Inventory is the held item slot (ActionSetInventory).
+	Inventory uint8
+
+	behavior Behavior
+
+	// known tracks chunks already sent to this client; sendQueue holds
+	// chunks waiting to be serialised (drained a few per tick).
+	known     map[world.ChunkPos]bool
+	sendQueue []world.ChunkPos
+
+	// ChunksReceived counts chunk payloads delivered to this client.
+	ChunksReceived int
+}
+
+// Behavior drives a player's actions each tick. Implementations live in
+// internal/workload (behaviors A, Sx, Sinc, and R from the paper's Table I
+// and Table II).
+type Behavior interface {
+	// Actions returns the player's commands for this tick. r is the
+	// server's deterministic random source.
+	Actions(r *rand.Rand, p *Player, s *Server) []Action
+}
+
+// BehaviorFunc adapts a function to the Behavior interface.
+type BehaviorFunc func(r *rand.Rand, p *Player, s *Server) []Action
+
+// Actions implements Behavior.
+func (f BehaviorFunc) Actions(r *rand.Rand, p *Player, s *Server) []Action {
+	return f(r, p, s)
+}
+
+// Pos returns the avatar's position as a block position (Y at surface).
+func (p *Player) Pos() world.BlockPos {
+	return world.BlockPos{X: int(p.X), Y: 0, Z: int(p.Z)}
+}
+
+// Moving reports whether the avatar has not yet reached its destination.
+func (p *Player) Moving() bool {
+	dx, dz := p.destX-p.X, p.destZ-p.Z
+	return dx*dx+dz*dz > 1e-6 && p.speed > 0
+}
+
+// advance integrates movement for dt seconds.
+func (p *Player) advance(dt float64) {
+	if !p.Moving() {
+		return
+	}
+	dx, dz := p.destX-p.X, p.destZ-p.Z
+	dist := dx*dx + dz*dz
+	step := p.speed * dt
+	if step*step >= dist {
+		p.X, p.Z = p.destX, p.destZ
+		return
+	}
+	norm := step / math.Sqrt(dist)
+	p.X += dx * norm
+	p.Z += dz * norm
+}

@@ -1,0 +1,84 @@
+package mve
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// PlayerStore persists per-player data (position, inventory). The paper's
+// storage design covers player-, meta-, and terrain-data (§III-E); player
+// data is fetched "every time a player connects to a game instance"
+// (§II-D, Fig. 3) and written back on disconnect.
+type PlayerStore interface {
+	// SavePlayer persists the encoded player record (asynchronously).
+	SavePlayer(name string, data []byte)
+	// LoadPlayer fetches the record; ok is false for first-time players.
+	LoadPlayer(name string, cb func(data []byte, ok bool))
+}
+
+// playerRecord is the persisted subset of Player state.
+type playerRecord struct {
+	X, Z      float64
+	Inventory uint8
+}
+
+// encodePlayer serialises a player's persistent state.
+func encodePlayer(p *Player) []byte {
+	out := make([]byte, 0, 17)
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(p.X))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(p.Z))
+	return append(out, p.Inventory)
+}
+
+// errBadPlayerRecord reports a corrupt persisted player record.
+var errBadPlayerRecord = errors.New("mve: bad player record")
+
+// decodePlayer parses a persisted player record.
+func decodePlayer(data []byte) (playerRecord, error) {
+	if len(data) < 17 {
+		return playerRecord{}, errBadPlayerRecord
+	}
+	return playerRecord{
+		X:         math.Float64frombits(binary.LittleEndian.Uint64(data)),
+		Z:         math.Float64frombits(binary.LittleEndian.Uint64(data[8:])),
+		Inventory: data[16],
+	}, nil
+}
+
+// loadPlayerData restores a reconnecting player's persisted state once it
+// arrives from storage. Until then the player stands at spawn, exactly as
+// on the real systems (the retrieval latency is the player-data curve of
+// Fig. 3).
+func (s *Server) loadPlayerData(p *Player) {
+	ps, ok := s.store.(PlayerStore)
+	if !ok {
+		return
+	}
+	id := p.ID
+	ps.LoadPlayer(p.Name, func(data []byte, found bool) {
+		if !found {
+			return
+		}
+		rec, err := decodePlayer(data)
+		if err != nil {
+			return
+		}
+		// Only apply if the session is still live and hasn't moved yet
+		// (a stale load must not teleport an active player).
+		cur, live := s.players[id]
+		if !live || cur != p || p.Moving() {
+			return
+		}
+		p.X, p.Z = rec.X, rec.Z
+		p.destX, p.destZ = rec.X, rec.Z
+		p.Inventory = rec.Inventory
+	})
+}
+
+// savePlayerData persists a disconnecting player's state.
+func (s *Server) savePlayerData(p *Player) {
+	if ps, ok := s.store.(PlayerStore); ok {
+		ps.SavePlayer(p.Name, encodePlayer(p))
+	}
+}

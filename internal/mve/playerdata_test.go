@@ -1,0 +1,126 @@
+package mve
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"servo/internal/sim"
+	"servo/internal/world"
+)
+
+// memPlayerStore is an in-memory PlayerStore (and no-op ChunkStore) with a
+// configurable load delay.
+type memPlayerStore struct {
+	clock   sim.Clock
+	delay   time.Duration
+	records map[string][]byte
+	saves   int
+}
+
+func newMemPlayerStore(clock sim.Clock, delay time.Duration) *memPlayerStore {
+	return &memPlayerStore{clock: clock, delay: delay, records: make(map[string][]byte)}
+}
+
+func (m *memPlayerStore) SavePlayer(name string, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.records[name] = cp
+	m.saves++
+}
+
+func (m *memPlayerStore) LoadPlayer(name string, cb func([]byte, bool)) {
+	data, ok := m.records[name]
+	m.clock.After(m.delay, func() { cb(data, ok) })
+}
+
+func (m *memPlayerStore) Load(pos world.ChunkPos, cb func(*world.Chunk, bool)) {
+	m.clock.After(0, func() { cb(nil, false) })
+}
+
+func (m *memPlayerStore) Store(*world.Chunk) {}
+
+var (
+	_ PlayerStore = (*memPlayerStore)(nil)
+	_ ChunkStore  = (*memPlayerStore)(nil)
+)
+
+func TestPlayerRecordRoundTripQuick(t *testing.T) {
+	f := func(xBits, zBits uint64, inv uint8) bool {
+		p := &Player{X: float64(xBits%100000) / 7, Z: -float64(zBits%100000) / 3, Inventory: inv}
+		rec, err := decodePlayer(encodePlayer(p))
+		return err == nil && rec.X == p.X && rec.Z == p.Z && rec.Inventory == p.Inventory
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodePlayerRejectsShortRecord(t *testing.T) {
+	if _, err := decodePlayer([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short record accepted")
+	}
+}
+
+func TestPlayerPersistsAcrossSessions(t *testing.T) {
+	loop := sim.NewLoop(1)
+	store := newMemPlayerStore(loop, 5*time.Millisecond)
+	s := NewServer(loop, Config{WorldType: "flat", Store: store})
+	s.Start()
+
+	// First session: move somewhere, set inventory, disconnect.
+	p := s.Connect("veteran", nil)
+	runFor(loop, time.Second)
+	p.X, p.Z = 42, -17
+	p.destX, p.destZ = 42, -17
+	p.Inventory = 9
+	s.Disconnect(p.ID)
+	if store.saves != 1 {
+		t.Fatalf("saves = %d, want 1", store.saves)
+	}
+
+	// Second session: state must be restored after the load completes.
+	p2 := s.Connect("veteran", nil)
+	if p2.X != 0 {
+		t.Fatal("player must spawn at origin until the load arrives")
+	}
+	runFor(loop, time.Second)
+	if p2.X != 42 || p2.Z != -17 || p2.Inventory != 9 {
+		t.Fatalf("restored state = (%v, %v, inv %d), want (42, -17, 9)", p2.X, p2.Z, p2.Inventory)
+	}
+}
+
+func TestFirstTimePlayerStartsFresh(t *testing.T) {
+	loop := sim.NewLoop(2)
+	store := newMemPlayerStore(loop, time.Millisecond)
+	s := NewServer(loop, Config{WorldType: "flat", Store: store})
+	s.Start()
+	p := s.Connect("rookie", nil)
+	runFor(loop, time.Second)
+	if p.X != 0 || p.Z != 0 || p.Inventory != 0 {
+		t.Fatal("first-time player must start at spawn defaults")
+	}
+}
+
+func TestStaleLoadDoesNotTeleportMovingPlayer(t *testing.T) {
+	loop := sim.NewLoop(3)
+	store := newMemPlayerStore(loop, 2*time.Second) // very slow storage
+	store.records["runner"] = encodePlayer(&Player{X: 999, Z: 999})
+	s := NewServer(loop, Config{WorldType: "flat", Store: store})
+	s.Start()
+	p := s.Connect("runner", nil)
+	// The player starts moving before the (slow) load lands.
+	p.destX, p.destZ, p.speed = 50, 0, 4
+	runFor(loop, 5*time.Second)
+	if p.X > 500 {
+		t.Fatalf("stale load teleported an active player to X=%v", p.X)
+	}
+}
+
+func TestNoStoreNoPersistence(t *testing.T) {
+	loop, s := newFlatServer(4)
+	s.Start()
+	p := s.Connect("ghost", nil)
+	runFor(loop, 100*time.Millisecond)
+	s.Disconnect(p.ID) // must not panic without a store
+}

@@ -1,0 +1,601 @@
+package mve
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"servo/internal/metrics"
+	"servo/internal/sc"
+	"servo/internal/sim"
+	"servo/internal/terrain"
+	"servo/internal/world"
+)
+
+// ChunkStore abstracts chunk persistence: the baselines persist to local
+// disk, Servo to cached serverless storage (internal/servo/rstore).
+type ChunkStore interface {
+	// Load fetches the chunk at pos; ok is false if it was never stored.
+	Load(pos world.ChunkPos, cb func(c *world.Chunk, ok bool))
+	// Store persists the chunk (asynchronously; write-back allowed).
+	Store(c *world.Chunk)
+}
+
+// AvatarObserver is implemented by stores that pre-fetch based on avatar
+// positions (Servo's terrain cache, §III-E).
+type AvatarObserver interface {
+	ObserveAvatars(positions []world.BlockPos, viewDistance int)
+}
+
+// Config configures a Server.
+type Config struct {
+	Profile Profile
+	// WorldType is "flat" or "default" (Table I).
+	WorldType string
+	// Seed drives terrain generation (the clock owns simulation RNG).
+	Seed int64
+	// ViewDistance in blocks (default 128, the paper's default).
+	ViewDistance int
+	// TickInterval is 1/R (default 50 ms, R = 20 Hz).
+	TickInterval time.Duration
+	// Cost overrides the profile's calibrated cost parameters.
+	Cost *CostParams
+	// SC overrides the profile's construct backend.
+	SC SCBackend
+	// Terrain overrides the profile's terrain backend.
+	Terrain TerrainBackend
+	// Store enables chunk persistence.
+	Store ChunkStore
+	// MaxChunkSendsPerTick throttles per-player chunk serialisation
+	// (default 4, as real servers do).
+	MaxChunkSendsPerTick int
+}
+
+// Defaults for Config fields.
+const (
+	DefaultViewDistance = 128
+	DefaultTickInterval = 50 * time.Millisecond
+	defaultMaxSends     = 4
+	// terrainScanPeriod is how often (in ticks) view-distance demand is
+	// recomputed.
+	terrainScanPeriod = 5
+	// unloadScanPeriod is how often (in ticks) far chunks are unloaded.
+	unloadScanPeriod = 100
+	// unloadMargin keeps chunks loaded this far beyond view distance.
+	unloadMargin = 32
+	// bootGraceTicks is the start-up window during which chunk application
+	// is free: world loading happens before the server opens to players,
+	// so boot bursts must not register as giant first ticks.
+	bootGraceTicks = 40
+	// PrefetchMargin is how far beyond view distance Servo's store
+	// pre-fetches (§III-E: "outside of, but close to, the player's view
+	// distance").
+	PrefetchMargin = 48
+)
+
+// haltedConstruct is a construct whose chunk was unloaded; its simulation
+// is halted (§II-A) and resumes when the chunk reloads.
+type haltedConstruct struct {
+	construct *sc.Construct
+	anchor    world.BlockPos
+}
+
+// Server is one MVE instance: a world, its players, and the 20 Hz loop.
+// It runs entirely on a sim.Clock; it is not safe for concurrent use (the
+// clock serialises all access).
+type Server struct {
+	clock sim.Clock
+	cfg   Config
+	cost  CostParams
+
+	world   *world.World
+	gen     terrain.Generator
+	scs     SCBackend
+	terrain TerrainBackend
+	store   ChunkStore
+
+	players     map[PlayerID]*Player
+	playerOrder []PlayerID
+	nextPlayer  PlayerID
+
+	// Construct placement: world-footprint → construct id, plus anchors
+	// for halting on unload.
+	footprint map[world.BlockPos]uint64
+	anchors   map[uint64]haltedConstruct
+	halted    map[world.ChunkPos][]haltedConstruct
+
+	// requested tracks chunk demand already in flight (store load or
+	// generation).
+	requested map[world.ChunkPos]bool
+	// loadedFromStore queues store-loaded chunks for on-loop application.
+	loadedFromStore []*world.Chunk
+
+	tick    uint64
+	running bool
+	stopped bool
+
+	// Metrics.
+	TickDurations  *metrics.Sample
+	TickSeries     *metrics.TimeSeries
+	ChunksApplied  metrics.Counter
+	ChunksSent     metrics.Counter
+	ActionCount    metrics.Counter
+	ChatsDelivered metrics.Counter
+}
+
+// NewServer builds a server on clock. Zero-value config fields take the
+// documented defaults; the profile defaults the cost table and backends.
+func NewServer(clock sim.Clock, cfg Config) *Server {
+	if cfg.Profile == 0 {
+		cfg.Profile = ProfileOpencraft
+	}
+	if cfg.ViewDistance == 0 {
+		cfg.ViewDistance = DefaultViewDistance
+	}
+	if cfg.TickInterval == 0 {
+		cfg.TickInterval = DefaultTickInterval
+	}
+	if cfg.MaxChunkSendsPerTick == 0 {
+		cfg.MaxChunkSendsPerTick = defaultMaxSends
+	}
+	cost := Params(cfg.Profile)
+	if cfg.Cost != nil {
+		cost = *cfg.Cost
+	}
+	gen := terrain.ForWorldType(cfg.WorldType, cfg.Seed)
+	s := &Server{
+		clock:         clock,
+		cfg:           cfg,
+		cost:          cost,
+		world:         world.New(),
+		gen:           gen,
+		scs:           cfg.SC,
+		terrain:       cfg.Terrain,
+		store:         cfg.Store,
+		players:       make(map[PlayerID]*Player),
+		footprint:     make(map[world.BlockPos]uint64),
+		anchors:       make(map[uint64]haltedConstruct),
+		halted:        make(map[world.ChunkPos][]haltedConstruct),
+		requested:     make(map[world.ChunkPos]bool),
+		TickDurations: metrics.NewSample(16384),
+		TickSeries:    &metrics.TimeSeries{},
+	}
+	if s.scs == nil {
+		s.scs = NewLocalSC(cost.SCEveryOtherTick)
+	}
+	if s.terrain == nil {
+		s.terrain = NewLocalTerrain(clock, gen)
+	}
+	// Boot the spawn region out to view distance plus the unload margin,
+	// as production servers do: players joining at spawn must not trigger
+	// a generation storm. Without persistent storage the region is
+	// generated synchronously; with a store it is loaded through the
+	// normal storage path (a restarted server reads its world back),
+	// which is where the boot-time cold reads of Fig. 13 come from.
+	for _, pos := range world.ChunksWithin(world.BlockPos{}, cfg.ViewDistance+unloadMargin) {
+		if s.store != nil {
+			s.requestChunk(pos)
+		} else {
+			s.applyChunk(gen.Generate(pos), false)
+		}
+	}
+	return s
+}
+
+// Clock returns the server's clock.
+func (s *Server) Clock() sim.Clock { return s.clock }
+
+// SetStore replaces the chunk store (e.g. to interpose a measurement
+// probe). It must be called before Start.
+func (s *Server) SetStore(store ChunkStore) {
+	s.store = store
+	s.cfg.Store = store
+}
+
+// World returns the server's loaded world.
+func (s *Server) World() *world.World { return s.world }
+
+// Config returns the server's effective configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Tick returns the current tick number.
+func (s *Server) Tick() uint64 { return s.tick }
+
+// SCs returns the construct backend.
+func (s *Server) SCs() SCBackend { return s.scs }
+
+// PlayerCount returns the number of connected players.
+func (s *Server) PlayerCount() int { return len(s.players) }
+
+// Start begins the game loop. It may be called once.
+func (s *Server) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.clock.After(s.cfg.TickInterval, s.tickOnce)
+}
+
+// Stop halts the game loop after the current tick.
+func (s *Server) Stop() { s.stopped = true }
+
+// Connect adds a player at the spawn point with the given behavior
+// (nil for an idle player) and returns the session.
+func (s *Server) Connect(name string, b Behavior) *Player {
+	s.nextPlayer++
+	p := &Player{
+		ID:       s.nextPlayer,
+		Name:     name,
+		behavior: b,
+		known:    make(map[world.ChunkPos]bool),
+	}
+	p.destX, p.destZ = p.X, p.Z
+	s.players[p.ID] = p
+	s.playerOrder = append(s.playerOrder, p.ID)
+	s.loadPlayerData(p)
+	return p
+}
+
+// Disconnect removes a player session, persisting its player data when a
+// store is configured.
+func (s *Server) Disconnect(id PlayerID) {
+	p, ok := s.players[id]
+	if !ok {
+		return
+	}
+	s.savePlayerData(p)
+	delete(s.players, id)
+	for i, pid := range s.playerOrder {
+		if pid == id {
+			s.playerOrder = append(s.playerOrder[:i], s.playerOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// Players returns the connected players in join order.
+func (s *Server) Players() []*Player {
+	out := make([]*Player, 0, len(s.playerOrder))
+	for _, id := range s.playerOrder {
+		out = append(out, s.players[id])
+	}
+	return out
+}
+
+// SpawnConstruct activates a simulated construct whose grid cell (0, 0)
+// maps to the anchor block position (cells extend along +X and +Z on the
+// terrain surface). Returns the construct id.
+func (s *Server) SpawnConstruct(c *sc.Construct, anchor world.BlockPos) uint64 {
+	id := s.scs.Add(c)
+	s.anchors[id] = haltedConstruct{construct: c, anchor: anchor}
+	w, h := c.Size()
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if c.At(x, y).Kind == sc.Empty {
+				continue
+			}
+			bp := anchor.Offset(x, 0, y)
+			s.footprint[bp] = id
+			s.world.SetBlockAt(bp, world.Block{ID: blockForCell(c.At(x, y).Kind)})
+		}
+	}
+	return id
+}
+
+func blockForCell(k sc.CellKind) world.BlockID {
+	switch k {
+	case sc.Wire:
+		return world.Wire
+	case sc.Source:
+		return world.Battery
+	case sc.Lamp:
+		return world.Lamp
+	case sc.Repeater:
+		return world.Repeater
+	case sc.Inverter:
+		return world.Inverter
+	}
+	return world.Air
+}
+
+// --- The game loop -----------------------------------------------------------
+
+// tickOnce runs one simulation tick and schedules the next.
+func (s *Server) tickOnce() {
+	if s.stopped {
+		s.running = false
+		return
+	}
+	s.tick++
+	rng := s.clock.RNG()
+	var work time.Duration
+	work += s.cost.TickBase
+
+	// 1. Player behaviors produce actions; process them.
+	dt := s.cfg.TickInterval.Seconds()
+	for _, id := range s.playerOrder {
+		p := s.players[id]
+		work += s.cost.PerPlayer
+		if p.behavior != nil {
+			for _, a := range p.behavior.Actions(rng, p, s) {
+				work += s.processAction(p, a)
+			}
+		}
+		p.advance(dt)
+	}
+
+	// 2. Simulated constructs.
+	scw := s.scs.Tick(s.tick)
+	work += time.Duration(scw.WorkUnits) * s.cost.SCWorkNs
+	n := s.scs.Count()
+	if scw.Simulated && s.cost.SCDensityCubeNs > 0 {
+		work += time.Duration(float64(n*n*n) * s.cost.SCDensityCubeNs)
+	}
+	if s.cost.ServoPerSC > 0 {
+		work += time.Duration(n) * s.cost.ServoPerSC
+	}
+
+	// 3. Terrain demand, application, and sending.
+	if s.tick%terrainScanPeriod == 0 {
+		s.scanTerrainDemand()
+	}
+	work += s.applyCompletedChunks()
+	work += s.drainSendQueues()
+	busy, queued := s.terrain.Load()
+	work += time.Duration(busy) * s.cost.GenInterferencePerWorker
+	if queued > 500 {
+		queued = 500
+	}
+	work += time.Duration(queued) * s.cost.GenQueuePressure
+
+	// 4. Unload far terrain periodically.
+	if s.tick%unloadScanPeriod == 0 {
+		s.unloadFarChunks()
+	}
+
+	// 5. Tick duration: work plus hardware noise and rare GC-like tails.
+	d := time.Duration(float64(work) * math.Exp(s.cost.NoiseSigma*rng.NormFloat64()))
+	tailP := s.cost.TailP + float64(len(s.players))*s.cost.TailPPerPlayer
+	if rng.Float64() < tailP {
+		d = time.Duration(float64(d) * (1 + rng.Float64()*(s.cost.TailScale-1)))
+	}
+	s.TickDurations.Add(d)
+	s.TickSeries.Add(s.clock.Now(), d)
+
+	// 6. Next tick: at the fixed rate, or immediately after an overlong
+	// tick (an overloaded server ticks back to back).
+	next := s.cfg.TickInterval
+	if d > next {
+		next = d
+	}
+	s.clock.After(next, s.tickOnce)
+}
+
+// processAction applies one player action and returns its work cost.
+func (s *Server) processAction(p *Player, a Action) time.Duration {
+	s.ActionCount.Inc()
+	cost := s.cost.PerAction
+	switch a.Kind {
+	case ActionMove:
+		p.destX, p.destZ = a.DestX, a.DestZ
+		p.speed = a.Speed
+	case ActionPlaceBlock, ActionBreakBlock:
+		b := a.Block
+		if a.Kind == ActionBreakBlock {
+			b = world.Block{}
+		}
+		if id, ok := s.footprint[a.Pos]; ok {
+			// The block belongs to a simulated construct: this is a
+			// player modification that invalidates speculation.
+			anchor := s.anchors[id].anchor
+			cx, cz := a.Pos.X-anchor.X, a.Pos.Z-anchor.Z
+			s.scs.Modify(id, func(c *sc.Construct) {
+				cell := c.At(cx, cz)
+				if a.Kind == ActionBreakBlock {
+					c.Set(cx, cz, sc.Cell{})
+				} else {
+					cell.On = !cell.On
+					c.Set(cx, cz, cell)
+				}
+			})
+			if a.Kind == ActionBreakBlock {
+				delete(s.footprint, a.Pos)
+			}
+		}
+		s.world.SetBlockAt(a.Pos, b)
+	case ActionChat:
+		// Fan out to every connected player.
+		s.ChatsDelivered.Add(int64(len(s.players)))
+		cost += time.Duration(len(s.players)) * (s.cost.PerAction / 8)
+	case ActionSetInventory:
+		p.Inventory = a.Item
+	case ActionIdle:
+		// Explicit no-op.
+	}
+	return cost
+}
+
+// scanTerrainDemand requests every chunk within any player's view distance
+// that is neither loaded nor already requested, and refreshes send queues.
+func (s *Server) scanTerrainDemand() {
+	var avatarPositions []world.BlockPos
+	for _, id := range s.playerOrder {
+		p := s.players[id]
+		pos := p.Pos()
+		avatarPositions = append(avatarPositions, pos)
+		for _, cp := range world.ChunksWithin(pos, s.cfg.ViewDistance) {
+			if s.world.Loaded(cp) {
+				if !p.known[cp] {
+					p.known[cp] = true
+					p.sendQueue = append(p.sendQueue, cp)
+				}
+				continue
+			}
+			s.requestChunk(cp)
+		}
+	}
+	// Give pre-fetching stores the avatar positions (§III-E).
+	if obs, ok := s.store.(AvatarObserver); ok {
+		obs.ObserveAvatars(avatarPositions, s.cfg.ViewDistance+PrefetchMargin)
+	}
+}
+
+// requestChunk starts the load-or-generate path for one chunk.
+func (s *Server) requestChunk(cp world.ChunkPos) {
+	if s.requested[cp] {
+		return
+	}
+	s.requested[cp] = true
+	if s.store != nil {
+		s.store.Load(cp, func(c *world.Chunk, ok bool) {
+			if ok {
+				s.loadedFromStore = append(s.loadedFromStore, c)
+				return
+			}
+			s.terrain.Request(cp)
+		})
+		return
+	}
+	s.terrain.Request(cp)
+}
+
+// applyCompletedChunks integrates generated and store-loaded chunks into
+// the world and returns the work cost.
+func (s *Server) applyCompletedChunks() time.Duration {
+	var cost time.Duration
+	apply := func(c *world.Chunk) {
+		if s.world.Loaded(c.Pos) {
+			return // superseded (e.g. reloaded while generating)
+		}
+		s.applyChunk(c, true)
+		if s.tick > bootGraceTicks {
+			cost += s.cost.ChunkApply
+		}
+		s.ChunksApplied.Inc()
+	}
+	for _, c := range s.loadedFromStore {
+		apply(c)
+	}
+	s.loadedFromStore = nil
+	for _, c := range s.terrain.Drain() {
+		apply(c)
+		if s.store != nil {
+			s.store.Store(c) // persist freshly generated terrain
+		}
+	}
+	return cost
+}
+
+// applyChunk installs a chunk and resumes any halted constructs in it.
+func (s *Server) applyChunk(c *world.Chunk, countResume bool) {
+	s.world.AddChunk(c)
+	delete(s.requested, c.Pos)
+	if hs := s.halted[c.Pos]; len(hs) > 0 && countResume {
+		delete(s.halted, c.Pos)
+		for _, h := range hs {
+			s.SpawnConstruct(h.construct, h.anchor)
+		}
+	}
+}
+
+// drainSendQueues serialises queued chunks to clients, a few per player per
+// tick, and returns the work cost.
+func (s *Server) drainSendQueues() time.Duration {
+	var cost time.Duration
+	for _, id := range s.playerOrder {
+		p := s.players[id]
+		sent := 0
+		for len(p.sendQueue) > 0 && sent < s.cfg.MaxChunkSendsPerTick {
+			cp := p.sendQueue[0]
+			p.sendQueue = p.sendQueue[1:]
+			if !s.world.Loaded(cp) {
+				continue // unloaded before we could send it
+			}
+			cost += s.cost.ChunkSend
+			p.ChunksReceived++
+			s.ChunksSent.Inc()
+			sent++
+		}
+	}
+	return cost
+}
+
+// unloadFarChunks persists and evicts chunks far outside every player's
+// view distance, halting embedded constructs (§II-A).
+func (s *Server) unloadFarChunks() {
+	if len(s.players) == 0 {
+		return
+	}
+	limit := s.cfg.ViewDistance + unloadMargin
+	var far []world.ChunkPos
+	for _, cp := range s.world.LoadedChunks() {
+		near := false
+		for _, id := range s.playerOrder {
+			if cp.DistanceBlocks(s.players[id].Pos()) <= limit {
+				near = true
+				break
+			}
+		}
+		if !near {
+			far = append(far, cp)
+		}
+	}
+	sort.Slice(far, func(i, j int) bool {
+		if far[i].X != far[j].X {
+			return far[i].X < far[j].X
+		}
+		return far[i].Z < far[j].Z
+	})
+	for _, cp := range far {
+		// Halt constructs anchored in this chunk.
+		var ids []uint64
+		for id, h := range s.anchors {
+			if h.anchor.Chunk() == cp {
+				ids = append(ids, id)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			h := s.anchors[id]
+			s.halted[cp] = append(s.halted[cp], h)
+			s.scs.Remove(id)
+			delete(s.anchors, id)
+			w, ch := h.construct.Size()
+			for y := 0; y < ch; y++ {
+				for x := 0; x < w; x++ {
+					delete(s.footprint, h.anchor.Offset(x, 0, y))
+				}
+			}
+		}
+		c := s.world.Chunk(cp)
+		if s.store != nil && c != nil {
+			s.store.Store(c)
+		}
+		s.world.RemoveChunk(cp)
+		// Drop client knowledge so re-approach resends.
+		for _, p := range s.players {
+			delete(p.known, cp)
+		}
+	}
+}
+
+// MinViewMargin returns the smallest distance (over players) from an
+// avatar to the closest missing chunk within its view range, the QoS
+// metric of Fig. 10. With no players or no missing terrain it returns the
+// configured view distance.
+func (s *Server) MinViewMargin() int {
+	min := s.cfg.ViewDistance
+	for _, id := range s.playerOrder {
+		p := s.players[id]
+		pos := p.Pos()
+		for _, cp := range world.ChunksWithin(pos, s.cfg.ViewDistance) {
+			if s.world.Loaded(cp) {
+				continue
+			}
+			if d := cp.DistanceBlocks(pos); d < min {
+				min = d
+			}
+		}
+	}
+	return min
+}

@@ -1,0 +1,178 @@
+package netproto
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"servo/internal/terrain"
+	"servo/internal/world"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	enc := Encode(m)
+	got, err := Decode(enc[4:])
+	if err != nil {
+		t.Fatalf("decode %v: %v", m.Type, err)
+	}
+	return got
+}
+
+func TestEncodeDecodeAllMessageTypes(t *testing.T) {
+	msgs := []Message{
+		{Type: MsgJoin, Name: "alice"},
+		{Type: MsgMove, DestX: 1.5, DestZ: -2.25, Speed: 3.75},
+		{Type: MsgPlaceBlock, Pos: world.BlockPos{X: -5, Y: 64, Z: 9},
+			Block: world.Block{ID: world.Lamp, Data: 7}},
+		{Type: MsgBreakBlock, Pos: world.BlockPos{X: 1, Y: 2, Z: 3}},
+		{Type: MsgChat, Name: "bob", Text: "hello world"},
+		{Type: MsgSetInventory, Item: 12},
+		{Type: MsgPing, Nonce: 0xdeadbeef},
+		{Type: MsgPong, Nonce: 42},
+		{Type: MsgWelcome, PlayerID: 17},
+		{Type: MsgChunkData, ChunkData: []byte{1, 2, 3, 4, 5}},
+		{Type: MsgChatBroadcast, Name: "carol", Text: "hi"},
+		{Type: MsgStateUpdate, Tick: 999, Avatars: []AvatarState{
+			{ID: 1, X: 0.5, Z: -0.5}, {ID: 2, X: 100, Z: 200},
+		}},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("%v round trip:\n got %+v\nwant %+v", m.Type, got, m)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":        {},
+		"unknown type": {200},
+		"short move":   {byte(MsgMove), 1, 2},
+		"short join":   {byte(MsgJoin), 10, 0, 'a'},
+		"short chunk":  {byte(MsgChunkData), 100, 0, 0, 0, 1, 2},
+	}
+	for name, buf := range cases {
+		if _, err := Decode(buf); err == nil {
+			t.Errorf("%s: decode succeeded", name)
+		}
+	}
+}
+
+func TestReaderFraming(t *testing.T) {
+	var buf bytes.Buffer
+	want := []Message{
+		{Type: MsgJoin, Name: "p1"},
+		{Type: MsgPing, Nonce: 7},
+		{Type: MsgChat, Name: "p1", Text: "msg"},
+	}
+	for _, m := range want {
+		if err := Write(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	for i, w := range want {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, w) {
+			t.Fatalf("message %d: got %+v want %+v", i, got, w)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF && err != io.ErrUnexpectedEOF {
+		t.Fatalf("after stream end: %v", err)
+	}
+}
+
+func TestReaderRejectsOversizedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff}) // 4 GiB frame
+	if _, err := NewReader(&buf).Next(); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestChunkDataCarriesRealChunk(t *testing.T) {
+	c := (terrain.Default{Seed: 5}).Generate(world.ChunkPos{X: 2, Z: -3})
+	m := roundTrip(t, Message{Type: MsgChunkData, ChunkData: c.Encode()})
+	dec, err := world.DecodeChunk(m.ChunkData)
+	if err != nil {
+		t.Fatalf("chunk decode: %v", err)
+	}
+	if !dec.Equal(c) {
+		t.Fatal("chunk corrupted in transit")
+	}
+}
+
+func TestOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan Message, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		r := NewReader(conn)
+		m, err := r.Next()
+		if err != nil {
+			return
+		}
+		// Echo a welcome.
+		_ = Write(conn, Message{Type: MsgWelcome, PlayerID: 5})
+		done <- m
+	}()
+
+	conn, err := net.DialTimeout("tcp", ln.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := Write(conn, Message{Type: MsgJoin, Name: "netbot"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-done:
+		if m.Type != MsgJoin || m.Name != "netbot" {
+			t.Fatalf("server got %+v", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never received the join")
+	}
+	reply, err := NewReader(conn).Next()
+	if err != nil || reply.Type != MsgWelcome || reply.PlayerID != 5 {
+		t.Fatalf("client got %+v (%v)", reply, err)
+	}
+}
+
+func TestMoveRoundTripQuick(t *testing.T) {
+	f := func(x, z, s float64) bool {
+		m := Message{Type: MsgMove, DestX: x, DestZ: z, Speed: s}
+		enc := Encode(m)
+		got, err := Decode(enc[4:])
+		return err == nil && reflect.DeepEqual(got, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	if MsgJoin.String() != "join" || MsgChunkData.String() != "chunk" {
+		t.Fatal("message type names broken")
+	}
+	if MsgType(250).String() == "" {
+		t.Fatal("unknown type needs fallback name")
+	}
+}

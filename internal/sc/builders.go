@@ -1,0 +1,142 @@
+package sc
+
+// Builders for the construct families used by the paper's workloads:
+// oscillating clock circuits (the canonical looping construct of §III-C1)
+// and lamp banks driven by them. All builders produce constructs that keep
+// changing state every step, so they exert steady simulation load.
+
+// NewClock builds a ring oscillator: `inverters` inverter cells (use an odd
+// count for a true oscillator) connected in a ring by wire runs of
+// wireRun cells each. Its state sequence is periodic, making it the
+// canonical target for the loop-detection cost optimisation.
+func NewClock(inverters, wireRun int) *Construct {
+	if inverters < 1 {
+		inverters = 1
+	}
+	if wireRun < 0 {
+		wireRun = 0
+	}
+	if wireRun > MaxPower-2 {
+		wireRun = MaxPower - 2 // power must survive the run
+	}
+	// Lay the ring out on a 2-row strip: the top row carries the chain
+	// left-to-right, the bottom row carries the return wire.
+	segment := 1 + wireRun
+	w := inverters * segment
+	c := New(w, 3)
+	for i := 0; i < inverters; i++ {
+		x := i * segment
+		c.Set(x, 0, Cell{Kind: Inverter, On: i == 0})
+		for j := 1; j <= wireRun; j++ {
+			c.Set(x+j, 0, Cell{Kind: Wire})
+		}
+	}
+	// Return path along row 2 with repeaters to refresh power each segment.
+	for x := 0; x < w; x++ {
+		c.Set(x, 2, Cell{Kind: Wire})
+	}
+	c.Set(0, 1, Cell{Kind: Wire})
+	c.Set(w-1, 1, Cell{Kind: Repeater, Delay: 1})
+	return c
+}
+
+// NewLampBank builds a construct with one clock (3 inverters) driving rows
+// of lamps through wire columns — a "blinking wall". It is used to build
+// constructs of specific block counts for the §IV-G experiments.
+func NewLampBank(rows, cols int) *Construct {
+	if rows < 1 {
+		rows = 1
+	}
+	if cols < 1 {
+		cols = 1
+	}
+	if cols > MaxPower-1 {
+		cols = MaxPower - 1 // keep the whole row powered from one feed
+	}
+	// Layout: row 0 is a 3-inverter clock strip; below it, `rows` rows of
+	// alternating wire/lamp cells fed from a vertical wire on column 0.
+	w := cols + 1
+	if w < 7 {
+		w = 7
+	}
+	c := New(w, rows+2)
+	// Clock: inverter at (0,0) feeding wire (1..2,0), inverter at 3, wires,
+	// inverter at 6 — a 3-element ring closed through row 1 col 0.
+	c.Set(0, 0, Cell{Kind: Inverter, On: true})
+	c.Set(1, 0, Cell{Kind: Wire})
+	c.Set(2, 0, Cell{Kind: Wire})
+	c.Set(3, 0, Cell{Kind: Inverter})
+	c.Set(4, 0, Cell{Kind: Wire})
+	c.Set(5, 0, Cell{Kind: Wire})
+	c.Set(6, 0, Cell{Kind: Inverter})
+	c.Set(0, 1, Cell{Kind: Wire}) // feedback + distribution column head
+	for r := 0; r < rows; r++ {
+		y := r + 2
+		c.Set(0, y, Cell{Kind: Wire})
+		for x := 1; x <= cols; x++ {
+			if x%4 == 0 {
+				c.Set(x, y, Cell{Kind: Lamp})
+			} else {
+				c.Set(x, y, Cell{Kind: Wire})
+			}
+		}
+	}
+	return c
+}
+
+// BuildSized returns an active construct with exactly target non-empty
+// blocks (for target ≥ 12), built from a lamp bank padded with trailing
+// wire cells. The paper's §IV-G experiments use 252- and 484-block
+// constructs.
+func BuildSized(target int) *Construct {
+	if target < 12 {
+		target = 12
+	}
+	// Start from a lamp bank whose count is close to but below target.
+	cols := 12
+	rows := (target - 8) / (cols + 1)
+	if rows < 1 {
+		rows = 1
+	}
+	c := NewLampBank(rows, cols)
+	have := c.BlockCount()
+	for have > target {
+		rows--
+		if rows < 1 {
+			break
+		}
+		c = NewLampBank(rows, cols)
+		have = c.BlockCount()
+	}
+	// Pad with inert wire on the last row until the count matches. The
+	// pad wires hang off the distribution column so they stay part of the
+	// powered circuit.
+	w, h := c.Size()
+	grown := New(w+(target-have)+1, h+1)
+	copyInto(grown, c)
+	y := h
+	grown.Set(0, y, Cell{Kind: Wire})
+	for i := 0; i < target-have; i++ {
+		grown.Set(1+i%(w+target-have), y, Cell{Kind: Wire})
+	}
+	// Trim any overshoot by removing pad wires right-to-left.
+	excess := grown.BlockCount() - target
+	for x := grown.w - 1; x >= 0 && excess > 0; x-- {
+		if grown.At(x, y).Kind == Wire {
+			grown.Set(x, y, Cell{})
+			excess--
+		}
+	}
+	return grown
+}
+
+func copyInto(dst, src *Construct) {
+	w, h := src.Size()
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if cell := src.At(x, y); cell.Kind != Empty {
+				dst.Set(x, y, cell)
+			}
+		}
+	}
+}

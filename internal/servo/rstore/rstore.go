@@ -1,0 +1,93 @@
+// Package rstore implements Servo's remote state storage (paper §III-E):
+// chunk persistence through managed (serverless) storage, fronted by the
+// local pre-fetching cache of internal/servo/tcache, so that storage
+// latency variability never reaches the game loop.
+//
+// It implements mve.ChunkStore (load/store) and mve.AvatarObserver
+// (distance-based pre-fetching driven by avatar positions).
+package rstore
+
+import (
+	"errors"
+
+	"servo/internal/blob"
+	"servo/internal/servo/tcache"
+	"servo/internal/world"
+)
+
+// Store is a cached remote chunk store.
+type Store struct {
+	cache *tcache.Cache
+
+	// DecodeFailures counts stored objects that failed to decode
+	// (corruption guard; always zero in healthy runs).
+	DecodeFailures int
+}
+
+// New returns a store over the given cache.
+func New(cache *tcache.Cache) *Store {
+	return &Store{cache: cache}
+}
+
+// Cache exposes the underlying terrain cache (for metrics).
+func (s *Store) Cache() *tcache.Cache { return s.cache }
+
+// Load implements mve.ChunkStore: fetch through the cache; a missing
+// object reports ok=false so the server generates the chunk instead.
+func (s *Store) Load(pos world.ChunkPos, cb func(c *world.Chunk, ok bool)) {
+	s.cache.Get(pos, func(data []byte, err error) {
+		if err != nil {
+			if !errors.Is(err, blob.ErrNotFound) {
+				s.DecodeFailures++
+			}
+			cb(nil, false)
+			return
+		}
+		c, derr := world.DecodeChunk(data)
+		if derr != nil {
+			s.DecodeFailures++
+			cb(nil, false)
+			return
+		}
+		cb(c, true)
+	})
+}
+
+// Store implements mve.ChunkStore: encode and write back through the
+// cache (flushed to remote storage periodically).
+func (s *Store) Store(c *world.Chunk) {
+	s.cache.Put(c.Pos, c.Encode())
+}
+
+// PlayerKey returns the storage key for a player record.
+func PlayerKey(name string) string { return "player/" + name }
+
+// SavePlayer implements mve.PlayerStore: player records are small and
+// written straight to remote storage (no chunk cache involved).
+func (s *Store) SavePlayer(name string, data []byte) {
+	s.cache.Remote().Put(PlayerKey(name), data, nil)
+}
+
+// LoadPlayer implements mve.PlayerStore.
+func (s *Store) LoadPlayer(name string, cb func(data []byte, ok bool)) {
+	s.cache.Remote().Get(PlayerKey(name), func(data []byte, err error) {
+		cb(data, err == nil)
+	})
+}
+
+// ObserveAvatars implements mve.AvatarObserver: pre-fetch every chunk
+// within the pre-fetch radius of any avatar (§III-E: "pre-fetches terrain
+// data outside of, but close to, the player's view distance").
+func (s *Store) ObserveAvatars(positions []world.BlockPos, radius int) {
+	seen := make(map[world.ChunkPos]bool)
+	var batch []world.ChunkPos
+	for _, p := range positions {
+		for _, cp := range world.ChunksWithin(p, radius) {
+			if !seen[cp] {
+				seen[cp] = true
+				batch = append(batch, cp)
+			}
+		}
+	}
+	s.cache.Prefetch(batch)
+}

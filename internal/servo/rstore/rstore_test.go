@@ -1,0 +1,120 @@
+package rstore
+
+import (
+	"testing"
+	"time"
+
+	"servo/internal/blob"
+	"servo/internal/servo/tcache"
+	"servo/internal/sim"
+	"servo/internal/terrain"
+	"servo/internal/world"
+)
+
+func newStore(seed int64) (*sim.Loop, *blob.Store, *Store) {
+	loop := sim.NewLoop(seed)
+	remote := blob.NewStore(loop, blob.TierPremium)
+	cache := tcache.New(loop, remote, tcache.DefaultConfig())
+	return loop, remote, New(cache)
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	loop, _, s := newStore(1)
+	c := (terrain.Default{Seed: 5}).Generate(world.ChunkPos{X: 2, Z: 3})
+	s.Store(c)
+	var got *world.Chunk
+	s.Load(c.Pos, func(lc *world.Chunk, ok bool) {
+		if ok {
+			got = lc
+		}
+	})
+	loop.Run()
+	if got == nil {
+		t.Fatal("chunk not found after Store")
+	}
+	if !got.Equal(c) {
+		t.Fatal("round-tripped chunk differs")
+	}
+	if s.DecodeFailures != 0 {
+		t.Fatalf("decode failures = %d", s.DecodeFailures)
+	}
+}
+
+func TestLoadMissingChunk(t *testing.T) {
+	loop, _, s := newStore(2)
+	called := false
+	s.Load(world.ChunkPos{X: 9, Z: 9}, func(c *world.Chunk, ok bool) {
+		called = true
+		if ok {
+			t.Error("missing chunk reported ok")
+		}
+	})
+	loop.Run()
+	if !called {
+		t.Fatal("callback not delivered")
+	}
+	if s.DecodeFailures != 0 {
+		t.Fatal("a miss is not a decode failure")
+	}
+}
+
+func TestLoadCorruptObjectCountsDecodeFailure(t *testing.T) {
+	loop, remote, s := newStore(3)
+	remote.Put(tcache.Key(world.ChunkPos{X: 1, Z: 1}), []byte("garbage"), nil)
+	loop.Run()
+	ok := true
+	s.Load(world.ChunkPos{X: 1, Z: 1}, func(_ *world.Chunk, o bool) { ok = o })
+	loop.Run()
+	if ok {
+		t.Fatal("corrupt object reported ok")
+	}
+	if s.DecodeFailures != 1 {
+		t.Fatalf("decode failures = %d, want 1", s.DecodeFailures)
+	}
+}
+
+func TestObserveAvatarsPrefetches(t *testing.T) {
+	loop, remote, s := newStore(4)
+	// Seed remote storage with chunks around two avatars.
+	for cx := -10; cx <= 10; cx++ {
+		for cz := -10; cz <= 10; cz++ {
+			c := terrain.Flat{}.Generate(world.ChunkPos{X: cx, Z: cz})
+			remote.Put(tcache.Key(c.Pos), c.Encode(), nil)
+		}
+	}
+	loop.Run()
+	s.ObserveAvatars([]world.BlockPos{{X: 0, Z: 0}, {X: 64, Z: 64}}, 48)
+	loop.RunUntil(loop.Now() + 10*time.Second)
+	if got := s.Cache().PrefetchIssued.Value(); got == 0 {
+		t.Fatal("no prefetches issued")
+	}
+	// Chunks near an avatar must now be cache-local.
+	if !s.Cache().Contains(world.ChunkPos{X: 1, Z: 1}) {
+		t.Fatal("nearby chunk not prefetched into the cache")
+	}
+	// Duplicate positions across the two avatars must not double-fetch:
+	// issued prefetches ≤ union of the two neighborhoods.
+	union := make(map[world.ChunkPos]bool)
+	for _, p := range []world.BlockPos{{X: 0, Z: 0}, {X: 64, Z: 64}} {
+		for _, cp := range world.ChunksWithin(p, 48) {
+			union[cp] = true
+		}
+	}
+	if got := int(s.Cache().PrefetchIssued.Value()); got > len(union) {
+		t.Fatalf("prefetched %d chunks, union is %d", got, len(union))
+	}
+}
+
+func TestStoreIsWriteBack(t *testing.T) {
+	loop, remote, s := newStore(5)
+	s.Store(terrain.Flat{}.Generate(world.ChunkPos{X: 7, Z: 7}))
+	loop.Run()
+	if remote.Writes.Value() != 0 {
+		t.Fatal("Store must go through the write-back cache, not straight to remote")
+	}
+	s.Cache().Flush()
+	loop.Run()
+	if remote.Writes.Value() != 1 {
+		t.Fatalf("remote writes after flush = %d, want 1", remote.Writes.Value())
+	}
+}

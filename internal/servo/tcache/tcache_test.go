@@ -1,0 +1,260 @@
+package tcache
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"servo/internal/blob"
+	"servo/internal/sim"
+	"servo/internal/world"
+)
+
+func newFixture(seed int64) (*sim.Loop, *blob.Store, *Cache) {
+	loop := sim.NewLoop(seed)
+	remote := blob.NewStore(loop, blob.TierPremium)
+	c := New(loop, remote, DefaultConfig())
+	return loop, remote, c
+}
+
+func seedRemote(loop *sim.Loop, remote *blob.Store, pos world.ChunkPos, data []byte) {
+	remote.Put(Key(pos), data, nil)
+	loop.Run()
+}
+
+func TestGetMissFetchesFromRemoteAndCaches(t *testing.T) {
+	loop, remote, c := newFixture(1)
+	pos := world.ChunkPos{X: 1, Z: 2}
+	seedRemote(loop, remote, pos, []byte("chunkdata"))
+
+	var got []byte
+	c.Get(pos, func(data []byte, err error) {
+		if err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		got = data
+	})
+	loop.Run()
+	if string(got) != "chunkdata" {
+		t.Fatalf("got %q", got)
+	}
+	if c.Misses.Value() != 1 || c.Hits.Value() != 0 {
+		t.Fatalf("hits/misses = %d/%d, want 0/1", c.Hits.Value(), c.Misses.Value())
+	}
+	if !c.Contains(pos) {
+		t.Fatal("fetched chunk not cached locally")
+	}
+
+	// Second read must hit locally.
+	c.Get(pos, func([]byte, error) {})
+	loop.Run()
+	if c.Hits.Value() != 1 {
+		t.Fatalf("second read did not hit the cache")
+	}
+}
+
+func TestGetMissingEverywhere(t *testing.T) {
+	loop, _, c := newFixture(1)
+	var gotErr error
+	c.Get(world.ChunkPos{X: 9, Z: 9}, func(_ []byte, err error) { gotErr = err })
+	loop.Run()
+	if !errors.Is(gotErr, blob.ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", gotErr)
+	}
+}
+
+func TestPrefetchHidesRemoteLatency(t *testing.T) {
+	loop, remote, c := newFixture(2)
+	pos := world.ChunkPos{X: 5, Z: 5}
+	seedRemote(loop, remote, pos, []byte("data"))
+
+	c.Prefetch([]world.ChunkPos{pos})
+	loop.RunUntil(loop.Now() + 5*time.Second) // let the prefetch land
+
+	start := loop.Now()
+	var latency time.Duration
+	c.Get(pos, func([]byte, error) { latency = loop.Now() - start })
+	loop.Run()
+	if latency > 20*time.Millisecond {
+		t.Fatalf("post-prefetch read took %v, want local-class latency", latency)
+	}
+	if c.PrefetchIssued.Value() != 1 {
+		t.Fatalf("prefetches = %d, want 1", c.PrefetchIssued.Value())
+	}
+}
+
+func TestPrefetchSkipsCachedAndInflight(t *testing.T) {
+	loop, remote, c := newFixture(3)
+	pos := world.ChunkPos{X: 1, Z: 1}
+	seedRemote(loop, remote, pos, []byte("d"))
+	c.Prefetch([]world.ChunkPos{pos})
+	c.Prefetch([]world.ChunkPos{pos}) // in flight: must not duplicate
+	loop.Run()
+	c.Prefetch([]world.ChunkPos{pos}) // cached: must not refetch
+	loop.Run()
+	if got := c.PrefetchIssued.Value(); got != 1 {
+		t.Fatalf("prefetch issued %d remote reads, want 1", got)
+	}
+	if remote.Reads.Value() != 1 {
+		t.Fatalf("remote reads = %d, want 1", remote.Reads.Value())
+	}
+}
+
+func TestConcurrentGetsCoalesce(t *testing.T) {
+	loop, remote, c := newFixture(4)
+	pos := world.ChunkPos{X: 2, Z: 3}
+	seedRemote(loop, remote, pos, []byte("d"))
+	results := 0
+	for i := 0; i < 5; i++ {
+		c.Get(pos, func(data []byte, err error) {
+			if err != nil || string(data) != "d" {
+				t.Errorf("bad result: %q %v", data, err)
+			}
+			results++
+		})
+	}
+	loop.Run()
+	if results != 5 {
+		t.Fatalf("callbacks = %d, want 5", results)
+	}
+	if remote.Reads.Value() != 1 {
+		t.Fatalf("remote reads = %d, want 1 (coalesced)", remote.Reads.Value())
+	}
+}
+
+func TestPutIsWriteBack(t *testing.T) {
+	loop, remote, c := newFixture(5)
+	pos := world.ChunkPos{X: 7, Z: 7}
+	c.Put(pos, []byte("new"))
+	if remote.Writes.Value() != 0 {
+		t.Fatal("Put must not write through synchronously")
+	}
+	if c.DirtyLen() != 1 {
+		t.Fatalf("dirty = %d, want 1", c.DirtyLen())
+	}
+	c.Flush()
+	loop.Run()
+	if !remote.Exists(Key(pos)) {
+		t.Fatal("flush did not persist the chunk")
+	}
+	if c.DirtyLen() != 0 {
+		t.Fatal("flush did not clear dirty set")
+	}
+}
+
+func TestStartFlusherPeriodicWriteBack(t *testing.T) {
+	loop, remote, c := newFixture(6)
+	c.StartFlusher()
+	c.StartFlusher() // idempotent
+	c.Put(world.ChunkPos{X: 1, Z: 0}, []byte("a"))
+	loop.RunUntil(45 * time.Second) // one flush interval (30s) passes
+	if remote.Writes.Value() != 1 {
+		t.Fatalf("remote writes = %d, want 1 after first flush", remote.Writes.Value())
+	}
+	// Nothing new dirty: the next interval must not rewrite.
+	loop.RunUntil(100 * time.Second)
+	if remote.Writes.Value() != 1 {
+		t.Fatalf("idle flusher wrote %d times, want 1", remote.Writes.Value())
+	}
+}
+
+func TestLocalWriteWinsOverRacingFetch(t *testing.T) {
+	loop, remote, c := newFixture(7)
+	pos := world.ChunkPos{X: 4, Z: 4}
+	seedRemote(loop, remote, pos, []byte("stale"))
+	// Start a fetch, then write locally before it completes.
+	var got []byte
+	c.Get(pos, func(data []byte, err error) { got = data })
+	c.Put(pos, []byte("fresh"))
+	loop.Run()
+	if string(got) != "fresh" {
+		t.Fatalf("racing fetch returned %q, want the newer local write", got)
+	}
+	// And the cache must retain the local version.
+	var second []byte
+	c.Get(pos, func(data []byte, _ error) { second = data })
+	loop.Run()
+	if string(second) != "fresh" {
+		t.Fatalf("cache kept stale data %q", second)
+	}
+}
+
+func TestRetrievalLatencyRecorded(t *testing.T) {
+	loop, remote, c := newFixture(8)
+	pos := world.ChunkPos{X: 0, Z: 1}
+	seedRemote(loop, remote, pos, []byte("d"))
+	c.Get(pos, func([]byte, error) {})
+	loop.Run()
+	c.Get(pos, func([]byte, error) {})
+	loop.Run()
+	if c.RetrievalLatency.Len() != 2 {
+		t.Fatalf("latency samples = %d, want 2", c.RetrievalLatency.Len())
+	}
+	// The miss (first) must be slower than the hit (second).
+	vals := c.RetrievalLatency.Values()
+	if vals[0] <= vals[1] {
+		t.Fatalf("miss latency %v not above hit latency %v", vals[0], vals[1])
+	}
+}
+
+func TestCacheReducesTailLatency(t *testing.T) {
+	// The headline §IV-F result: with prefetching, the p99.9 retrieval
+	// latency drops far below the uncached remote p99.9.
+	loop := sim.NewLoop(9)
+	remote := blob.NewStore(loop, blob.TierPremium)
+	// Populate 3000 chunks remotely.
+	var positions []world.ChunkPos
+	for i := 0; i < 3000; i++ {
+		pos := world.ChunkPos{X: i % 100, Z: i / 100}
+		positions = append(positions, pos)
+		remote.Put(Key(pos), []byte("chunk"), nil)
+	}
+	loop.Run()
+
+	uncached := blob.NewStore(loop, blob.TierPremium)
+	for _, pos := range positions {
+		uncached.Put(Key(pos), []byte("chunk"), nil)
+	}
+	loop.Run()
+
+	c := New(loop, remote, DefaultConfig())
+	var cachedLat, rawLat []time.Duration
+	for _, pos := range positions {
+		// Prefetch a little ahead of the read stream, as the real
+		// policy does, then read with a delay that gives prefetch
+		// time to land.
+		pos := pos
+		c.Prefetch([]world.ChunkPos{pos})
+		loop.After(2*time.Second, func() {
+			start := loop.Now()
+			c.Get(pos, func([]byte, error) { cachedLat = append(cachedLat, loop.Now()-start) })
+			rawStart := loop.Now()
+			uncached.Get(Key(pos), func([]byte, error) { rawLat = append(rawLat, loop.Now()-rawStart) })
+		})
+		loop.RunUntil(loop.Now() + 50*time.Millisecond)
+	}
+	loop.Run()
+
+	p999 := func(lats []time.Duration) time.Duration {
+		s := sortedCopy(lats)
+		return s[len(s)*999/1000]
+	}
+	cp, rp := p999(cachedLat), p999(rawLat)
+	if cp >= rp/3 {
+		t.Fatalf("cached p99.9 = %v, uncached = %v: cache must cut the tail ≥ 3×", cp, rp)
+	}
+	if cp > 40*time.Millisecond {
+		t.Fatalf("cached p99.9 = %v, want ≤ ~34ms (paper anchor)", cp)
+	}
+}
+
+func sortedCopy(in []time.Duration) []time.Duration {
+	out := make([]time.Duration, len(in))
+	copy(out, in)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

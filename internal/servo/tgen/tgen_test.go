@@ -1,0 +1,126 @@
+package tgen
+
+import (
+	"testing"
+	"time"
+
+	"servo/internal/faas"
+	"servo/internal/sim"
+	"servo/internal/terrain"
+	"servo/internal/world"
+)
+
+func fastFnConfig() faas.Config {
+	return faas.Config{
+		MemoryMB:      faas.FullVCPUMemMB,
+		ColdStart:     sim.Constant(0),
+		NetRTT:        sim.Constant(10 * time.Millisecond),
+		KeepAlive:     sim.Constant(time.Hour),
+		NsPerWorkUnit: time.Microsecond,
+		ParallelFrac:  0.85,
+	}
+}
+
+func TestRequestGeneratesCorrectChunk(t *testing.T) {
+	loop := sim.NewLoop(1)
+	p := faas.NewPlatform(loop)
+	gen := terrain.Default{Seed: 42}
+	Register(p, gen, fastFnConfig())
+	b := NewBackend(p, FunctionName)
+
+	pos := world.ChunkPos{X: 3, Z: -4}
+	b.Request(pos)
+	loop.Run()
+	got := b.Drain()
+	if len(got) != 1 {
+		t.Fatalf("drained %d chunks, want 1", len(got))
+	}
+	// Bit-identical to local generation (requirement R4).
+	if !got[0].Equal(gen.Generate(pos)) {
+		t.Fatal("function-generated chunk differs from local generation")
+	}
+	if b.Failures != 0 {
+		t.Fatalf("failures = %d", b.Failures)
+	}
+}
+
+func TestRequestDeduplicatesInflight(t *testing.T) {
+	loop := sim.NewLoop(2)
+	p := faas.NewPlatform(loop)
+	fn := Register(p, terrain.Flat{}, fastFnConfig())
+	b := NewBackend(p, FunctionName)
+	pos := world.ChunkPos{X: 1, Z: 1}
+	b.Request(pos)
+	b.Request(pos)
+	b.Request(pos)
+	if b.Inflight() != 1 {
+		t.Fatalf("inflight = %d, want 1", b.Inflight())
+	}
+	loop.Run()
+	if fn.Invocations.Count() != 1 {
+		t.Fatalf("invocations = %d, want 1", fn.Invocations.Count())
+	}
+	if len(b.Drain()) != 1 {
+		t.Fatal("expected exactly one completed chunk")
+	}
+}
+
+func TestConcurrentFanOut(t *testing.T) {
+	// §III-D: "all generation requests can be invoked concurrently" — N
+	// requests complete in roughly the time of one, not N.
+	loop := sim.NewLoop(3)
+	p := faas.NewPlatform(loop)
+	cfg := fastFnConfig()
+	cfg.NsPerWorkUnit = 40 * time.Microsecond // ~512ms per default chunk
+	Register(p, terrain.Default{Seed: 1}, cfg)
+	b := NewBackend(p, FunctionName)
+	start := loop.Now()
+	for i := 0; i < 50; i++ {
+		b.Request(world.ChunkPos{X: i, Z: 0})
+	}
+	loop.Run()
+	elapsed := loop.Now() - start
+	if got := len(b.Drain()); got != 50 {
+		t.Fatalf("completed %d/50", got)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("50 concurrent generations took %v, want ~one generation time", elapsed)
+	}
+}
+
+func TestUnknownFunctionCountsFailure(t *testing.T) {
+	loop := sim.NewLoop(4)
+	p := faas.NewPlatform(loop)
+	b := NewBackend(p, "missing")
+	b.Request(world.ChunkPos{})
+	loop.Run()
+	if b.Failures != 1 {
+		t.Fatalf("failures = %d, want 1", b.Failures)
+	}
+	if len(b.Drain()) != 0 {
+		t.Fatal("failed request must not produce a chunk")
+	}
+}
+
+func TestRequestCodec(t *testing.T) {
+	for _, pos := range []world.ChunkPos{{X: 0, Z: 0}, {X: -100, Z: 100}, {X: 1 << 20, Z: -(1 << 20)}} {
+		got, err := DecodeRequest(EncodeRequest(pos))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != pos {
+			t.Fatalf("round trip %v → %v", pos, got)
+		}
+	}
+	if _, err := DecodeRequest([]byte{1}); err == nil {
+		t.Fatal("truncated request accepted")
+	}
+}
+
+func TestHandlerRejectsGarbage(t *testing.T) {
+	h := NewHandler(terrain.Flat{})
+	resp, work := h([]byte{1, 2})
+	if resp != nil || work != 1 {
+		t.Fatal("handler must fail cleanly on truncated input")
+	}
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RealClock drives the same Clock interface from the wall clock. Callbacks
+// run on background timers; a mutex serialises access to the random source
+// so that game code written for the single-threaded virtual Loop stays
+// race-free when run in real time.
+type RealClock struct {
+	epoch time.Time
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	wg      sync.WaitGroup
+	quit    chan struct{}
+	quitErr sync.Once
+}
+
+var _ Clock = (*RealClock)(nil)
+
+// NewRealClock returns a wall-clock-backed Clock whose epoch is the moment
+// of the call.
+func NewRealClock(seed int64) *RealClock {
+	return &RealClock{
+		epoch: time.Now(),
+		rng:   rand.New(rand.NewSource(seed)),
+		quit:  make(chan struct{}),
+	}
+}
+
+// Now returns the wall-clock duration since the clock's epoch.
+func (c *RealClock) Now() Time { return time.Since(c.epoch) }
+
+// RNG returns the shared random source. Callers must hold no other locks;
+// the source itself is protected by the clock's internal mutex only for the
+// duration of each scheduled callback, so concurrent external use requires
+// the caller's own synchronisation.
+func (c *RealClock) RNG() *rand.Rand { return c.rng }
+
+// Lock acquires the clock's callback mutex. Exported so that transports
+// delivering external input (e.g. network messages) can serialise with
+// scheduled callbacks.
+func (c *RealClock) Lock() { c.mu.Lock() }
+
+// Unlock releases the callback mutex.
+func (c *RealClock) Unlock() { c.mu.Unlock() }
+
+// After runs fn on a background timer d from now. Callbacks are serialised
+// with each other and with external input delivered under Lock/Unlock.
+func (c *RealClock) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	t := time.NewTimer(d)
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		select {
+		case <-t.C:
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			select {
+			case <-c.quit:
+				return
+			default:
+			}
+			fn()
+		case <-c.quit:
+			t.Stop()
+		}
+	}()
+}
+
+// Close stops delivering callbacks and waits for in-flight timers to drain.
+func (c *RealClock) Close() {
+	c.quitErr.Do(func() { close(c.quit) })
+	c.wg.Wait()
+}

@@ -1,0 +1,181 @@
+// Package workload implements the player-behavior generators of the
+// paper's experiment matrix (Table I) and the random-behavior action mix
+// (Table II):
+//
+//   - A: players take only move actions within a bounded area (used for
+//     the simulated-construct experiments, so terrain work is minimal);
+//   - S(x): players move away from spawn in a straight line at x blocks
+//     per second, each in a different direction (star pattern), stressing
+//     terrain generation;
+//   - Sinc: the star pattern with speed increasing by one block/s every
+//     200 seconds (Fig. 10's workload);
+//   - R: the randomized behavior of Table II (40% move, 30% block op,
+//     20% stand still, 5% chat, 5% inventory).
+//
+// Behaviors are deterministic given the server's seeded random source.
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"servo/internal/mve"
+	"servo/internal/world"
+)
+
+// decisionPeriod is how many ticks a random-behavior decision lasts
+// before the player rolls a new action (1 s at 20 Hz).
+const decisionPeriod = 20
+
+// BoundedMove is behavior A: move to random destinations within Radius
+// blocks of spawn, at 1–8 blocks/s.
+type BoundedMove struct {
+	Radius int
+	ticks  int
+}
+
+var _ mve.Behavior = (*BoundedMove)(nil)
+
+// Actions implements mve.Behavior.
+func (b *BoundedMove) Actions(r *rand.Rand, p *mve.Player, _ *mve.Server) []mve.Action {
+	b.ticks++
+	if b.ticks%decisionPeriod != 1 {
+		return nil
+	}
+	radius := float64(b.Radius)
+	if radius <= 0 {
+		radius = 40
+	}
+	x := (r.Float64()*2 - 1) * radius
+	z := (r.Float64()*2 - 1) * radius
+	speed := 1 + r.Float64()*7
+	return []mve.Action{mve.MoveTo(x, z, speed)}
+}
+
+// Star is behavior S(x): walk away from spawn at Speed blocks/s along a
+// fixed direction. Direction is assigned per player (by player id) so a
+// group of players fans out in a star shape.
+type Star struct {
+	Speed float64
+	// RampEvery, if positive, increases speed by 1 block/s each period
+	// (behavior Sinc; the paper uses 200 s).
+	RampEvery time.Duration
+
+	initialized bool
+	dirX, dirZ  float64
+	curSpeed    float64
+	start       time.Duration
+	ticks       int
+}
+
+var _ mve.Behavior = (*Star)(nil)
+
+// Actions implements mve.Behavior.
+func (b *Star) Actions(_ *rand.Rand, p *mve.Player, s *mve.Server) []mve.Action {
+	if !b.initialized {
+		b.initialized = true
+		angle := 2 * math.Pi * float64(int(p.ID)%16) / 16
+		b.dirX, b.dirZ = math.Cos(angle), math.Sin(angle)
+		b.curSpeed = b.Speed
+		b.start = s.Clock().Now()
+	}
+	if b.RampEvery > 0 {
+		elapsed := s.Clock().Now() - b.start
+		b.curSpeed = b.Speed + float64(elapsed/b.RampEvery)
+	}
+	b.ticks++
+	if b.ticks%decisionPeriod != 1 {
+		return nil
+	}
+	// Aim far ahead along the ray; re-issued every decision period so a
+	// ramping speed takes effect.
+	const horizon = 1e7
+	return []mve.Action{mve.MoveTo(p.X+b.dirX*horizon, p.Z+b.dirZ*horizon, b.curSpeed)}
+}
+
+// Random is behavior R (Table II). Every decision period the player draws
+// one action from the paper's distribution.
+type Random struct {
+	ticks int
+}
+
+var _ mve.Behavior = (*Random)(nil)
+
+// Table II probabilities.
+const (
+	pMove  = 0.40
+	pBlock = 0.30 // break or place a nearby block
+	pStand = 0.20
+	pChat  = 0.05
+	// Remaining 5%: set inventory to a random item.
+)
+
+// Actions implements mve.Behavior.
+func (b *Random) Actions(r *rand.Rand, p *mve.Player, s *mve.Server) []mve.Action {
+	b.ticks++
+	if b.ticks%decisionPeriod != 1 {
+		return nil
+	}
+	roll := r.Float64()
+	switch {
+	case roll < pMove:
+		// Move to a random destination at 1 to 8 blocks per second.
+		dist := 8 + r.Float64()*56
+		angle := r.Float64() * 2 * math.Pi
+		speed := 1 + r.Float64()*7
+		return []mve.Action{mve.MoveTo(p.X+math.Cos(angle)*dist, p.Z+math.Sin(angle)*dist, speed)}
+	case roll < pMove+pBlock:
+		// Break or place a nearby block.
+		pos := world.BlockPos{
+			X: int(p.X) + r.Intn(9) - 4,
+			Z: int(p.Z) + r.Intn(9) - 4,
+		}
+		pos.Y = s.World().SurfaceY(pos.X, pos.Z)
+		if pos.Y < 0 {
+			pos.Y = 0
+		}
+		if r.Intn(2) == 0 {
+			return []mve.Action{{Kind: mve.ActionBreakBlock, Pos: pos}}
+		}
+		pos.Y++
+		return []mve.Action{{
+			Kind:  mve.ActionPlaceBlock,
+			Pos:   pos,
+			Block: world.Block{ID: world.Stone},
+		}}
+	case roll < pMove+pBlock+pStand:
+		return []mve.Action{{Kind: mve.ActionIdle}}
+	case roll < pMove+pBlock+pStand+pChat:
+		return []mve.Action{{Kind: mve.ActionChat}}
+	default:
+		return []mve.Action{{Kind: mve.ActionSetInventory, Item: uint8(r.Intn(36))}}
+	}
+}
+
+// ForName returns a fresh behavior by its Table I name: "A", "R", "Sinc",
+// or "S<digits>" (e.g. "S3", "S8"). Unknown names return behavior A.
+func ForName(name string) mve.Behavior {
+	switch name {
+	case "A":
+		return &BoundedMove{}
+	case "R":
+		return &Random{}
+	case "Sinc":
+		return &Star{Speed: 1, RampEvery: 200 * time.Second}
+	}
+	if len(name) > 1 && name[0] == 'S' {
+		speed := 0.0
+		for _, ch := range name[1:] {
+			if ch < '0' || ch > '9' {
+				speed = 0
+				break
+			}
+			speed = speed*10 + float64(ch-'0')
+		}
+		if speed > 0 {
+			return &Star{Speed: speed}
+		}
+	}
+	return &BoundedMove{}
+}

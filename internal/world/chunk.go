@@ -1,0 +1,244 @@
+package world
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Chunk is one 16×16×256 column of blocks. Blocks are stored in a flat
+// array indexed by (y, z, x); the zero value of the array is all Air, so a
+// freshly allocated chunk is valid empty space.
+type Chunk struct {
+	Pos    ChunkPos
+	blocks [BlocksPerChunk]Block
+	// Version counts mutations, used by the persistence layer to detect
+	// dirty chunks and by tests to assert copy semantics.
+	Version uint64
+	// GenWork records the number of abstract work units spent generating
+	// this chunk (0 for hand-built chunks); the cost model charges it
+	// when a locally-generated chunk is applied on the game loop.
+	GenWork int
+}
+
+// NewChunk returns an empty (all-air) chunk at pos.
+func NewChunk(pos ChunkPos) *Chunk {
+	return &Chunk{Pos: pos}
+}
+
+func blockIndex(x, y, z int) int {
+	return (y*ChunkSizeZ+z)*ChunkSizeX + x
+}
+
+// At returns the block at chunk-local coordinates. Coordinates outside the
+// chunk bounds return Air.
+func (c *Chunk) At(x, y, z int) Block {
+	if x < 0 || x >= ChunkSizeX || z < 0 || z >= ChunkSizeZ || y < 0 || y >= ChunkSizeY {
+		return Block{}
+	}
+	return c.blocks[blockIndex(x, y, z)]
+}
+
+// Set writes the block at chunk-local coordinates. Out-of-bounds writes are
+// ignored.
+func (c *Chunk) Set(x, y, z int, b Block) {
+	if x < 0 || x >= ChunkSizeX || z < 0 || z >= ChunkSizeZ || y < 0 || y >= ChunkSizeY {
+		return
+	}
+	i := blockIndex(x, y, z)
+	if c.blocks[i] != b {
+		c.blocks[i] = b
+		c.Version++
+	}
+}
+
+// SurfaceY returns the Y coordinate of the highest solid block in the given
+// column, or -1 if the column is empty.
+func (c *Chunk) SurfaceY(x, z int) int {
+	for y := ChunkSizeY - 1; y >= 0; y-- {
+		if c.blocks[blockIndex(x, y, z)].ID.Solid() {
+			return y
+		}
+	}
+	return -1
+}
+
+// NonAirCount returns the number of non-air blocks, a cheap density measure
+// used by tests and the cost model.
+func (c *Chunk) NonAirCount() int {
+	n := 0
+	for _, b := range c.blocks {
+		if !b.IsAir() {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the chunk.
+func (c *Chunk) Clone() *Chunk {
+	out := *c
+	return &out
+}
+
+// Equal reports whether two chunks hold identical block data at the same
+// position (versions and generation metadata are ignored).
+func (c *Chunk) Equal(o *Chunk) bool {
+	return c.Pos == o.Pos && c.blocks == o.blocks
+}
+
+// --- Binary encoding -------------------------------------------------------
+//
+// Format (little-endian):
+//
+//	magic   uint32  = 0x53564f43 ("SVOC")
+//	posX    int32
+//	posZ    int32
+//	palLen  uint16          number of palette entries
+//	palette palLen × uint16 packed Block keys
+//	bits    uint8           index width in bits (1..16)
+//	data    ceil(BlocksPerChunk*bits/8) bytes of packed indices
+//
+// The palette makes typical terrain chunks (a handful of block types)
+// encode in a few kilobytes instead of the raw 128 KiB.
+
+const chunkMagic = 0x53564f43
+
+// ErrBadChunkEncoding is returned by DecodeChunk for malformed input.
+var ErrBadChunkEncoding = errors.New("world: bad chunk encoding")
+
+// bitsFor returns the number of bits needed to index n palette entries.
+func bitsFor(n int) uint {
+	bits := uint(1)
+	for (1 << bits) < n {
+		bits++
+	}
+	return bits
+}
+
+// Encode serialises the chunk to the palette format described above.
+//
+// Palette lookups use a linear scan with a last-hit memo instead of a map:
+// real chunks have tiny palettes (a handful of block types) and long runs
+// of identical blocks, which makes this several times faster than hashing —
+// Encode is the hot path of chunk persistence and the wire protocol.
+func (c *Chunk) Encode() []byte {
+	// Build the palette in first-appearance order for determinism, and
+	// precompute each block's palette index.
+	var palette []uint16
+	indices := make([]uint16, BlocksPerChunk)
+	lastKey := uint16(0xffff)
+	lastIdx := uint16(0)
+	for i := range c.blocks {
+		k := c.blocks[i].key()
+		if k != lastKey {
+			found := -1
+			for j, pk := range palette {
+				if pk == k {
+					found = j
+					break
+				}
+			}
+			if found == -1 {
+				found = len(palette)
+				palette = append(palette, k)
+			}
+			lastKey, lastIdx = k, uint16(found)
+		}
+		indices[i] = lastIdx
+	}
+	bits := bitsFor(len(palette))
+	dataLen := (BlocksPerChunk*int(bits) + 7) / 8
+	out := make([]byte, 0, 4+8+2+2*len(palette)+1+dataLen)
+	out = binary.LittleEndian.AppendUint32(out, chunkMagic)
+	out = binary.LittleEndian.AppendUint32(out, uint32(int32(c.Pos.X)))
+	out = binary.LittleEndian.AppendUint32(out, uint32(int32(c.Pos.Z)))
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(palette)))
+	for _, k := range palette {
+		out = binary.LittleEndian.AppendUint16(out, k)
+	}
+	out = append(out, byte(bits))
+	data := make([]byte, dataLen)
+	var bitPos uint
+	for _, idx := range indices {
+		writeBits(data, bitPos, bits, uint32(idx))
+		bitPos += bits
+	}
+	return append(out, data...)
+}
+
+// DecodeChunk parses a chunk previously produced by Encode.
+func DecodeChunk(buf []byte) (*Chunk, error) {
+	if len(buf) < 15 {
+		return nil, fmt.Errorf("%w: truncated header (%d bytes)", ErrBadChunkEncoding, len(buf))
+	}
+	if binary.LittleEndian.Uint32(buf) != chunkMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadChunkEncoding)
+	}
+	pos := ChunkPos{
+		X: int(int32(binary.LittleEndian.Uint32(buf[4:]))),
+		Z: int(int32(binary.LittleEndian.Uint32(buf[8:]))),
+	}
+	palLen := int(binary.LittleEndian.Uint16(buf[12:]))
+	if palLen == 0 {
+		return nil, fmt.Errorf("%w: empty palette", ErrBadChunkEncoding)
+	}
+	off := 14
+	if len(buf) < off+2*palLen+1 {
+		return nil, fmt.Errorf("%w: truncated palette", ErrBadChunkEncoding)
+	}
+	palette := make([]Block, palLen)
+	for i := range palette {
+		palette[i] = blockFromKey(binary.LittleEndian.Uint16(buf[off:]))
+		off += 2
+	}
+	bits := uint(buf[off])
+	off++
+	if bits == 0 || bits > 16 {
+		return nil, fmt.Errorf("%w: bad index width %d", ErrBadChunkEncoding, bits)
+	}
+	dataLen := (BlocksPerChunk*int(bits) + 7) / 8
+	if len(buf) < off+dataLen {
+		return nil, fmt.Errorf("%w: truncated block data", ErrBadChunkEncoding)
+	}
+	data := buf[off : off+dataLen]
+	c := NewChunk(pos)
+	var bitPos uint
+	for i := 0; i < BlocksPerChunk; i++ {
+		idx := readBits(data, bitPos, bits)
+		bitPos += bits
+		if int(idx) >= palLen {
+			return nil, fmt.Errorf("%w: palette index %d out of range", ErrBadChunkEncoding, idx)
+		}
+		c.blocks[i] = palette[idx]
+	}
+	return c, nil
+}
+
+// writeBits writes the low `bits` bits of v at bit offset pos. Values span
+// at most three bytes (bits ≤ 16), written little-endian within the byte
+// stream.
+func writeBits(data []byte, pos, bits uint, v uint32) {
+	w := uint32(v) << (pos % 8)
+	i := pos / 8
+	data[i] |= byte(w)
+	if bits+pos%8 > 8 {
+		data[i+1] |= byte(w >> 8)
+	}
+	if bits+pos%8 > 16 {
+		data[i+2] |= byte(w >> 16)
+	}
+}
+
+// readBits reads `bits` bits at bit offset pos.
+func readBits(data []byte, pos, bits uint) uint32 {
+	i := pos / 8
+	var v uint32 = uint32(data[i])
+	if i+1 < uint(len(data)) {
+		v |= uint32(data[i+1]) << 8
+	}
+	if i+2 < uint(len(data)) {
+		v |= uint32(data[i+2]) << 16
+	}
+	return (v >> (pos % 8)) & ((1 << bits) - 1)
+}

@@ -1,0 +1,107 @@
+package world
+
+// World is the in-memory view of the (virtually infinite) game world: the
+// set of currently loaded chunks. Loading, generation, and persistence
+// policy live above this type (internal/mve and internal/servo); World only
+// provides storage and block addressing across chunk boundaries.
+type World struct {
+	chunks map[ChunkPos]*Chunk
+	dirty  map[ChunkPos]uint64 // version at last persistence flush
+}
+
+// New returns an empty world.
+func New() *World {
+	return &World{
+		chunks: make(map[ChunkPos]*Chunk),
+		dirty:  make(map[ChunkPos]uint64),
+	}
+}
+
+// Chunk returns the loaded chunk at pos, or nil if not loaded.
+func (w *World) Chunk(pos ChunkPos) *Chunk {
+	return w.chunks[pos]
+}
+
+// AddChunk inserts (or replaces) a chunk. The chunk is considered clean at
+// its current version.
+func (w *World) AddChunk(c *Chunk) {
+	w.chunks[c.Pos] = c
+	w.dirty[c.Pos] = c.Version
+}
+
+// RemoveChunk unloads the chunk at pos and returns it (nil if not loaded).
+func (w *World) RemoveChunk(pos ChunkPos) *Chunk {
+	c := w.chunks[pos]
+	delete(w.chunks, pos)
+	delete(w.dirty, pos)
+	return c
+}
+
+// Loaded reports whether the chunk at pos is in memory.
+func (w *World) Loaded(pos ChunkPos) bool {
+	_, ok := w.chunks[pos]
+	return ok
+}
+
+// LoadedCount returns the number of chunks currently in memory.
+func (w *World) LoadedCount() int { return len(w.chunks) }
+
+// LoadedChunks returns the positions of all loaded chunks (unordered).
+func (w *World) LoadedChunks() []ChunkPos {
+	out := make([]ChunkPos, 0, len(w.chunks))
+	for p := range w.chunks {
+		out = append(out, p)
+	}
+	return out
+}
+
+// BlockAt returns the block at an absolute position. Unloaded chunks and
+// out-of-range Y read as Air.
+func (w *World) BlockAt(p BlockPos) Block {
+	c := w.chunks[p.Chunk()]
+	if c == nil {
+		return Block{}
+	}
+	return c.At(floorMod(p.X, ChunkSizeX), p.Y, floorMod(p.Z, ChunkSizeZ))
+}
+
+// SetBlockAt writes the block at an absolute position. It reports whether
+// the containing chunk was loaded (and hence whether the write happened).
+func (w *World) SetBlockAt(p BlockPos, b Block) bool {
+	c := w.chunks[p.Chunk()]
+	if c == nil {
+		return false
+	}
+	c.Set(floorMod(p.X, ChunkSizeX), p.Y, floorMod(p.Z, ChunkSizeZ), b)
+	return true
+}
+
+// SurfaceY returns the height of the terrain surface at (x, z), or -1 if
+// the chunk is not loaded or the column is empty.
+func (w *World) SurfaceY(x, z int) int {
+	p := BlockPos{X: x, Z: z}
+	c := w.chunks[p.Chunk()]
+	if c == nil {
+		return -1
+	}
+	return c.SurfaceY(floorMod(x, ChunkSizeX), floorMod(z, ChunkSizeZ))
+}
+
+// DirtyChunks returns the chunks modified since their last MarkClean, the
+// set the persistence layer must flush.
+func (w *World) DirtyChunks() []*Chunk {
+	var out []*Chunk
+	for pos, c := range w.chunks {
+		if c.Version != w.dirty[pos] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// MarkClean records that the chunk's current version has been persisted.
+func (w *World) MarkClean(c *Chunk) {
+	if w.chunks[c.Pos] == c {
+		w.dirty[c.Pos] = c.Version
+	}
+}

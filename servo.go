@@ -1,0 +1,304 @@
+// Package servo is the public API of the Servo reproduction: a serverless
+// backend architecture for modifiable virtual environments (MVEs), after
+// Donkervliet et al., "Servo: Increasing the Scalability of Modifiable
+// Virtual Environments Using Serverless Computing", ICDCS 2023.
+//
+// The library bundles a complete MVE substrate (voxel world, 20 Hz game
+// loop, players, procedural terrain, redstone-style simulated constructs),
+// a simulated serverless platform (FaaS with cold starts and
+// memory-proportional compute; blob storage with realistic latency tails),
+// and Servo's three contributions on top:
+//
+//   - speculative offloading of simulated constructs to functions, with
+//     logical-timestamp invalidation and loop detection (§III-C);
+//   - serverless terrain generation with unbounded fan-out (§III-D);
+//   - cached remote state storage with distance pre-fetching (§III-E).
+//
+// # Quick start
+//
+//	inst := servo.NewInstance(servo.Config{Seed: 1, WorldType: "flat", Servo: servo.AllServerless()})
+//	inst.SpawnConstruct(servo.NewClockCircuit(), servo.At(4, 5, 4))
+//	inst.Connect("alice", servo.BehaviorRandom)
+//	inst.Run(5 * time.Minute)
+//	fmt.Println(inst.TickStats())
+//
+// Instances run on a deterministic virtual clock by default (experiments
+// complete in milliseconds); pass RealTime to run against the wall clock
+// for interactive use (see cmd/servo-server).
+package servo
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"servo/internal/blob"
+	"servo/internal/core"
+	"servo/internal/experiment"
+	"servo/internal/metrics"
+	"servo/internal/mve"
+	"servo/internal/sc"
+	"servo/internal/sim"
+	"servo/internal/workload"
+	"servo/internal/world"
+)
+
+// Profile selects the server cost/behaviour profile of the systems the
+// paper compares.
+type Profile = mve.Profile
+
+// Profiles.
+const (
+	Opencraft    = mve.ProfileOpencraft
+	Minecraft    = mve.ProfileMinecraft
+	ServoProfile = mve.ProfileServo
+)
+
+// Serverless toggles Servo's three serverless components independently,
+// mirroring the L/S component matrix of the paper's Table I.
+type Serverless struct {
+	Constructs bool // speculative SC offloading (§III-C)
+	Terrain    bool // serverless terrain generation (§III-D)
+	Storage    bool // cached remote state storage (§III-E)
+}
+
+// AllServerless enables every Servo component.
+func AllServerless() Serverless {
+	return Serverless{Constructs: true, Terrain: true, Storage: true}
+}
+
+// Config configures an Instance.
+type Config struct {
+	// Seed makes the instance deterministic. Zero means seed 1.
+	Seed int64
+	// WorldType is "flat" or "default" (procedurally generated terrain).
+	WorldType string
+	// Profile selects the cost profile; zero means the Servo profile.
+	Profile Profile
+	// Servo selects which backend components run serverlessly.
+	Servo Serverless
+	// ViewDistance in blocks (0 → 128, the paper's default).
+	ViewDistance int
+	// RealTime runs the instance on the wall clock instead of virtual
+	// time. Run then blocks for real durations.
+	RealTime bool
+}
+
+// Pos is a block position in the world.
+type Pos = world.BlockPos
+
+// At builds a block position.
+func At(x, y, z int) Pos { return Pos{X: x, Y: y, Z: z} }
+
+// Construct is a simulated construct: a grid of stateful circuit blocks.
+type Construct = sc.Construct
+
+// NewClockCircuit returns a small oscillating clock circuit, the canonical
+// looping construct.
+func NewClockCircuit() *Construct { return sc.NewClock(3, 2) }
+
+// NewLampBank returns a clock-driven wall of lamps.
+func NewLampBank(rows, cols int) *Construct { return sc.NewLampBank(rows, cols) }
+
+// NewConstructSized returns an active construct with exactly the given
+// number of blocks (≥ 12).
+func NewConstructSized(blocks int) *Construct { return sc.BuildSized(blocks) }
+
+// Behavior names the paper's player behaviors (Table I).
+type Behavior string
+
+// Behaviors.
+const (
+	BehaviorBounded Behavior = "A"    // move within a bounded area
+	BehaviorRandom  Behavior = "R"    // Table II random action mix
+	BehaviorStar3   Behavior = "S3"   // walk away from spawn at 3 blocks/s
+	BehaviorStar8   Behavior = "S8"   // walk away from spawn at 8 blocks/s
+	BehaviorSinc    Behavior = "Sinc" // star walk with increasing speed
+)
+
+// Player is a connected player session.
+type Player = mve.Player
+
+// TickStats summarises an instance's tick-duration distribution.
+type TickStats struct {
+	Box metrics.Boxplot
+	// OverBudget is the fraction of ticks above the 50 ms QoS bound.
+	OverBudget float64
+	// SupportsQoS is the paper's criterion: OverBudget < 5%.
+	SupportsQoS bool
+}
+
+// String implements fmt.Stringer.
+func (t TickStats) String() string {
+	return fmt.Sprintf("%s over50ms=%.2f%% qos=%v", t.Box, t.OverBudget*100, t.SupportsQoS)
+}
+
+// Instance is one running MVE world: a server plus its (optional)
+// serverless backend.
+type Instance struct {
+	cfg   Config
+	loop  *sim.Loop      // virtual-time driver (nil in real time)
+	rtc   *sim.RealClock // wall-clock driver (nil in virtual time)
+	sys   *core.System
+	stats *metrics.Sample
+}
+
+// NewInstance assembles and starts an instance.
+func NewInstance(cfg Config) *Instance {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	inst := &Instance{cfg: cfg}
+	var clock sim.Clock
+	if cfg.RealTime {
+		inst.rtc = sim.NewRealClock(cfg.Seed)
+		clock = inst.rtc
+	} else {
+		inst.loop = sim.NewLoop(cfg.Seed)
+		clock = inst.loop
+	}
+	inst.sys = core.New(clock, core.Config{
+		Seed:         cfg.Seed,
+		WorldType:    cfg.WorldType,
+		Profile:      cfg.Profile,
+		ViewDistance: cfg.ViewDistance,
+		ServerlessSC: cfg.Servo.Constructs,
+		ServerlessTG: cfg.Servo.Terrain,
+		ServerlessRS: cfg.Servo.Storage,
+	})
+	inst.sys.Server.Start()
+	return inst
+}
+
+// Server exposes the underlying game server for advanced use.
+func (i *Instance) Server() *mve.Server { return i.sys.Server }
+
+// System exposes the assembled backend (FaaS platform, functions, storage
+// stack) for metrics inspection.
+func (i *Instance) System() *core.System { return i.sys }
+
+// Connect joins a player with a named behavior ("" for an idle player).
+func (i *Instance) Connect(name string, b Behavior) *Player {
+	if i.rtc != nil {
+		i.rtc.Lock()
+		defer i.rtc.Unlock()
+	}
+	var behavior mve.Behavior
+	if b != "" {
+		behavior = workload.ForName(string(b))
+	}
+	return i.sys.Server.Connect(name, behavior)
+}
+
+// ConnectBehavior joins a player driven by a custom mve.Behavior
+// implementation (e.g. a network-fed action queue; see cmd/servo-server).
+func (i *Instance) ConnectBehavior(name string, b mve.Behavior) *Player {
+	if i.rtc != nil {
+		i.rtc.Lock()
+		defer i.rtc.Unlock()
+	}
+	return i.sys.Server.Connect(name, b)
+}
+
+// Locked runs fn serialised with the game loop. In virtual time this is a
+// plain call (the loop is single-threaded); in real time it holds the
+// clock's callback lock, so fn may safely touch server state.
+func (i *Instance) Locked(fn func()) {
+	if i.rtc != nil {
+		i.rtc.Lock()
+		defer i.rtc.Unlock()
+	}
+	fn()
+}
+
+// Disconnect removes a player.
+func (i *Instance) Disconnect(p *Player) {
+	if i.rtc != nil {
+		i.rtc.Lock()
+		defer i.rtc.Unlock()
+	}
+	i.sys.Server.Disconnect(p.ID)
+}
+
+// SpawnConstruct activates a construct anchored at pos and returns its id.
+func (i *Instance) SpawnConstruct(c *Construct, pos Pos) uint64 {
+	if i.rtc != nil {
+		i.rtc.Lock()
+		defer i.rtc.Unlock()
+	}
+	return i.sys.Server.SpawnConstruct(c, pos)
+}
+
+// Run advances the instance by d: instantaneous in virtual time, blocking
+// in real time.
+func (i *Instance) Run(d time.Duration) {
+	if i.loop != nil {
+		i.loop.RunUntil(i.loop.Now() + d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// Now returns the instance's current (virtual or wall) time.
+func (i *Instance) Now() time.Duration {
+	if i.loop != nil {
+		return i.loop.Now()
+	}
+	return i.rtc.Now()
+}
+
+// Stop halts the game loop.
+func (i *Instance) Stop() {
+	if i.rtc != nil {
+		i.rtc.Lock()
+		i.sys.Server.Stop()
+		i.rtc.Unlock()
+		i.rtc.Close()
+		return
+	}
+	i.sys.Server.Stop()
+}
+
+// TickStats summarises the tick-duration distribution so far.
+func (i *Instance) TickStats() TickStats {
+	s := i.sys.Server.TickDurations
+	over := s.FracAbove(50 * time.Millisecond)
+	return TickStats{Box: s.Box(), OverBudget: over, SupportsQoS: over < 0.05}
+}
+
+// ResetStats clears accumulated tick samples (e.g. after a warm-up).
+func (i *Instance) ResetStats() {
+	i.sys.Server.TickDurations = metrics.NewSample(4096)
+}
+
+// ViewMargin returns the distance from the closest player to the nearest
+// missing terrain (the Fig. 10 QoS metric; view distance = perfect).
+func (i *Instance) ViewMargin() int { return i.sys.Server.MinViewMargin() }
+
+// StorageTier names a storage tier for Experiments.
+type StorageTier = blob.Tier
+
+// Experiment options and runners, re-exported so downstream users can
+// regenerate any paper artifact programmatically.
+type (
+	// ExperimentOptions controls experiment scale and seeding.
+	ExperimentOptions = experiment.Options
+)
+
+// DefaultExperimentOptions returns bench-scale experiment options.
+func DefaultExperimentOptions() ExperimentOptions { return experiment.DefaultOptions() }
+
+// RunExperiment runs one or more named experiments (comma-separated; see
+// ListExperiments) writing the reports to w.
+func RunExperiment(names string, opt ExperimentOptions, w io.Writer) error {
+	return experiment.RunByName(names, opt, w)
+}
+
+// ListExperiments returns the available experiment names and descriptions.
+func ListExperiments() map[string]string {
+	out := make(map[string]string)
+	for _, r := range experiment.Runners() {
+		out[r.Name] = r.Description
+	}
+	return out
+}

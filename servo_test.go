@@ -1,0 +1,121 @@
+package servo
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestInstanceLifecycle(t *testing.T) {
+	inst := NewInstance(Config{Seed: 3, WorldType: "flat", Servo: AllServerless()})
+	defer inst.Stop()
+	inst.SpawnConstruct(NewClockCircuit(), At(8, 5, 8))
+	p := inst.Connect("alice", BehaviorRandom)
+	if p == nil || p.Name != "alice" {
+		t.Fatal("connect failed")
+	}
+	inst.Run(30 * time.Second)
+	if inst.Now() < 30*time.Second {
+		t.Fatalf("virtual time did not advance: %v", inst.Now())
+	}
+	stats := inst.TickStats()
+	if stats.Box.N == 0 {
+		t.Fatal("no tick samples")
+	}
+	if !stats.SupportsQoS {
+		t.Fatalf("one random player must not break QoS: %v", stats)
+	}
+	if !strings.Contains(stats.String(), "qos=true") {
+		t.Fatalf("stats string malformed: %s", stats)
+	}
+	inst.Disconnect(p)
+	if inst.Server().PlayerCount() != 0 {
+		t.Fatal("disconnect failed")
+	}
+}
+
+func TestInstanceDefaultsAndReset(t *testing.T) {
+	inst := NewInstance(Config{}) // all defaults: seed 1, Servo profile
+	defer inst.Stop()
+	inst.Run(5 * time.Second)
+	if inst.TickStats().Box.N == 0 {
+		t.Fatal("no ticks with default config")
+	}
+	inst.ResetStats()
+	if inst.TickStats().Box.N != 0 {
+		t.Fatal("ResetStats did not clear samples")
+	}
+	if inst.ViewMargin() <= 0 {
+		t.Fatal("view margin must be positive with no players")
+	}
+}
+
+func TestConstructBuilders(t *testing.T) {
+	if NewClockCircuit().BlockCount() == 0 {
+		t.Fatal("clock circuit empty")
+	}
+	if got := NewConstructSized(252).BlockCount(); got != 252 {
+		t.Fatalf("NewConstructSized(252) = %d blocks", got)
+	}
+	if NewLampBank(3, 8).BlockCount() == 0 {
+		t.Fatal("lamp bank empty")
+	}
+}
+
+func TestBaselineProfileInstance(t *testing.T) {
+	inst := NewInstance(Config{Seed: 5, WorldType: "flat", Profile: Opencraft})
+	defer inst.Stop()
+	if inst.System().Platform != nil {
+		t.Fatal("baseline instance must not create a FaaS platform")
+	}
+	inst.Run(10 * time.Second)
+	if inst.TickStats().Box.N == 0 {
+		t.Fatal("baseline did not tick")
+	}
+}
+
+func TestRealTimeInstance(t *testing.T) {
+	inst := NewInstance(Config{Seed: 9, WorldType: "flat", RealTime: true})
+	p := inst.Connect("rt", BehaviorBounded)
+	inst.Run(300 * time.Millisecond) // wall-clock sleep
+	var n int
+	inst.Locked(func() { n = inst.TickStats().Box.N })
+	if n < 2 {
+		t.Fatalf("real-time instance ticked %d times in 300ms, want ≥ 2", n)
+	}
+	inst.Disconnect(p)
+	inst.Stop()
+}
+
+func TestExperimentAPISurface(t *testing.T) {
+	exps := ListExperiments()
+	for _, name := range []string{"fig1", "fig7a", "fig8", "fig13", "tab1"} {
+		if _, ok := exps[name]; !ok {
+			t.Errorf("experiment %q missing from registry", name)
+		}
+	}
+	var sb strings.Builder
+	if err := RunExperiment("tab2", DefaultExperimentOptions(), &sb); err != nil {
+		t.Fatalf("RunExperiment: %v", err)
+	}
+	if !strings.Contains(sb.String(), "40%") {
+		t.Fatalf("Table II output wrong:\n%s", sb.String())
+	}
+	if err := RunExperiment("bogus", DefaultExperimentOptions(), &sb); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestDeterministicInstances(t *testing.T) {
+	run := func() time.Duration {
+		inst := NewInstance(Config{Seed: 21, WorldType: "flat", Servo: AllServerless()})
+		defer inst.Stop()
+		inst.SpawnConstruct(NewConstructSized(100), At(4, 5, 4))
+		inst.Connect("p", BehaviorRandom)
+		inst.Run(20 * time.Second)
+		return inst.TickStats().Box.P95
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed gave different p95: %v vs %v", a, b)
+	}
+}
