@@ -1,0 +1,32 @@
+# CI entry points for the Servo reproduction. `make ci` is the gate the
+# scenario harness and tier-1 tests run behind.
+
+GO ?= go
+
+.PHONY: ci vet build test race validate sim bench
+
+ci: vet build race validate
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# validate parses and validates every bundled scenario without running it.
+validate:
+	$(GO) run ./cmd/servo-sim validate all
+
+# sim executes every bundled scenario and fails on any assertion failure.
+sim:
+	$(GO) run ./cmd/servo-sim run all
+
+# bench regenerates the paper's tables and figures at bench scale.
+bench:
+	$(GO) run ./cmd/servo-bench -exp all

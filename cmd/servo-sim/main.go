@@ -1,0 +1,146 @@
+// Command servo-sim executes declarative simulation scenarios against the
+// real Servo stack on the deterministic virtual clock.
+//
+// Usage:
+//
+//	servo-sim list                     # bundled scenarios
+//	servo-sim validate all             # check every bundled scenario
+//	servo-sim validate my-scenario.json
+//	servo-sim run all                  # run every bundled scenario
+//	servo-sim run flash-crowd stress-fleet
+//	servo-sim run -v -seed 7 my-scenario.json
+//
+// Arguments to run/validate are bundled scenario names or paths to
+// scenario JSON files (anything containing a path separator or ending in
+// .json is treated as a file). run exits non-zero if any scenario fails
+// its assertions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"servo/internal/scenario"
+)
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  servo-sim list
+  servo-sim validate all | <name|file.json>...
+  servo-sim run [-v] [-seed N] all | <name|file.json>...`)
+}
+
+func run(args []string) int {
+	if len(args) == 0 {
+		usage()
+		return 2
+	}
+	switch args[0] {
+	case "list":
+		return cmdList()
+	case "validate":
+		return cmdValidate(args[1:])
+	case "run":
+		return cmdRun(args[1:])
+	case "-h", "--help", "help":
+		usage()
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "servo-sim: unknown subcommand %q\n", args[0])
+	usage()
+	return 2
+}
+
+func cmdList() int {
+	for _, name := range scenario.Bundled() {
+		spec, err := scenario.LoadBundled(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "servo-sim: %v\n", err)
+			return 1
+		}
+		fmt.Printf("%-22s %s\n", name, spec.Description)
+	}
+	return 0
+}
+
+// resolve expands "all" and loads each argument as a bundled name or a
+// scenario file path. An empty argument list is an error, as the usage
+// text promises: running the whole suite requires the explicit "all".
+func resolve(args []string) ([]*scenario.Spec, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf(`no scenarios given (use "all" for every bundled scenario)`)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = scenario.Bundled()
+	}
+	var specs []*scenario.Spec
+	for _, arg := range args {
+		var (
+			spec *scenario.Spec
+			err  error
+		)
+		if strings.ContainsRune(arg, os.PathSeparator) || strings.HasSuffix(arg, ".json") {
+			spec, err = scenario.ParseFile(arg)
+		} else {
+			spec, err = scenario.LoadBundled(arg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+func cmdValidate(args []string) int {
+	specs, err := resolve(args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "servo-sim: %v\n", err)
+		return 1
+	}
+	for _, spec := range specs {
+		fmt.Printf("ok  %s\n", spec.Name)
+	}
+	return 0
+}
+
+func cmdRun(args []string) int {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	verbose := fs.Bool("v", false, "log per-event progress to stderr")
+	seed := fs.Int64("seed", 0, "override every scenario's seed (0 = use the spec's)")
+	_ = fs.Parse(args)
+	specs, err := resolve(fs.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "servo-sim: %v\n", err)
+		return 1
+	}
+	failed := 0
+	for _, spec := range specs {
+		if *seed != 0 {
+			spec.Seed = *seed
+		}
+		var log io.Writer
+		if *verbose {
+			log = os.Stderr
+		}
+		rep, err := scenario.Run(spec, log)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "servo-sim: %v\n", err)
+			return 1
+		}
+		fmt.Print(rep.Render())
+		if !rep.Pass {
+			failed++
+		}
+	}
+	fmt.Printf("%d scenario(s): %d passed, %d failed\n", len(specs), len(specs)-failed, failed)
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}

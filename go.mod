@@ -1,0 +1,3 @@
+module servo
+
+go 1.24

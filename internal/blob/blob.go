@@ -18,6 +18,7 @@ package blob
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"servo/internal/metrics"
@@ -122,21 +123,63 @@ const (
 // ErrNotFound is returned for reads of missing keys.
 var ErrNotFound = errors.New("blob: object not found")
 
+// ErrInjectedFault is the error delivered by chaos-injected request
+// failures (see Chaos).
+var ErrInjectedFault = errors.New("blob: injected fault")
+
+// Chaos configures storage-level fault injection for scenario testing
+// (internal/scenario): service brownouts (latency inflation) and elevated
+// error rates. A nil Chaos on the store disables injection entirely; the
+// request path then performs no extra random draws, so runs with chaos
+// disabled are bit-identical to runs on a store that never heard of chaos.
+type Chaos struct {
+	// ReadErrorRate / WriteErrorRate are the probabilities in [0, 1] that
+	// an operation fails with ErrInjectedFault after its modelled latency.
+	ReadErrorRate  float64
+	WriteErrorRate float64
+	// LatencyFactor multiplies every operation's latency when > 1
+	// (service brownout).
+	LatencyFactor float64
+	// ExtraLatency, if non-nil, is added to every operation's latency.
+	ExtraLatency sim.Dist
+}
+
+// inflate applies the brownout latency model to one operation.
+func (c *Chaos) inflate(lat time.Duration, rng *rand.Rand) time.Duration {
+	if c.LatencyFactor > 1 {
+		lat = time.Duration(float64(lat) * c.LatencyFactor)
+	}
+	if c.ExtraLatency != nil {
+		lat += c.ExtraLatency.Sample(rng)
+	}
+	return lat
+}
+
+// SetChaos installs (or, with nil, removes) the store's fault injector.
+func (s *Store) SetChaos(c *Chaos) { s.chaos = c }
+
+// Chaos returns the installed fault injector, or nil.
+func (s *Store) Chaos() *Chaos { return s.chaos }
+
 // Store is a simulated object store bound to a clock.
 type Store struct {
 	clock   sim.Clock
 	model   Model
 	tier    Tier
 	objects map[string][]byte
+	chaos   *Chaos
+	putGen  map[string]uint64 // write generations for PutRetrying chains
 
 	// Metrics observable by experiments.
 	ReadLatency  metrics.Sample
 	WriteLatency metrics.Sample
 	Reads        metrics.Counter
 	Writes       metrics.Counter
-	bytesOut     int64
-	peakBytes    int64
-	curBytes     int64
+	// FaultsInjected counts chaos-injected operation failures.
+	FaultsInjected metrics.Counter
+	bytesOut       int64
+	peakBytes      int64
+	curBytes       int64
 }
 
 // NewStore returns an empty store of the given tier.
@@ -146,6 +189,7 @@ func NewStore(clock sim.Clock, tier Tier) *Store {
 		model:   ModelFor(tier),
 		tier:    tier,
 		objects: make(map[string][]byte),
+		putGen:  make(map[string]uint64),
 	}
 }
 
@@ -157,6 +201,16 @@ func (s *Store) Tier() Tier { return s.tier }
 func (s *Store) Get(key string, cb func(data []byte, err error)) {
 	data, ok := s.objects[key]
 	lat := s.model.Read.Sample(s.clock.RNG()) + s.model.transferTime(len(data))
+	if ch := s.chaos; ch != nil {
+		lat = ch.inflate(lat, s.clock.RNG())
+		if ch.ReadErrorRate > 0 && s.clock.RNG().Float64() < ch.ReadErrorRate {
+			s.Reads.Inc()
+			s.ReadLatency.Add(lat)
+			s.FaultsInjected.Inc()
+			s.clock.After(lat, func() { cb(nil, fmt.Errorf("%w: read %q", ErrInjectedFault, key)) })
+			return
+		}
+	}
 	s.Reads.Inc()
 	s.ReadLatency.Add(lat)
 	s.clock.After(lat, func() {
@@ -174,12 +228,40 @@ func (s *Store) Get(key string, cb func(data []byte, err error)) {
 // Put stores a copy of data under key asynchronously; cb (which may be nil)
 // runs after the modelled write latency.
 func (s *Store) Put(key string, data []byte, cb func(err error)) {
+	s.put(key, data, 0, cb)
+}
+
+// put is Put with an optional write generation: a non-zero gen installs
+// the object only if it is still the newest PutRetrying chain for key, so
+// a slow stale write completing late cannot clobber a newer one.
+func (s *Store) put(key string, data []byte, gen uint64, cb func(err error)) {
 	lat := s.model.Write.Sample(s.clock.RNG()) + s.model.transferTime(len(data))
+	if ch := s.chaos; ch != nil {
+		lat = ch.inflate(lat, s.clock.RNG())
+		if ch.WriteErrorRate > 0 && s.clock.RNG().Float64() < ch.WriteErrorRate {
+			s.Writes.Inc()
+			s.WriteLatency.Add(lat)
+			s.FaultsInjected.Inc()
+			s.clock.After(lat, func() {
+				if cb != nil {
+					cb(fmt.Errorf("%w: write %q", ErrInjectedFault, key))
+				}
+			})
+			return
+		}
+	}
 	s.Writes.Inc()
 	s.WriteLatency.Add(lat)
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	s.clock.After(lat, func() {
+		if gen != 0 && s.putGen[key] != gen {
+			// Superseded by a newer write chain: drop the stale install.
+			if cb != nil {
+				cb(nil)
+			}
+			return
+		}
 		if old, ok := s.objects[key]; ok {
 			s.curBytes -= int64(len(old))
 		}
@@ -192,6 +274,56 @@ func (s *Store) Put(key string, data []byte, cb func(err error)) {
 			cb(nil)
 		}
 	})
+}
+
+// PutRetrying stores data under key, retrying chaos-injected faults
+// (paced by the store's own write latency) until the write lands. Write
+// paths with no higher-level retry (player records, uncached chunk
+// persistence) use it so transient fault windows cannot silently drop
+// persisted state. Each key carries a write generation: a newer
+// PutRetrying for the same key cancels any older retry chain, and a stale
+// write still in flight is dropped at install time, so a stale value can
+// never clobber a newer write.
+func (s *Store) PutRetrying(key string, data []byte) {
+	s.putGen[key]++
+	gen := s.putGen[key]
+	var put func()
+	put = func() {
+		s.put(key, data, gen, func(err error) {
+			if errors.Is(err, ErrInjectedFault) && s.putGen[key] == gen {
+				put()
+			}
+		})
+	}
+	put()
+}
+
+// PutLatest is Put with last-writer-wins semantics: the write joins the
+// key's generation sequence, so if a newer PutLatest/PutRetrying for the
+// same key is issued before this one completes, the stale install is
+// dropped (cb still runs, with a nil error). Periodic write-back paths
+// use it so a chaos-slowed flush landing late cannot revert newer data.
+func (s *Store) PutLatest(key string, data []byte, cb func(err error)) {
+	s.putGen[key]++
+	s.put(key, data, s.putGen[key], cb)
+}
+
+// GetRetrying fetches key, retrying chaos-injected faults (paced by the
+// store's own read latency); every other outcome — data or ErrNotFound —
+// is delivered to cb. Read paths where a false not-found would trigger
+// destructive regeneration use it instead of Get.
+func (s *Store) GetRetrying(key string, cb func(data []byte, err error)) {
+	var attempt func()
+	attempt = func() {
+		s.Get(key, func(data []byte, err error) {
+			if errors.Is(err, ErrInjectedFault) {
+				attempt()
+				return
+			}
+			cb(data, err)
+		})
+	}
+	attempt()
 }
 
 // Delete removes the object at key asynchronously.

@@ -242,6 +242,14 @@ func (a *scAdapter) Tick(tick uint64) mve.SCTickWork {
 	}
 }
 
+// NewBlobChunkStore returns an uncached chunk-and-player store backed
+// directly by remote, the same store the baselines use for local
+// persistence. The scenario harness uses it as the "local" side of
+// runtime storage-backend flips.
+func NewBlobChunkStore(remote *blob.Store) mve.ChunkStore {
+	return &uncachedStore{remote: remote}
+}
+
 // uncachedStore is a direct blob-backed chunk store with no cache: the
 // baselines' local persistence (TierLocal) and Fig. 13's uncached
 // serverless configuration.
@@ -252,7 +260,9 @@ type uncachedStore struct {
 var _ mve.ChunkStore = (*uncachedStore)(nil)
 
 func (u *uncachedStore) Load(pos world.ChunkPos, cb func(*world.Chunk, bool)) {
-	u.remote.Get(tcache.Key(pos), func(data []byte, err error) {
+	// GetRetrying: a false not-found would make the server regenerate and
+	// overwrite the persisted chunk.
+	u.remote.GetRetrying(tcache.Key(pos), func(data []byte, err error) {
 		if err != nil {
 			cb(nil, false)
 			return
@@ -267,17 +277,18 @@ func (u *uncachedStore) Load(pos world.ChunkPos, cb func(*world.Chunk, bool)) {
 }
 
 func (u *uncachedStore) Store(c *world.Chunk) {
-	u.remote.Put(tcache.Key(c.Pos), c.Encode(), nil)
+	u.remote.PutRetrying(tcache.Key(c.Pos), c.Encode())
 }
 
 // SavePlayer implements mve.PlayerStore.
 func (u *uncachedStore) SavePlayer(name string, data []byte) {
-	u.remote.Put(rstore.PlayerKey(name), data, nil)
+	u.remote.PutRetrying(rstore.PlayerKey(name), data)
 }
 
-// LoadPlayer implements mve.PlayerStore.
+// LoadPlayer implements mve.PlayerStore. GetRetrying: a false "new
+// player" would reset the player's persisted progress.
 func (u *uncachedStore) LoadPlayer(name string, cb func([]byte, bool)) {
-	u.remote.Get(rstore.PlayerKey(name), func(data []byte, err error) {
+	u.remote.GetRetrying(rstore.PlayerKey(name), func(data []byte, err error) {
 		cb(data, err == nil)
 	})
 }

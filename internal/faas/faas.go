@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"time"
 
 	"servo/internal/metrics"
@@ -148,13 +149,16 @@ type Function struct {
 	Latency     metrics.Sample // end-to-end latency as seen from the caller
 	Invocations metrics.Meter
 	ColdStarts  metrics.Counter
-	BilledGBs   float64 // accumulated GB-seconds
+	// FaultsInjected counts chaos-injected invocation failures.
+	FaultsInjected metrics.Counter
+	BilledGBs      float64 // accumulated GB-seconds
 }
 
 // Platform is a simulated FaaS provider bound to a clock.
 type Platform struct {
 	clock sim.Clock
 	fns   map[string]*Function
+	chaos *Chaos
 }
 
 // NewPlatform returns an empty platform scheduling on clock.
@@ -164,6 +168,66 @@ func NewPlatform(clock sim.Clock) *Platform {
 
 // ErrNoSuchFunction is returned when invoking an unregistered function.
 var ErrNoSuchFunction = errors.New("faas: no such function")
+
+// ErrInjectedFault is the error delivered by chaos-injected invocation
+// failures (see Chaos).
+var ErrInjectedFault = errors.New("faas: injected fault")
+
+// Chaos configures platform-level fault injection for scenario testing
+// (internal/scenario). A nil Chaos on the platform disables injection
+// entirely: the invocation path performs no extra random draws, so runs
+// with chaos disabled are bit-identical to runs on a platform that never
+// heard of chaos.
+type Chaos struct {
+	// FailureRate is the probability in [0, 1] that an invocation fails
+	// with ErrInjectedFault after its modelled latency.
+	FailureRate float64
+	// LatencyFactor multiplies every invocation's end-to-end latency when
+	// > 1 (platform slowdown / throttling).
+	LatencyFactor float64
+	// ExtraLatency, if non-nil, is added to every invocation's latency.
+	ExtraLatency sim.Dist
+	// ForceCold makes every invocation pay a cold start regardless of the
+	// warm pool (correlated cold-start storms).
+	ForceCold bool
+}
+
+// inflate applies the slowdown model to one invocation's latency,
+// mirroring blob.Chaos.inflate so the two chaos layers share semantics.
+func (c *Chaos) inflate(lat time.Duration, rng *rand.Rand) time.Duration {
+	if c.LatencyFactor > 1 {
+		lat = time.Duration(float64(lat) * c.LatencyFactor)
+	}
+	if c.ExtraLatency != nil {
+		lat += c.ExtraLatency.Sample(rng)
+	}
+	return lat
+}
+
+// SetChaos installs (or, with nil, removes) the platform's fault injector.
+func (p *Platform) SetChaos(c *Chaos) { p.chaos = c }
+
+// Chaos returns the installed fault injector, or nil.
+func (p *Platform) Chaos() *Chaos { return p.chaos }
+
+// EvictWarm deallocates every warm instance of the function, as a platform
+// capacity reclaim would; the next invocations all pay cold starts. It
+// returns the number of instances evicted.
+func (f *Function) EvictWarm() int {
+	n := len(f.instances)
+	f.instances = nil
+	return n
+}
+
+// EvictAllWarm evicts every warm instance of every deployed function and
+// returns the total evicted.
+func (p *Platform) EvictAllWarm() int {
+	n := 0
+	for _, f := range p.fns {
+		n += f.EvictWarm()
+	}
+	return n
+}
 
 // Register deploys a function under the given name, replacing any previous
 // deployment.
@@ -211,18 +275,43 @@ func (p *Platform) Invoke(name string, payload []byte, cb func(Invocation)) {
 	exec := time.Duration(execNs * math.Exp(sigma*rng.NormFloat64()))
 
 	latency := f.cfg.NetRTT.Sample(rng) + exec
+	// Always run the pool claim/prune, even under ForceCold: the storm
+	// makes the invocation *behave* cold but must not let the warm pool
+	// grow without bound (or emerge from the storm fully stocked).
 	cold := !f.acquireWarm(now)
+	if p.chaos != nil && p.chaos.ForceCold {
+		cold = true
+	}
 	if cold {
 		latency += f.cfg.ColdStart.Sample(rng)
 		f.ColdStarts.Inc()
 	}
+
+	// Fault injection (scenario chaos layer). The chaos == nil fast path
+	// draws no randomness, so disabled chaos is invisible to replay.
+	failed := false
+	if ch := p.chaos; ch != nil {
+		latency = ch.inflate(latency, rng)
+		if ch.FailureRate > 0 && rng.Float64() < ch.FailureRate {
+			failed = true
+			f.FaultsInjected.Inc()
+		}
+	}
+	// Retire with the final (chaos-inflated) latency: the instance stays
+	// busy for as long as the caller observes the invocation to take.
 	f.retireInstance(now, latency, f.cfg.KeepAlive.Sample(rng))
 
 	f.Invocations.Mark(now)
 	f.Latency.Add(latency)
+	// Failed invocations are still billed: the platform charges for the
+	// execution it performed before the fault surfaced.
 	f.BilledGBs += exec.Seconds() * float64(f.cfg.MemoryMB) / 1024
 
 	p.clock.After(latency, func() {
+		if failed {
+			cb(Invocation{Latency: latency, Cold: cold, Err: ErrInjectedFault})
+			return
+		}
 		cb(Invocation{Response: resp, Latency: latency, Cold: cold})
 	})
 }

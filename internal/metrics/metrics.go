@@ -116,10 +116,19 @@ func (s *Sample) FracAbove(threshold time.Duration) float64 {
 	if len(s.values) == 0 {
 		return 0
 	}
+	return float64(s.CountAbove(threshold)) / float64(len(s.values))
+}
+
+// CountAbove returns the number of observations strictly greater than
+// threshold (the numerator of FracAbove, exposed for exact pass/fail
+// reporting in the scenario harness).
+func (s *Sample) CountAbove(threshold time.Duration) int {
+	if len(s.values) == 0 {
+		return 0
+	}
 	s.sort()
-	// First index with value > threshold.
 	i := sort.Search(len(s.values), func(i int) bool { return s.values[i] > threshold })
-	return float64(len(s.values)-i) / float64(len(s.values))
+	return len(s.values) - i
 }
 
 // Boxplot is the five-point summary the paper's figures use: whiskers at the

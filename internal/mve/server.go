@@ -121,6 +121,9 @@ type Server struct {
 	ChunksSent     metrics.Counter
 	ActionCount    metrics.Counter
 	ChatsDelivered metrics.Counter
+	// ConstructsResumed counts halted constructs whose simulation resumed
+	// because their chunk was reloaded (§II-A).
+	ConstructsResumed metrics.Counter
 }
 
 // NewServer builds a server on clock. Zero-value config fields take the
@@ -494,6 +497,7 @@ func (s *Server) applyChunk(c *world.Chunk, countResume bool) {
 		delete(s.halted, c.Pos)
 		for _, h := range hs {
 			s.SpawnConstruct(h.construct, h.anchor)
+			s.ConstructsResumed.Inc()
 		}
 	}
 }

@@ -1,0 +1,48 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"embed"
+)
+
+//go:embed scenarios/*.json
+var bundledFS embed.FS
+
+// Bundled returns the names of the bundled scenarios, sorted.
+func Bundled() []string {
+	entries, err := bundledFS.ReadDir("scenarios")
+	if err != nil {
+		return nil
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, strings.TrimSuffix(e.Name(), ".json"))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BundledSource returns the raw JSON of the named bundled scenario.
+func BundledSource(name string) ([]byte, error) {
+	data, err := bundledFS.ReadFile("scenarios/" + name + ".json")
+	if err != nil {
+		return nil, fmt.Errorf("no bundled scenario %q (have %v)", name, Bundled())
+	}
+	return data, nil
+}
+
+// LoadBundled parses the named bundled scenario.
+func LoadBundled(name string) (*Spec, error) {
+	data, err := BundledSource(name)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("bundled scenario %q: %w", name, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,577 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"servo/internal/blob"
+	"servo/internal/core"
+	"servo/internal/faas"
+	"servo/internal/metrics"
+	"servo/internal/mve"
+	"servo/internal/sc"
+	"servo/internal/servo/specexec"
+	"servo/internal/sim"
+	"servo/internal/workload"
+	"servo/internal/world"
+)
+
+// qosBudget is the paper's tick-duration QoS bound (1/R = 50 ms).
+const qosBudget = 50 * time.Millisecond
+
+// scSpacing is the construct grid pitch, matching the paper's §IV-B
+// placement (constructs stay within loaded terrain for bounded players).
+const scSpacing = 15
+
+// stormEvictPeriod is how often a cold-start storm re-evicts warm pools.
+const stormEvictPeriod = time.Second
+
+// Runner executes one scenario on a fresh virtual-clock system.
+type Runner struct {
+	spec *Spec
+	log  io.Writer
+
+	loop     *sim.Loop
+	sys      *core.System
+	flip     *flipStore
+	localAlt *blob.Store // backing store of the flip's "local" side
+	// hrng drives harness-level decisions (behavior mixes, churn session
+	// lengths), seeded from the spec so they replay deterministically and
+	// stay independent of the simulation clock's random stream.
+	hrng *rand.Rand
+
+	scZ      int // next free Z band for construct placement
+	crowdSeq int // flash-crowd naming sequence
+	peak     int // peak concurrent players
+
+	// Chaos window generations: when windows of the same kind overlap,
+	// the newest wins and an older window's end must not clear it.
+	faasChaosGen    int
+	storageChaosGen int
+
+	base baseline
+}
+
+// Run validates spec (normalising defaults), executes it to completion on
+// the virtual clock, and returns the report. log, if non-nil, receives
+// progress lines (they are not part of the deterministic report).
+func Run(spec *Spec, log io.Writer) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		spec: spec,
+		log:  log,
+		hrng: rand.New(rand.NewSource(spec.Seed ^ 0x5eed0c)),
+	}
+	r.build()
+	r.schedule()
+	return r.run(), nil
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.log != nil {
+		fmt.Fprintf(r.log, "[%10s] %s\n", r.loop.Now(), fmt.Sprintf(format, args...))
+	}
+}
+
+func profileFor(name string) mve.Profile {
+	switch name {
+	case "opencraft":
+		return mve.ProfileOpencraft
+	case "minecraft":
+		return mve.ProfileMinecraft
+	}
+	return mve.ProfileServo
+}
+
+func tierFor(name string) blob.Tier {
+	switch name {
+	case "local":
+		return blob.TierLocal
+	case "standard":
+		return blob.TierStandard
+	}
+	return blob.TierPremium
+}
+
+func hasFlip(spec *Spec) bool {
+	for _, e := range spec.Events {
+		if e.Kind == EvFlipStorage {
+			return true
+		}
+	}
+	return false
+}
+
+// build assembles the system under test from the spec.
+func (r *Runner) build() {
+	spec := r.spec
+	r.loop = sim.NewLoop(spec.Seed)
+	r.scZ = -105 // construct grid bands start at the spawn region's edge
+	cfg := core.Config{
+		Seed:         spec.Seed,
+		WorldType:    spec.World.Type,
+		ViewDistance: spec.World.ViewDistance,
+		Profile:      profileFor(spec.World.Profile),
+		ServerlessSC: spec.Backend.Constructs,
+		ServerlessTG: spec.Backend.Terrain,
+		ServerlessRS: spec.Backend.Storage,
+		LocalStore:   spec.Backend.LocalStore,
+		StorageTier:  tierFor(spec.Backend.StorageTier),
+	}
+	if se := spec.Backend.SpecExec; se != nil {
+		sx := specexec.DefaultConfig()
+		if se.TickLead != nil {
+			sx.TickLead = *se.TickLead
+		}
+		if se.Steps != nil {
+			sx.StepsPerInvocation = *se.Steps
+		}
+		if se.DetectLoops != nil {
+			sx.DetectLoops = *se.DetectLoops
+		}
+		cfg.SpecExec = sx
+	}
+	if hasFlip(spec) {
+		r.localAlt = blob.NewStore(r.loop, blob.TierLocal)
+		local := core.NewBlobChunkStore(r.localAlt)
+		cfg.WrapStore = func(s mve.ChunkStore) mve.ChunkStore {
+			r.flip = &flipStore{serverless: s, local: local}
+			return r.flip
+		}
+	}
+	r.sys = core.New(r.loop, cfg)
+	for _, g := range spec.Constructs {
+		r.placeConstructs(g.Count, g.Blocks)
+	}
+	r.sys.Server.Start()
+}
+
+// placeConstructs activates count constructs of the given size on a grid
+// near spawn. The pitch adapts to the construct footprint and every wave
+// gets a fresh Z band, so construct storms never overlap earlier
+// placements.
+func (r *Runner) placeConstructs(count, blocks int) {
+	w, h := sc.BuildSized(blocks).Size()
+	pitchX, pitchZ := scSpacing, scSpacing
+	if w+3 > pitchX {
+		pitchX = w + 3
+	}
+	if h+3 > pitchZ {
+		pitchZ = h + 3
+	}
+	perRow := 210 / pitchX
+	if perRow < 1 {
+		perRow = 1
+	}
+	for i := 0; i < count; i++ {
+		x := (i%perRow)*pitchX - 105
+		z := r.scZ + (i/perRow)*pitchZ
+		r.sys.Server.SpawnConstruct(sc.BuildSized(blocks), world.BlockPos{X: x, Y: 5, Z: z})
+	}
+	r.scZ += (count + perRow - 1) / perRow * pitchZ
+}
+
+// connect joins one player and tracks the concurrency peak.
+func (r *Runner) connect(name, behavior string) *mve.Player {
+	p := r.sys.Server.Connect(name, workload.ForName(behavior))
+	if n := r.sys.Server.PlayerCount(); n > r.peak {
+		r.peak = n
+	}
+	return p
+}
+
+// schedule queues every fleet join/leave, stress bot, and timed event on
+// the virtual clock.
+func (r *Runner) schedule() {
+	spec := r.spec
+	for gi := range spec.Fleet {
+		g := spec.Fleet[gi]
+		gi := gi
+		var members []*mve.Player
+		r.loop.At(g.JoinAt.D(), func() {
+			for i := 0; i < g.Count; i++ {
+				members = append(members, r.connect(fmt.Sprintf("fleet%d-%d", gi, i), g.Behavior))
+			}
+			r.logf("fleet[%d]: %d %q players joined", gi, g.Count, g.Behavior)
+		})
+		if g.LeaveAt != 0 {
+			r.loop.At(g.LeaveAt.D(), func() {
+				for _, p := range members {
+					r.sys.Server.Disconnect(p.ID)
+				}
+				r.logf("fleet[%d]: %d players left", gi, len(members))
+			})
+		}
+	}
+	if st := spec.Stress; st != nil {
+		for i := 0; i < st.Bots; i++ {
+			i := i
+			joinAt := time.Duration(float64(st.Ramp.D()) * float64(i) / float64(st.Bots))
+			r.loop.At(joinAt, func() { r.runBot(i, st) })
+		}
+	}
+	for i := range spec.Events {
+		e := spec.Events[i]
+		r.loop.At(e.At.D(), func() { r.fire(e) })
+	}
+}
+
+// pickBehavior draws a behavior name from the stress weights.
+func (r *Runner) pickBehavior(st *StressSpec) string {
+	names := make([]string, 0, len(st.Behaviors))
+	for n := range st.Behaviors {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	total := 0.0
+	for _, n := range names {
+		total += st.Behaviors[n]
+	}
+	roll := r.hrng.Float64() * total
+	for _, n := range names {
+		roll -= st.Behaviors[n]
+		if roll < 0 {
+			return n
+		}
+	}
+	return names[len(names)-1]
+}
+
+// runBot connects one stress bot (stable identity per index, so rejoins
+// resume persisted player data) and, under churn, schedules its session
+// end and eventual rejoin.
+func (r *Runner) runBot(i int, st *StressSpec) {
+	p := r.connect(fmt.Sprintf("bot-%d", i), r.pickBehavior(st))
+	if st.Churn == nil {
+		return
+	}
+	session := time.Duration(r.hrng.ExpFloat64() * float64(st.Churn.MeanSession.D()))
+	r.loop.After(session, func() {
+		r.sys.Server.Disconnect(p.ID)
+		pause := time.Duration(r.hrng.ExpFloat64() * float64(st.Churn.MeanPause.D()))
+		r.loop.After(pause, func() { r.runBot(i, st) })
+	})
+}
+
+// fire executes one timed event. Validation has already checked that the
+// targeted component exists.
+func (r *Runner) fire(e Event) {
+	switch e.Kind {
+	case EvFlashCrowd:
+		seq := r.crowdSeq
+		r.crowdSeq++
+		for i := 0; i < e.Count; i++ {
+			r.connect(fmt.Sprintf("crowd%d-%d", seq, i), e.Behavior)
+		}
+		r.logf("flash crowd: %d %q players joined", e.Count, e.Behavior)
+	case EvDisconnect:
+		ps := r.sys.Server.Players()
+		n := e.Count
+		if n > len(ps) {
+			n = len(ps)
+		}
+		for _, p := range ps[len(ps)-n:] {
+			r.sys.Server.Disconnect(p.ID)
+		}
+		r.logf("disconnect: %d players left", n)
+	case EvSpawnSCs:
+		r.placeConstructs(e.Count, e.Blocks)
+		r.logf("construct storm: %d x %d-block constructs activated", e.Count, e.Blocks)
+	case EvFaasChaos:
+		r.faasChaosGen++
+		gen := r.faasChaosGen
+		r.sys.Platform.SetChaos(&faas.Chaos{
+			FailureRate:   e.FailureRate,
+			LatencyFactor: e.LatencyFactor,
+			ForceCold:     e.ForceCold,
+		})
+		r.loop.After(e.Duration.D(), func() {
+			if r.faasChaosGen == gen { // not superseded by a newer window
+				r.sys.Platform.SetChaos(nil)
+				r.logf("faas chaos window ended")
+			}
+		})
+		r.logf("faas chaos: failure_rate=%g latency_factor=%g for %s", e.FailureRate, e.LatencyFactor, e.Duration)
+	case EvStorageChaos:
+		r.storageChaosGen++
+		gen := r.storageChaosGen
+		ch := &blob.Chaos{
+			ReadErrorRate:  e.ErrorRate,
+			WriteErrorRate: e.ErrorRate,
+			LatencyFactor:  e.LatencyFactor,
+		}
+		// The brownout hits every store the server may be talking to,
+		// including the flip's local side.
+		r.sys.Remote.SetChaos(ch)
+		if r.localAlt != nil {
+			r.localAlt.SetChaos(ch)
+		}
+		r.loop.After(e.Duration.D(), func() {
+			if r.storageChaosGen == gen { // not superseded by a newer window
+				r.sys.Remote.SetChaos(nil)
+				if r.localAlt != nil {
+					r.localAlt.SetChaos(nil)
+				}
+				r.logf("storage chaos window ended")
+			}
+		})
+		r.logf("storage brownout: error_rate=%g latency_factor=%g for %s", e.ErrorRate, e.LatencyFactor, e.Duration)
+	case EvColdStartStorm:
+		end := r.loop.Now() + e.Duration.D()
+		var evict func()
+		evict = func() {
+			n := r.sys.Platform.EvictAllWarm()
+			r.logf("cold-start storm: evicted %d warm instances", n)
+			if r.loop.Now()+stormEvictPeriod <= end {
+				r.loop.After(stormEvictPeriod, evict)
+			}
+		}
+		evict()
+	case EvFlipStorage:
+		r.flip.useLocal = e.Target == "local"
+		r.logf("storage backend flipped to %s", e.Target)
+	}
+}
+
+// baseline snapshots every delta-reported counter at the end of warm-up.
+type baseline struct {
+	actions, chunksApplied, chunksSent, resumed int64
+	discards                                    int64
+	scInv, scCold, scFaults                     int64
+	tgInv, tgCold, tgFaults                     int64
+	tgBackendFailures                           int
+	cacheHits, cacheMisses, prefetch            int64
+	reads, writes, storeFaults                  int64
+}
+
+func (r *Runner) snapshotBaseline() {
+	srv := r.sys.Server
+	b := &r.base
+	b.actions = srv.ActionCount.Value()
+	b.chunksApplied = srv.ChunksApplied.Value()
+	b.chunksSent = srv.ChunksSent.Value()
+	b.resumed = srv.ConstructsResumed.Value()
+	if m := r.sys.SpecExec; m != nil {
+		b.discards = m.Discards.Value()
+	}
+	if f := r.sys.SCFn; f != nil {
+		b.scInv = int64(f.Invocations.Count())
+		b.scCold = f.ColdStarts.Value()
+		b.scFaults = f.FaultsInjected.Value()
+	}
+	if f := r.sys.TGFn; f != nil {
+		b.tgInv = int64(f.Invocations.Count())
+		b.tgCold = f.ColdStarts.Value()
+		b.tgFaults = f.FaultsInjected.Value()
+	}
+	if tb := r.sys.TGBackend; tb != nil {
+		b.tgBackendFailures = tb.Failures
+	}
+	if c := r.sys.Cache; c != nil {
+		b.cacheHits = c.Hits.Value()
+		b.cacheMisses = c.Misses.Value()
+		b.prefetch = c.PrefetchIssued.Value()
+	}
+	if st := r.sys.Remote; st != nil {
+		b.reads = st.Reads.Value()
+		b.writes = st.Writes.Value()
+		b.storeFaults = st.FaultsInjected.Value()
+	}
+	if st := r.localAlt; st != nil {
+		b.reads += st.Reads.Value()
+		b.writes += st.Writes.Value()
+		b.storeFaults += st.FaultsInjected.Value()
+	}
+}
+
+// run drives the scenario: warm up, reset measurement state, run the
+// measured window, then collect the report.
+func (r *Runner) run() *Report {
+	spec := r.spec
+	srv := r.sys.Server
+	r.loop.RunUntil(spec.Warmup.D())
+	r.snapshotBaseline()
+	srv.TickDurations = metrics.NewSample(int((spec.Duration - spec.Warmup).D() / srv.Config().TickInterval))
+	if m := r.sys.SpecExec; m != nil {
+		m.Efficiency = nil
+	}
+	if st := r.sys.Remote; st != nil {
+		// Like the tick sample, storage latency percentiles are measured
+		// over the post-warm-up window only (boot reads excluded).
+		st.ReadLatency = metrics.Sample{}
+	}
+	r.logf("warm-up complete; measuring")
+	r.loop.RunUntil(spec.Duration.D())
+	srv.Stop()
+	r.logf("run complete: %d ticks measured", srv.TickDurations.Len())
+	return r.collect()
+}
+
+// collect computes the metric map, evaluates assertions, and assembles the
+// deterministic report.
+func (r *Runner) collect() *Report {
+	spec := r.spec
+	srv := r.sys.Server
+	b := &r.base
+	msOf := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+	vals := make(map[string]float64)
+	ticks := srv.TickDurations
+	total := ticks.Len()
+	over := ticks.CountAbove(qosBudget)
+	vals["ticks_total"] = float64(total)
+	vals["ticks_over_budget"] = float64(over)
+	if total > 0 {
+		vals["over_budget_frac"] = float64(over) / float64(total)
+	} else {
+		vals["over_budget_frac"] = 0
+	}
+	vals["tick_p50_ms"] = msOf(ticks.Percentile(50))
+	vals["tick_p90_ms"] = msOf(ticks.Percentile(90))
+	vals["tick_p95_ms"] = msOf(ticks.Percentile(95))
+	vals["tick_p99_ms"] = msOf(ticks.Percentile(99))
+	vals["tick_max_ms"] = msOf(ticks.Max())
+	vals["tick_mean_ms"] = msOf(ticks.Mean())
+	vals["players_final"] = float64(srv.PlayerCount())
+	vals["players_peak"] = float64(r.peak)
+	vals["actions"] = float64(srv.ActionCount.Value() - b.actions)
+	vals["chunks_applied"] = float64(srv.ChunksApplied.Value() - b.chunksApplied)
+	vals["chunks_sent"] = float64(srv.ChunksSent.Value() - b.chunksSent)
+	vals["view_margin"] = float64(srv.MinViewMargin())
+	vals["constructs"] = float64(srv.SCs().Count())
+	vals["constructs_resumed"] = float64(srv.ConstructsResumed.Value() - b.resumed)
+
+	cost := 0.0
+	var coldStarts, faults int64
+	if m := r.sys.SpecExec; m != nil {
+		vals["spec_efficiency_median"] = medianOf(m.Efficiency)
+		vals["invalidations"] = float64(m.Discards.Value() - b.discards)
+	}
+	if f := r.sys.SCFn; f != nil {
+		vals["sc_invocations"] = float64(int64(f.Invocations.Count()) - b.scInv)
+		scCold := f.ColdStarts.Value() - b.scCold
+		vals["sc_cold_starts"] = float64(scCold)
+		coldStarts += scCold
+		faults += f.FaultsInjected.Value() - b.scFaults
+		cost += f.BilledDollars()
+	}
+	if f := r.sys.TGFn; f != nil {
+		vals["tg_invocations"] = float64(int64(f.Invocations.Count()) - b.tgInv)
+		tgCold := f.ColdStarts.Value() - b.tgCold
+		vals["tg_cold_starts"] = float64(tgCold)
+		coldStarts += tgCold
+		faults += f.FaultsInjected.Value() - b.tgFaults
+		cost += f.BilledDollars()
+	}
+	if tb := r.sys.TGBackend; tb != nil {
+		vals["tg_failures"] = float64(tb.Failures - b.tgBackendFailures)
+	}
+	if spec.hasFunctionBackend() {
+		vals["cold_starts"] = float64(coldStarts)
+		vals["faas_faults"] = float64(faults)
+	}
+	if c := r.sys.Cache; c != nil {
+		hits := c.Hits.Value() - b.cacheHits
+		misses := c.Misses.Value() - b.cacheMisses
+		vals["cache_hits"] = float64(hits)
+		vals["cache_misses"] = float64(misses)
+		if hits+misses > 0 {
+			vals["cache_hit_rate"] = float64(hits) / float64(hits+misses)
+		} else {
+			vals["cache_hit_rate"] = 0
+		}
+		vals["prefetch_issued"] = float64(c.PrefetchIssued.Value() - b.prefetch)
+	}
+	if st := r.sys.Remote; st != nil {
+		reads, writes, faults := st.Reads.Value(), st.Writes.Value(), st.FaultsInjected.Value()
+		if alt := r.localAlt; alt != nil { // count the flip's local side too
+			reads += alt.Reads.Value()
+			writes += alt.Writes.Value()
+			faults += alt.FaultsInjected.Value()
+			cost += alt.BilledDollars()
+		}
+		vals["storage_reads"] = float64(reads - b.reads)
+		vals["storage_writes"] = float64(writes - b.writes)
+		vals["storage_faults"] = float64(faults - b.storeFaults)
+		// p99 covers the serverless/remote store only (the flip's local
+		// side has local-disk latency and would skew the tail).
+		vals["storage_read_p99_ms"] = msOf(st.ReadLatency.Percentile(99))
+		cost += st.BilledDollars()
+	}
+	vals["cost_dollars"] = cost
+
+	rep := &Report{Name: spec.Name, Virtual: spec.Duration.D(), Pass: true}
+	for _, e := range metricOrder {
+		if v, ok := vals[e.Name]; ok {
+			rep.Metrics = append(rep.Metrics, Metric{Name: e.Name, Value: v})
+		}
+	}
+	for _, a := range spec.Assertions {
+		actual := vals[a.Metric]
+		c := Check{Assertion: a, Actual: actual, Ok: a.holds(actual)}
+		if !c.Ok {
+			rep.Pass = false
+		}
+		rep.Checks = append(rep.Checks, c)
+	}
+	return rep
+}
+
+func medianOf(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// flipStore switches the server's chunk/player store between the
+// serverless stack and a local-disk-class store at runtime (the
+// flip_storage event). Chunks absent from the newly active side simply
+// regenerate through the normal terrain path.
+type flipStore struct {
+	serverless, local mve.ChunkStore
+	useLocal          bool
+}
+
+var (
+	_ mve.ChunkStore     = (*flipStore)(nil)
+	_ mve.PlayerStore    = (*flipStore)(nil)
+	_ mve.AvatarObserver = (*flipStore)(nil)
+)
+
+func (f *flipStore) cur() mve.ChunkStore {
+	if f.useLocal {
+		return f.local
+	}
+	return f.serverless
+}
+
+func (f *flipStore) Load(pos world.ChunkPos, cb func(*world.Chunk, bool)) { f.cur().Load(pos, cb) }
+func (f *flipStore) Store(c *world.Chunk)                                 { f.cur().Store(c) }
+
+func (f *flipStore) SavePlayer(name string, data []byte) {
+	if ps, ok := f.cur().(mve.PlayerStore); ok {
+		ps.SavePlayer(name, data)
+	}
+}
+
+func (f *flipStore) LoadPlayer(name string, cb func([]byte, bool)) {
+	if ps, ok := f.cur().(mve.PlayerStore); ok {
+		ps.LoadPlayer(name, cb)
+		return
+	}
+	cb(nil, false)
+}
+
+func (f *flipStore) ObserveAvatars(positions []world.BlockPos, viewDistance int) {
+	if o, ok := f.cur().(mve.AvatarObserver); ok {
+		o.ObserveAvatars(positions, viewDistance)
+	}
+}

@@ -1,0 +1,132 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// replaySpec is a seeded stress scenario exercising every nondeterminism
+// hazard at once: random fleets with churn, chaos windows, a flash crowd,
+// and a construct storm.
+const replaySpec = `{
+  "name": "replay-probe",
+  "seed": 99,
+  "duration": "60s",
+  "warmup": "10s",
+  "backend": {"constructs": true, "terrain": true, "storage": true},
+  "constructs": [{"count": 10}],
+  "stress": {
+    "bots": 50,
+    "ramp": "10s",
+    "behaviors": {"A": 3, "R": 2, "S3": 1},
+    "churn": {"mean_session": "15s", "mean_pause": "3s"}
+  },
+  "events": [
+    {"at": "15s", "kind": "flash_crowd", "count": 10},
+    {"at": "20s", "kind": "faas_chaos", "duration": "10s", "failure_rate": 0.2, "latency_factor": 2},
+    {"at": "25s", "kind": "spawn_constructs", "count": 5},
+    {"at": "35s", "kind": "storage_chaos", "duration": "10s", "error_rate": 0.05, "latency_factor": 3},
+    {"at": "40s", "kind": "cold_start_storm", "duration": "10s"}
+  ],
+  "assertions": [
+    {"metric": "players_peak", "op": ">=", "value": 40},
+    {"metric": "faas_faults", "op": ">", "value": 0},
+    {"metric": "storage_faults", "op": ">", "value": 0},
+    {"metric": "constructs", "op": ">=", "value": 15}
+  ]
+}`
+
+// TestDeterministicReplay runs the same seeded stress scenario twice on
+// the virtual clock and requires byte-identical reports: identical tick
+// statistics, counters, and assertion outcomes.
+func TestDeterministicReplay(t *testing.T) {
+	render := func() string {
+		spec, err := Parse([]byte(replaySpec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Pass {
+			t.Fatalf("replay probe failed its assertions:\n%s", rep.Render())
+		}
+		return rep.Render()
+	}
+	first := render()
+	second := render()
+	if first != second {
+		t.Fatalf("replay diverged:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+}
+
+// TestBundledScenariosParse validates every bundled scenario spec.
+func TestBundledScenariosParse(t *testing.T) {
+	names := Bundled()
+	if len(names) < 6 {
+		t.Fatalf("want >= 6 bundled scenarios, have %d: %v", len(names), names)
+	}
+	for _, name := range names {
+		if _, err := LoadBundled(name); err != nil {
+			t.Errorf("bundled %s: %v", name, err)
+		}
+	}
+}
+
+// TestBundledScenariosPass runs every bundled scenario to completion and
+// requires each to pass its assertions (the same gate `servo-sim run all`
+// enforces).
+func TestBundledScenariosPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bundled scenario sweep skipped in -short mode")
+	}
+	for _, name := range Bundled() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, err := LoadBundled(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := Run(spec, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Pass {
+				t.Fatalf("scenario failed:\n%s", rep.Render())
+			}
+		})
+	}
+}
+
+// TestFlipStorageScenario checks that runtime store flips keep the server
+// loading terrain, and that a storage brownout opened while the local
+// side is active still surfaces faults (chaos reaches both stores).
+func TestFlipStorageScenario(t *testing.T) {
+	spec, err := Parse([]byte(`{
+		"name": "flip-inline",
+		"duration": "40s",
+		"warmup": "5s",
+		"backend": {"storage": true},
+		"fleet": [{"count": 4, "behavior": "S3"}],
+		"events": [
+			{"at": "10s", "kind": "flip_storage", "target": "local"},
+			{"at": "12s", "kind": "storage_chaos", "duration": "10s", "error_rate": 0.5},
+			{"at": "25s", "kind": "flip_storage", "target": "serverless"}
+		],
+		"assertions": [
+			{"metric": "chunks_applied", "op": ">", "value": 0},
+			{"metric": "storage_faults", "op": ">", "value": 0},
+			{"metric": "players_final", "op": ">=", "value": 4}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("flip scenario failed:\n%s", rep.Render())
+	}
+}

@@ -1,0 +1,142 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Metric availability classes: some metrics only exist when the matching
+// backend is configured, and assertions on them are rejected statically.
+const (
+	needsNone  = ""
+	needsSC    = "sc"    // backend.constructs
+	needsTG    = "tg"    // backend.terrain
+	needsFaaS  = "faas"  // any serverless function backend
+	needsCache = "cache" // backend.storage (the terrain cache)
+	needsStore = "store" // backend.storage or backend.local_store
+)
+
+// metricOrder fixes the registry and its deterministic report order.
+// Duration-valued metrics are reported in milliseconds.
+var metricOrder = []struct {
+	Name  string
+	Needs string
+}{
+	{"ticks_total", needsNone},
+	{"ticks_over_budget", needsNone}, // ticks above the 50 ms QoS bound
+	{"over_budget_frac", needsNone},
+	{"tick_p50_ms", needsNone},
+	{"tick_p90_ms", needsNone},
+	{"tick_p95_ms", needsNone},
+	{"tick_p99_ms", needsNone},
+	{"tick_max_ms", needsNone},
+	{"tick_mean_ms", needsNone},
+	{"players_final", needsNone},
+	{"players_peak", needsNone},
+	{"actions", needsNone},
+	{"chunks_applied", needsNone},
+	{"chunks_sent", needsNone},
+	{"view_margin", needsNone}, // blocks of loaded terrain margin (Fig. 10 QoS)
+	{"constructs", needsNone},
+	{"constructs_resumed", needsNone},
+	{"spec_efficiency_median", needsSC},
+	{"invalidations", needsSC}, // speculation discards (§III-C)
+	{"sc_invocations", needsSC},
+	{"sc_cold_starts", needsSC},
+	{"tg_invocations", needsTG},
+	{"tg_cold_starts", needsTG},
+	{"tg_failures", needsTG}, // failed generation invocations (incl. retried)
+	{"cold_starts", needsFaaS},
+	{"faas_faults", needsFaaS},
+	{"cache_hits", needsCache},
+	{"cache_misses", needsCache},
+	{"cache_hit_rate", needsCache},
+	{"prefetch_issued", needsCache},
+	{"storage_reads", needsStore},
+	{"storage_writes", needsStore},
+	{"storage_faults", needsStore},
+	{"storage_read_p99_ms", needsStore},
+	{"cost_dollars", needsNone}, // FaaS + storage billing over the whole run
+}
+
+// metricNeeds maps metric name → availability class, derived from
+// metricOrder for validation.
+var metricNeeds = func() map[string]string {
+	m := make(map[string]string, len(metricOrder))
+	for _, e := range metricOrder {
+		m[e.Name] = e.Needs
+	}
+	return m
+}()
+
+// Metric is one named observation in a report.
+type Metric struct {
+	Name  string
+	Value float64
+}
+
+// Check is one evaluated assertion.
+type Check struct {
+	Assertion
+	Actual float64
+	Ok     bool
+}
+
+// holds reports whether the assertion holds for the actual value.
+func (a Assertion) holds(actual float64) bool {
+	switch a.Op {
+	case "<":
+		return actual < a.Value
+	case "<=":
+		return actual <= a.Value
+	case ">":
+		return actual > a.Value
+	case ">=":
+		return actual >= a.Value
+	}
+	return false
+}
+
+// Report is the outcome of one scenario run. Its rendering is a pure
+// function of the virtual-clock execution: two runs of the same spec
+// produce byte-identical reports.
+type Report struct {
+	Name    string
+	Virtual time.Duration // virtual run length
+	Pass    bool
+	Metrics []Metric
+	Checks  []Check
+}
+
+// fmtVal renders a metric value deterministically: integral values without
+// a fraction, everything else with four decimals.
+func fmtVal(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+// Render returns the deterministic text report.
+func (r *Report) Render() string {
+	var b strings.Builder
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "scenario %s: %s (%s virtual)\n", r.Name, verdict, r.Virtual)
+	for _, m := range r.Metrics {
+		fmt.Fprintf(&b, "  %-24s %s\n", m.Name, fmtVal(m.Value))
+	}
+	for _, c := range r.Checks {
+		status := "PASS"
+		if !c.Ok {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "  assert %s %s %s: %s (actual %s)\n",
+			c.Metric, c.Op, fmtVal(c.Value), status, fmtVal(c.Actual))
+	}
+	return b.String()
+}

@@ -1,0 +1,623 @@
+// Package scenario is the declarative simulation harness: it drives the
+// real mve.Server / core.System stack (not mocks) from scenario specs —
+// fleet definitions, timed chaos events, seeded stress generators, and
+// end-of-run assertions — turning the repo from a fixed set of hand-coded
+// paper experiments into an open-ended experiment platform.
+//
+// A scenario is a JSON document (stdlib-parseable; the container ships no
+// YAML dependency) with five sections:
+//
+//   - world/backend: which system to assemble (profile, world type, and
+//     the L/S serverless component toggles of the paper's Table I);
+//   - fleet: groups of players with Table I behaviors joining and leaving
+//     at fixed times;
+//   - stress: a seeded random fleet of bot players with weighted behavior
+//     mixes, ramped joins, and exponential session churn;
+//   - events: timed interventions — player flash crowds, construct storms,
+//     FaaS failure/slowdown windows, cold-start storms, storage brownouts,
+//     and runtime storage-backend flips;
+//   - assertions: end-of-run checks over the collected metrics
+//     (tick-duration percentiles, cache hit rates, fault counts, ...).
+//
+// Everything runs on the deterministic virtual clock, so a scenario is a
+// pure function of its spec: running it twice produces byte-identical
+// reports (see TestDeterministicReplay).
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"servo/internal/workload"
+)
+
+// Span is a duration field in scenario files, written as a Go duration
+// string ("250ms", "30s", "2m").
+type Span time.Duration
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Span) UnmarshalJSON(b []byte) error {
+	var str string
+	if err := json.Unmarshal(b, &str); err != nil {
+		return fmt.Errorf(`durations must be strings like "30s" (got %s)`, string(b))
+	}
+	d, err := time.ParseDuration(str)
+	if err != nil {
+		return err
+	}
+	if d < 0 {
+		return fmt.Errorf("duration %q is negative", str)
+	}
+	*s = Span(d)
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s Span) MarshalJSON() ([]byte, error) { return json.Marshal(s.D().String()) }
+
+// D returns the span as a time.Duration.
+func (s Span) D() time.Duration { return time.Duration(s) }
+
+// String implements fmt.Stringer.
+func (s Span) String() string { return s.D().String() }
+
+// WorldSpec selects the world and server profile.
+type WorldSpec struct {
+	// Type is "flat" or "default" (procedural terrain); "" → "flat".
+	Type string `json:"type,omitempty"`
+	// Profile is "servo", "opencraft", or "minecraft"; "" → "servo".
+	Profile string `json:"profile,omitempty"`
+	// ViewDistance in blocks; 0 → the 128-block paper default.
+	ViewDistance int `json:"view_distance,omitempty"`
+}
+
+// SpecExecSpec tunes the speculative execution unit. Unset fields keep the
+// calibrated defaults.
+type SpecExecSpec struct {
+	TickLead    *int  `json:"tick_lead,omitempty"`
+	Steps       *int  `json:"steps,omitempty"`
+	DetectLoops *bool `json:"detect_loops,omitempty"`
+}
+
+// BackendSpec toggles Servo's serverless components (Table I).
+type BackendSpec struct {
+	// Constructs offloads simulated constructs to FaaS (§III-C).
+	Constructs bool `json:"constructs,omitempty"`
+	// Terrain offloads terrain generation to FaaS (§III-D).
+	Terrain bool `json:"terrain,omitempty"`
+	// Storage persists chunks in managed storage behind the pre-fetching
+	// cache (§III-E).
+	Storage bool `json:"storage,omitempty"`
+	// StorageTier is "local", "premium", or "standard"; "" → "premium".
+	// Only valid with Storage.
+	StorageTier string `json:"storage_tier,omitempty"`
+	// LocalStore persists chunks to a local-disk-class store instead
+	// (the baselines' behaviour). Mutually exclusive with Storage.
+	LocalStore bool `json:"local_store,omitempty"`
+	// SpecExec tunes construct offloading. Only valid with Constructs.
+	SpecExec *SpecExecSpec `json:"spec_exec,omitempty"`
+}
+
+// ConstructGroup places a grid of simulated constructs at scenario start.
+type ConstructGroup struct {
+	Count int `json:"count"`
+	// Blocks per construct; 0 → 250 (the paper's §IV-B size). Must be
+	// ≥ 12 when set.
+	Blocks int `json:"blocks,omitempty"`
+}
+
+// FleetGroup is a group of players joining (and optionally leaving) at
+// fixed times.
+type FleetGroup struct {
+	Count int `json:"count"`
+	// Behavior is a Table I name ("A", "R", "S3", "S8", "Sinc") or
+	// "idle"; "" → "A".
+	Behavior string `json:"behavior,omitempty"`
+	// JoinAt is when the group connects (default: scenario start).
+	JoinAt Span `json:"join_at,omitempty"`
+	// LeaveAt, if set, is when the group disconnects; must be after
+	// JoinAt. 0 → stay until the end.
+	LeaveAt Span `json:"leave_at,omitempty"`
+}
+
+// ChurnSpec adds session churn to a stress fleet: bots play for an
+// exponentially distributed session, disconnect, pause, and rejoin under
+// the same identity (exercising player-data persistence).
+type ChurnSpec struct {
+	// MeanSession is the mean session length (required).
+	MeanSession Span `json:"mean_session"`
+	// MeanPause is the mean pause before rejoining; 0 → 5s.
+	MeanPause Span `json:"mean_pause,omitempty"`
+}
+
+// StressSpec generates a seeded random fleet of bot players.
+type StressSpec struct {
+	// Bots is the fleet size (required).
+	Bots int `json:"bots"`
+	// Ramp spreads the initial joins evenly over this window;
+	// 0 → duration/4.
+	Ramp Span `json:"ramp,omitempty"`
+	// Behaviors maps behavior names to selection weights;
+	// empty → {"A": 1}.
+	Behaviors map[string]float64 `json:"behaviors,omitempty"`
+	// Churn, if set, recycles bot sessions.
+	Churn *ChurnSpec `json:"churn,omitempty"`
+}
+
+// Event kinds.
+const (
+	EvFlashCrowd     = "flash_crowd"      // Count players join at once
+	EvDisconnect     = "disconnect"       // Count newest players leave
+	EvSpawnSCs       = "spawn_constructs" // Count constructs activate
+	EvFaasChaos      = "faas_chaos"       // FaaS failure/slowdown window
+	EvStorageChaos   = "storage_chaos"    // storage brownout window
+	EvColdStartStorm = "cold_start_storm" // warm pools evicted repeatedly
+	EvFlipStorage    = "flip_storage"     // switch chunk store backend
+)
+
+// eventKinds lists the valid kinds for error messages.
+var eventKinds = []string{
+	EvFlashCrowd, EvDisconnect, EvSpawnSCs, EvFaasChaos,
+	EvStorageChaos, EvColdStartStorm, EvFlipStorage,
+}
+
+// Event is one timed intervention. Kind selects which of the optional
+// fields apply.
+type Event struct {
+	At   Span   `json:"at"`
+	Kind string `json:"kind"`
+
+	// flash_crowd, disconnect, spawn_constructs.
+	Count    int    `json:"count,omitempty"`
+	Behavior string `json:"behavior,omitempty"` // flash_crowd; "" → "R"
+	Blocks   int    `json:"blocks,omitempty"`   // spawn_constructs; 0 → 250
+
+	// faas_chaos, storage_chaos, cold_start_storm: window length.
+	Duration Span `json:"duration,omitempty"`
+	// faas_chaos: probability an invocation fails.
+	FailureRate float64 `json:"failure_rate,omitempty"`
+	// storage_chaos: probability an operation fails.
+	ErrorRate float64 `json:"error_rate,omitempty"`
+	// faas_chaos / storage_chaos: latency multiplier (> 1 slows down).
+	LatencyFactor float64 `json:"latency_factor,omitempty"`
+	// faas_chaos: every invocation pays a cold start for the window.
+	ForceCold bool `json:"force_cold,omitempty"`
+
+	// flip_storage: "local" or "serverless".
+	Target string `json:"target,omitempty"`
+}
+
+// Assertion is one end-of-run check: metric OP value.
+type Assertion struct {
+	// Metric is a name from the metric registry (see Metrics section of
+	// the README). Duration-valued metrics are in milliseconds.
+	Metric string `json:"metric"`
+	// Op is one of "<", "<=", ">", ">=".
+	Op string `json:"op"`
+	// Value is the bound.
+	Value float64 `json:"value"`
+}
+
+// Spec is a complete scenario.
+type Spec struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Seed drives every random draw; 0 → 1.
+	Seed int64 `json:"seed,omitempty"`
+	// Duration is the virtual run length (required).
+	Duration Span `json:"duration"`
+	// Warmup is discarded before tick statistics and counter deltas are
+	// measured; 0 → min(10s, duration/5). Must be shorter than Duration.
+	Warmup Span `json:"warmup,omitempty"`
+
+	World      WorldSpec        `json:"world,omitempty"`
+	Backend    BackendSpec      `json:"backend,omitempty"`
+	Constructs []ConstructGroup `json:"constructs,omitempty"`
+	Fleet      []FleetGroup     `json:"fleet,omitempty"`
+	Stress     *StressSpec      `json:"stress,omitempty"`
+	Events     []Event          `json:"events,omitempty"`
+	Assertions []Assertion      `json:"assertions,omitempty"`
+}
+
+// Parse decodes and validates a scenario spec. Unknown fields are
+// rejected, so typos surface as errors rather than silent no-ops.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if dec.More() {
+		return nil, errors.New("scenario: trailing data after spec")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ParseFile reads and parses the scenario at path.
+func ParseFile(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// errf builds a validation error prefixed with the scenario name.
+func (s *Spec) errf(format string, args ...any) error {
+	return fmt.Errorf("scenario %q: %s", s.Name, fmt.Sprintf(format, args...))
+}
+
+// Validate checks the spec and normalises zero-value fields to their
+// documented defaults. It is idempotent.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return errors.New("scenario: name is required")
+	}
+	if s.Duration <= 0 {
+		return s.errf("duration is required and must be positive")
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Warmup == 0 {
+		s.Warmup = Span(min(10*time.Second, s.Duration.D()/5))
+	}
+	if s.Warmup >= s.Duration {
+		return s.errf("warmup %s must be shorter than duration %s", s.Warmup, s.Duration)
+	}
+
+	if err := s.validateWorld(); err != nil {
+		return err
+	}
+	if err := s.validateBackend(); err != nil {
+		return err
+	}
+	for i := range s.Constructs {
+		g := &s.Constructs[i]
+		if g.Count <= 0 {
+			return s.errf("constructs[%d]: count must be positive", i)
+		}
+		if g.Blocks == 0 {
+			g.Blocks = 250
+		}
+		if g.Blocks < 12 {
+			return s.errf("constructs[%d]: blocks must be >= 12 (got %d)", i, g.Blocks)
+		}
+	}
+	for i := range s.Fleet {
+		g := &s.Fleet[i]
+		if g.Count <= 0 {
+			return s.errf("fleet[%d]: count must be positive", i)
+		}
+		if g.Behavior == "" {
+			g.Behavior = "A"
+		}
+		if !workload.Known(g.Behavior) {
+			return s.errf("fleet[%d]: unknown behavior %q", i, g.Behavior)
+		}
+		if g.JoinAt >= s.Duration {
+			return s.errf("fleet[%d]: join_at %s is past the scenario duration %s", i, g.JoinAt, s.Duration)
+		}
+		if g.LeaveAt != 0 && g.LeaveAt <= g.JoinAt {
+			return s.errf("fleet[%d]: leave_at %s must be after join_at %s", i, g.LeaveAt, g.JoinAt)
+		}
+		if g.LeaveAt != 0 && g.LeaveAt >= s.Duration {
+			return s.errf("fleet[%d]: leave_at %s is past the scenario duration %s and would never fire", i, g.LeaveAt, s.Duration)
+		}
+	}
+	if err := s.validateStress(); err != nil {
+		return err
+	}
+	if err := s.validateEvents(); err != nil {
+		return err
+	}
+	for i, a := range s.Assertions {
+		if err := s.validateAssertion(i, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Spec) validateWorld() error {
+	switch s.World.Type {
+	case "":
+		s.World.Type = "flat"
+	case "flat", "default":
+	default:
+		return s.errf(`world.type must be "flat" or "default" (got %q)`, s.World.Type)
+	}
+	switch s.World.Profile {
+	case "":
+		s.World.Profile = "servo"
+	case "servo", "opencraft", "minecraft":
+	default:
+		return s.errf(`world.profile must be "servo", "opencraft", or "minecraft" (got %q)`, s.World.Profile)
+	}
+	if s.World.ViewDistance < 0 {
+		return s.errf("world.view_distance must be non-negative")
+	}
+	return nil
+}
+
+func (s *Spec) validateBackend() error {
+	b := &s.Backend
+	if b.Storage && b.LocalStore {
+		return s.errf("backend.storage and backend.local_store are mutually exclusive")
+	}
+	switch b.StorageTier {
+	case "":
+		if b.Storage {
+			b.StorageTier = "premium"
+		}
+	case "local", "premium", "standard":
+		if !b.Storage {
+			return s.errf("backend.storage_tier is set but backend.storage is false")
+		}
+	default:
+		return s.errf(`backend.storage_tier must be "local", "premium", or "standard" (got %q)`, b.StorageTier)
+	}
+	if b.SpecExec != nil {
+		if !b.Constructs {
+			return s.errf("backend.spec_exec is set but backend.constructs is false")
+		}
+		if b.SpecExec.Steps != nil && *b.SpecExec.Steps <= 0 {
+			return s.errf("backend.spec_exec.steps must be positive")
+		}
+		if b.SpecExec.TickLead != nil && *b.SpecExec.TickLead < 0 {
+			return s.errf("backend.spec_exec.tick_lead must be non-negative")
+		}
+	}
+	return nil
+}
+
+func (s *Spec) validateStress() error {
+	st := s.Stress
+	if st == nil {
+		return nil
+	}
+	if st.Bots <= 0 {
+		return s.errf("stress.bots must be positive")
+	}
+	if st.Ramp == 0 {
+		st.Ramp = s.Duration / 4
+	}
+	if st.Ramp >= s.Duration {
+		return s.errf("stress.ramp %s must be shorter than duration %s", st.Ramp, s.Duration)
+	}
+	if len(st.Behaviors) == 0 {
+		st.Behaviors = map[string]float64{"A": 1}
+	}
+	for name, w := range st.Behaviors {
+		if !workload.Known(name) {
+			return s.errf("stress.behaviors: unknown behavior %q", name)
+		}
+		if w <= 0 {
+			return s.errf("stress.behaviors[%q]: weight must be positive", name)
+		}
+	}
+	if st.Churn != nil {
+		if st.Churn.MeanSession <= 0 {
+			return s.errf("stress.churn.mean_session is required and must be positive")
+		}
+		if st.Churn.MeanPause == 0 {
+			st.Churn.MeanPause = Span(5 * time.Second)
+		}
+	}
+	return nil
+}
+
+// hasFunctionBackend reports whether any FaaS-backed component is on.
+func (s *Spec) hasFunctionBackend() bool { return s.Backend.Constructs || s.Backend.Terrain }
+
+// hasStore reports whether any chunk store is configured.
+func (s *Spec) hasStore() bool { return s.Backend.Storage || s.Backend.LocalStore }
+
+func (s *Spec) validateEvents() error {
+	// Chaos windows of the same kind must not overlap: the injector is a
+	// single slot per platform/store, so overlap would make the effective
+	// settings ambiguous.
+	windowEnd := make(map[string]Span)
+	for i := range s.Events {
+		e := &s.Events[i]
+		if i > 0 && e.At < s.Events[i-1].At {
+			return s.errf("events[%d] (%s at %s): timestamps must be non-decreasing (previous event at %s)",
+				i, e.Kind, e.At, s.Events[i-1].At)
+		}
+		if e.At >= s.Duration {
+			return s.errf("events[%d] (%s at %s): event is past the scenario duration %s and would never fire",
+				i, e.Kind, e.At, s.Duration)
+		}
+		if err := s.validateEvent(i, e); err != nil {
+			return err
+		}
+		if err := s.checkStrayEventFields(i, e); err != nil {
+			return err
+		}
+		if e.Kind == EvFaasChaos || e.Kind == EvStorageChaos {
+			if e.At < windowEnd[e.Kind] {
+				return s.errf("events[%d] (%s at %s): overlaps the previous %s window (ends at %s)",
+					i, e.Kind, e.At, e.Kind, windowEnd[e.Kind])
+			}
+			windowEnd[e.Kind] = e.At + e.Duration
+		}
+	}
+	return nil
+}
+
+func (s *Spec) validateEvent(i int, e *Event) error {
+	switch e.Kind {
+	case EvFlashCrowd:
+		if e.Count <= 0 {
+			return s.errf("events[%d] %s: count must be positive", i, e.Kind)
+		}
+		if e.Behavior == "" {
+			e.Behavior = "R"
+		}
+		if !workload.Known(e.Behavior) {
+			return s.errf("events[%d] %s: unknown behavior %q", i, e.Kind, e.Behavior)
+		}
+	case EvDisconnect:
+		if e.Count <= 0 {
+			return s.errf("events[%d] %s: count must be positive", i, e.Kind)
+		}
+	case EvSpawnSCs:
+		if e.Count <= 0 {
+			return s.errf("events[%d] %s: count must be positive", i, e.Kind)
+		}
+		if e.Blocks == 0 {
+			e.Blocks = 250
+		}
+		if e.Blocks < 12 {
+			return s.errf("events[%d] %s: blocks must be >= 12 (got %d)", i, e.Kind, e.Blocks)
+		}
+	case EvFaasChaos:
+		if !s.hasFunctionBackend() {
+			return s.errf("events[%d] %s: no serverless function backend configured (enable backend.constructs or backend.terrain)", i, e.Kind)
+		}
+		if e.Duration <= 0 {
+			return s.errf("events[%d] %s: duration is required", i, e.Kind)
+		}
+		if e.FailureRate < 0 || e.FailureRate > 1 {
+			return s.errf("events[%d] %s: failure_rate must be in [0, 1]", i, e.Kind)
+		}
+		if e.LatencyFactor != 0 && e.LatencyFactor < 1 {
+			return s.errf("events[%d] %s: latency_factor must be >= 1", i, e.Kind)
+		}
+		if e.FailureRate == 0 && e.LatencyFactor == 0 && !e.ForceCold {
+			return s.errf("events[%d] %s: set failure_rate, latency_factor, and/or force_cold", i, e.Kind)
+		}
+	case EvStorageChaos:
+		if !s.hasStore() {
+			return s.errf("events[%d] %s: no storage backend configured (enable backend.storage or backend.local_store)", i, e.Kind)
+		}
+		if e.Duration <= 0 {
+			return s.errf("events[%d] %s: duration is required", i, e.Kind)
+		}
+		if e.ErrorRate < 0 || e.ErrorRate > 1 {
+			return s.errf("events[%d] %s: error_rate must be in [0, 1]", i, e.Kind)
+		}
+		if e.LatencyFactor != 0 && e.LatencyFactor < 1 {
+			return s.errf("events[%d] %s: latency_factor must be >= 1", i, e.Kind)
+		}
+		if e.ErrorRate == 0 && e.LatencyFactor == 0 {
+			return s.errf("events[%d] %s: set error_rate and/or latency_factor", i, e.Kind)
+		}
+	case EvColdStartStorm:
+		if !s.hasFunctionBackend() {
+			return s.errf("events[%d] %s: no serverless function backend configured (enable backend.constructs or backend.terrain)", i, e.Kind)
+		}
+		if e.Duration == 0 {
+			e.Duration = Span(30 * time.Second)
+		}
+	case EvFlipStorage:
+		if !s.Backend.Storage {
+			return s.errf("events[%d] %s: requires backend.storage", i, e.Kind)
+		}
+		switch e.Target {
+		case "local", "serverless":
+		default:
+			return s.errf(`events[%d] %s: target must be "local" or "serverless" (got %q)`, i, e.Kind, e.Target)
+		}
+	default:
+		return s.errf("events[%d]: unknown event kind %q (valid kinds: %v)", i, e.Kind, eventKinds)
+	}
+	return nil
+}
+
+// checkStrayEventFields rejects fields that are valid JSON keys but do not
+// apply to the event's kind: DisallowUnknownFields catches misspelled
+// keys, this catches wrong-kind keys, so a knob the author set is never
+// silently dropped.
+func (s *Spec) checkStrayEventFields(i int, e *Event) error {
+	c := *e
+	c.At, c.Kind = 0, ""
+	switch e.Kind {
+	case EvFlashCrowd:
+		c.Count, c.Behavior = 0, ""
+	case EvDisconnect:
+		c.Count = 0
+	case EvSpawnSCs:
+		c.Count, c.Blocks = 0, 0
+	case EvFaasChaos:
+		c.Duration, c.FailureRate, c.LatencyFactor, c.ForceCold = 0, 0, 0, false
+	case EvStorageChaos:
+		c.Duration, c.ErrorRate, c.LatencyFactor = 0, 0, 0
+	case EvColdStartStorm:
+		c.Duration = 0
+	case EvFlipStorage:
+		c.Target = ""
+	}
+	stray := ""
+	switch {
+	case c.Count != 0:
+		stray = "count"
+	case c.Behavior != "":
+		stray = "behavior"
+	case c.Blocks != 0:
+		stray = "blocks"
+	case c.Duration != 0:
+		stray = "duration"
+	case c.FailureRate != 0:
+		stray = "failure_rate"
+	case c.ErrorRate != 0:
+		stray = "error_rate"
+	case c.LatencyFactor != 0:
+		stray = "latency_factor"
+	case c.ForceCold:
+		stray = "force_cold"
+	case c.Target != "":
+		stray = "target"
+	}
+	if stray != "" {
+		return s.errf("events[%d] %s: field %q does not apply to this event kind", i, e.Kind, stray)
+	}
+	return nil
+}
+
+func (s *Spec) validateAssertion(i int, a Assertion) error {
+	needs, ok := metricNeeds[a.Metric]
+	if !ok {
+		return s.errf("assertions[%d]: unknown metric %q", i, a.Metric)
+	}
+	switch needs {
+	case needsSC:
+		if !s.Backend.Constructs {
+			return s.errf("assertions[%d]: metric %q requires backend.constructs", i, a.Metric)
+		}
+	case needsTG:
+		if !s.Backend.Terrain {
+			return s.errf("assertions[%d]: metric %q requires backend.terrain", i, a.Metric)
+		}
+	case needsFaaS:
+		if !s.hasFunctionBackend() {
+			return s.errf("assertions[%d]: metric %q requires a serverless function backend", i, a.Metric)
+		}
+	case needsCache:
+		if !s.Backend.Storage {
+			return s.errf("assertions[%d]: metric %q requires backend.storage", i, a.Metric)
+		}
+	case needsStore:
+		if !s.hasStore() {
+			return s.errf("assertions[%d]: metric %q requires a storage backend", i, a.Metric)
+		}
+	}
+	switch a.Op {
+	case "<", "<=", ">", ">=":
+	default:
+		return s.errf(`assertions[%d]: op must be one of "<", "<=", ">", ">=" (got %q)`, i, a.Op)
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// minimal returns a parseable scenario body with the given extra
+// top-level JSON fields spliced in.
+func minimal(extra string) string {
+	body := `"name": "t", "duration": "30s"`
+	if extra != "" {
+		body += ", " + extra
+	}
+	return "{" + body + "}"
+}
+
+func TestParseRejectsInvalidSpecs(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		wantErr string
+	}{
+		{"missing name", `{"duration": "30s"}`, "name is required"},
+		{"missing duration", `{"name": "t"}`, "duration is required"},
+		{"negative duration", `{"name": "t", "duration": "-5s"}`, "negative"},
+		{"numeric duration", `{"name": "t", "duration": 30}`, `durations must be strings`},
+		{"warmup too long", minimal(`"warmup": "30s"`), "warmup 30s must be shorter"},
+		{"unknown field", minimal(`"flet": []`), "unknown field"},
+		{"bad world type", minimal(`"world": {"type": "spherical"}`), `world.type must be "flat" or "default"`},
+		{"bad profile", minimal(`"world": {"profile": "fortnite"}`), "world.profile must be"},
+		{"storage tier without storage", minimal(`"backend": {"storage_tier": "premium"}`), "backend.storage is false"},
+		{"bad storage tier", minimal(`"backend": {"storage": true, "storage_tier": "glacier"}`), "storage_tier must be"},
+		{"storage and local store", minimal(`"backend": {"storage": true, "local_store": true}`), "mutually exclusive"},
+		{"spec_exec without constructs", minimal(`"backend": {"spec_exec": {"tick_lead": 5}}`), "backend.constructs is false"},
+		{"construct count zero", minimal(`"constructs": [{"count": 0}]`), "count must be positive"},
+		{"construct too small", minimal(`"constructs": [{"count": 1, "blocks": 4}]`), "blocks must be >= 12"},
+		{"fleet count zero", minimal(`"fleet": [{"count": 0}]`), "count must be positive"},
+		{"fleet unknown behavior", minimal(`"fleet": [{"count": 1, "behavior": "Z9"}]`), `unknown behavior "Z9"`},
+		{"fleet joins too late", minimal(`"fleet": [{"count": 1, "join_at": "40s"}]`), "past the scenario duration"},
+		{"fleet leaves before joining", minimal(`"fleet": [{"count": 1, "join_at": "10s", "leave_at": "5s"}]`), "leave_at 5s must be after join_at"},
+		{"fleet leaves past duration", minimal(`"fleet": [{"count": 1, "join_at": "10s", "leave_at": "5m"}]`), "leave_at 5m0s is past the scenario duration"},
+		{"stress without bots", minimal(`"stress": {"bots": 0}`), "stress.bots must be positive"},
+		{"stress unknown behavior", minimal(`"stress": {"bots": 5, "behaviors": {"XX": 1}}`), `unknown behavior "XX"`},
+		{"stress bad weight", minimal(`"stress": {"bots": 5, "behaviors": {"A": -1}}`), "weight must be positive"},
+		{"churn without session", minimal(`"stress": {"bots": 5, "churn": {}}`), "mean_session is required"},
+		{"unknown event kind", minimal(`"events": [{"at": "1s", "kind": "meteor_strike"}]`), `unknown event kind "meteor_strike"`},
+		{"stray field for kind", minimal(`"events": [{"at": "1s", "kind": "disconnect", "count": 5, "behavior": "R"}]`), `field "behavior" does not apply`},
+		{"stray chaos knob", minimal(`"backend": {"terrain": true}, "events": [{"at": "1s", "kind": "cold_start_storm", "failure_rate": 0.5}]`), `field "failure_rate" does not apply`},
+		{"out of order events", minimal(`"events": [
+			{"at": "10s", "kind": "flash_crowd", "count": 1},
+			{"at": "5s", "kind": "disconnect", "count": 1}]`), "timestamps must be non-decreasing"},
+		{"event past duration", minimal(`"events": [{"at": "10m", "kind": "flash_crowd", "count": 1}]`), "past the scenario duration"},
+		{"flash crowd without count", minimal(`"events": [{"at": "1s", "kind": "flash_crowd"}]`), "count must be positive"},
+		{"faas chaos without functions", minimal(`"events": [{"at": "1s", "kind": "faas_chaos", "duration": "5s", "failure_rate": 0.5}]`), "no serverless function backend"},
+		{"faas chaos without knobs", minimal(`"backend": {"constructs": true}, "events": [{"at": "1s", "kind": "faas_chaos", "duration": "5s"}]`), "set failure_rate, latency_factor, and/or force_cold"},
+		{"faas chaos bad rate", minimal(`"backend": {"constructs": true}, "events": [{"at": "1s", "kind": "faas_chaos", "duration": "5s", "failure_rate": 1.5}]`), "failure_rate must be in [0, 1]"},
+		{"storage chaos without store", minimal(`"events": [{"at": "1s", "kind": "storage_chaos", "duration": "5s", "error_rate": 0.1}]`), "no storage backend"},
+		{"overlapping chaos windows", minimal(`"backend": {"constructs": true}, "events": [
+			{"at": "1s", "kind": "faas_chaos", "duration": "10s", "failure_rate": 0.5},
+			{"at": "5s", "kind": "faas_chaos", "duration": "2s", "failure_rate": 0.1}]`), "overlaps the previous faas_chaos window"},
+		{"flip without storage", minimal(`"events": [{"at": "1s", "kind": "flip_storage", "target": "local"}]`), "requires backend.storage"},
+		{"flip bad target", minimal(`"backend": {"storage": true}, "events": [{"at": "1s", "kind": "flip_storage", "target": "s3"}]`), `target must be "local" or "serverless"`},
+		{"unknown metric", minimal(`"assertions": [{"metric": "fps", "op": "<", "value": 1}]`), `unknown metric "fps"`},
+		{"metric needs storage", minimal(`"assertions": [{"metric": "cache_hit_rate", "op": ">", "value": 0}]`), "requires backend.storage"},
+		{"metric needs constructs", minimal(`"assertions": [{"metric": "spec_efficiency_median", "op": ">", "value": 0}]`), "requires backend.constructs"},
+		{"bad op", minimal(`"assertions": [{"metric": "ticks_total", "op": "==", "value": 1}]`), "op must be one of"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("Parse accepted invalid spec %s", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseAppliesDefaults(t *testing.T) {
+	spec, err := Parse([]byte(minimal(`
+		"fleet": [{"count": 3}],
+		"constructs": [{"count": 2}],
+		"stress": {"bots": 4, "churn": {"mean_session": "10s"}},
+		"events": [
+			{"at": "1s", "kind": "flash_crowd", "count": 5},
+			{"at": "2s", "kind": "spawn_constructs", "count": 1}
+		]`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Seed != 1 {
+		t.Errorf("seed default = %d, want 1", spec.Seed)
+	}
+	if spec.Warmup.D() != 6*time.Second { // min(10s, 30s/5)
+		t.Errorf("warmup default = %s, want 6s", spec.Warmup)
+	}
+	if spec.World.Type != "flat" || spec.World.Profile != "servo" {
+		t.Errorf("world defaults = %+v", spec.World)
+	}
+	if spec.Fleet[0].Behavior != "A" {
+		t.Errorf("fleet behavior default = %q, want A", spec.Fleet[0].Behavior)
+	}
+	if spec.Constructs[0].Blocks != 250 {
+		t.Errorf("construct blocks default = %d, want 250", spec.Constructs[0].Blocks)
+	}
+	if spec.Stress.Ramp.D() != 30*time.Second/4 {
+		t.Errorf("stress ramp default = %s, want duration/4", spec.Stress.Ramp)
+	}
+	if len(spec.Stress.Behaviors) != 1 || spec.Stress.Behaviors["A"] != 1 {
+		t.Errorf("stress behaviors default = %v", spec.Stress.Behaviors)
+	}
+	if spec.Stress.Churn.MeanPause.D() != 5*time.Second {
+		t.Errorf("churn pause default = %s, want 5s", spec.Stress.Churn.MeanPause)
+	}
+	if spec.Events[0].Behavior != "R" {
+		t.Errorf("flash crowd behavior default = %q, want R", spec.Events[0].Behavior)
+	}
+	if spec.Events[1].Blocks != 250 {
+		t.Errorf("spawn blocks default = %d, want 250", spec.Events[1].Blocks)
+	}
+}
+
+func TestParseRejectsTrailingData(t *testing.T) {
+	if _, err := Parse([]byte(minimal("") + ` {"name": "u"}`)); err == nil {
+		t.Fatal("trailing data accepted")
+	}
+}
+
+func TestStorageTierDefaultsWithStorage(t *testing.T) {
+	spec, err := Parse([]byte(minimal(`"backend": {"storage": true}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Backend.StorageTier != "premium" {
+		t.Errorf("storage tier default = %q, want premium", spec.Backend.StorageTier)
+	}
+}
+
+func TestColdStartStormDurationDefault(t *testing.T) {
+	spec, err := Parse([]byte(minimal(`"backend": {"terrain": true},
+		"events": [{"at": "1s", "kind": "cold_start_storm"}]`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Events[0].Duration.D() != 30*time.Second {
+		t.Errorf("storm duration default = %s, want 30s", spec.Events[0].Duration)
+	}
+}

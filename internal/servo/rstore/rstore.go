@@ -37,6 +37,9 @@ func (s *Store) Cache() *tcache.Cache { return s.cache }
 func (s *Store) Load(pos world.ChunkPos, cb func(c *world.Chunk, ok bool)) {
 	s.cache.Get(pos, func(data []byte, err error) {
 		if err != nil {
+			// The cache retries chaos-injected faults internally
+			// (tcache.fetch uses blob.GetRetrying), so any error here is
+			// a genuine not-found or corruption.
 			if !errors.Is(err, blob.ErrNotFound) {
 				s.DecodeFailures++
 			}
@@ -64,13 +67,15 @@ func PlayerKey(name string) string { return "player/" + name }
 
 // SavePlayer implements mve.PlayerStore: player records are small and
 // written straight to remote storage (no chunk cache involved).
+// Chaos-injected write faults are retried until the record lands.
 func (s *Store) SavePlayer(name string, data []byte) {
-	s.cache.Remote().Put(PlayerKey(name), data, nil)
+	s.cache.Remote().PutRetrying(PlayerKey(name), data)
 }
 
-// LoadPlayer implements mve.PlayerStore.
+// LoadPlayer implements mve.PlayerStore. GetRetrying: a false "new
+// player" would reset the player's persisted progress.
 func (s *Store) LoadPlayer(name string, cb func(data []byte, ok bool)) {
-	s.cache.Remote().Get(PlayerKey(name), func(data []byte, err error) {
+	s.cache.Remote().GetRetrying(PlayerKey(name), func(data []byte, err error) {
 		cb(data, err == nil)
 	})
 }

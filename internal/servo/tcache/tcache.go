@@ -21,6 +21,7 @@ package tcache
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"servo/internal/blob"
@@ -139,7 +140,11 @@ func (c *Cache) fetch(pos world.ChunkPos, cb func(data []byte, err error)) {
 		return
 	}
 	c.pending[pos] = []func([]byte, error){cb}
-	c.remote.Get(Key(pos), func(data []byte, err error) {
+	// GetRetrying: chaos-injected faults retry inside the store, so a
+	// fault window never surfaces as a spurious not-found (which would
+	// trigger destructive regeneration) and never double-counts
+	// hits/misses — those were tallied once in Get.
+	c.remote.GetRetrying(Key(pos), func(data []byte, err error) {
 		if errors.Is(err, blob.ErrNotFound) {
 			c.absent[pos] = true
 		}
@@ -217,11 +222,33 @@ func (c *Cache) StartFlusher() {
 	c.clock.After(c.cfg.FlushInterval, tick)
 }
 
-// Flush writes every dirty chunk to remote storage immediately.
+// Flush writes every dirty chunk to remote storage immediately, in
+// deterministic position order (map order would pair the store's random
+// latency/fault draws with different chunks on every run, breaking
+// replay). A failed write (e.g. a chaos-injected storage fault) re-marks
+// the chunk dirty so the next flush retries it once the fault window
+// passes.
 func (c *Cache) Flush() {
+	keys := make([]world.ChunkPos, 0, len(c.dirty))
 	for pos := range c.dirty {
-		data := c.local[pos]
-		c.remote.Put(Key(pos), data, nil)
+		keys = append(keys, pos)
 	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].X != keys[j].X {
+			return keys[i].X < keys[j].X
+		}
+		return keys[i].Z < keys[j].Z
+	})
 	c.dirty = make(map[world.ChunkPos]bool)
+	for _, pos := range keys {
+		pos := pos
+		// PutLatest: if the chunk is re-flushed before a chaos-slowed
+		// write lands, the stale write is dropped instead of reverting
+		// the newer data.
+		c.remote.PutLatest(Key(pos), c.local[pos], func(err error) {
+			if err != nil {
+				c.dirty[pos] = true
+			}
+		})
+	}
 }

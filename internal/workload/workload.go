@@ -153,16 +153,30 @@ func (b *Random) Actions(r *rand.Rand, p *mve.Player, s *mve.Server) []mve.Actio
 	}
 }
 
-// ForName returns a fresh behavior by its Table I name: "A", "R", "Sinc",
-// or "S<digits>" (e.g. "S3", "S8"). Unknown names return behavior A.
-func ForName(name string) mve.Behavior {
+// Idle is an explicit do-nothing behavior ("idle"): the player connects
+// and lurks, consuming per-player server work but issuing no actions.
+// Scenario fleets use it to model spectators.
+type Idle struct{}
+
+var _ mve.Behavior = Idle{}
+
+// Actions implements mve.Behavior.
+func (Idle) Actions(_ *rand.Rand, _ *mve.Player, _ *mve.Server) []mve.Action { return nil }
+
+// lookup is the single behavior-name grammar: Table I names "A", "R",
+// "Sinc", "S<digits>" (positive speed), plus "idle". Both Known and
+// ForName derive from it, so the accepted and constructible name sets
+// cannot drift apart.
+func lookup(name string) (mve.Behavior, bool) {
 	switch name {
 	case "A":
-		return &BoundedMove{}
+		return &BoundedMove{}, true
 	case "R":
-		return &Random{}
+		return &Random{}, true
 	case "Sinc":
-		return &Star{Speed: 1, RampEvery: 200 * time.Second}
+		return &Star{Speed: 1, RampEvery: 200 * time.Second}, true
+	case "idle":
+		return Idle{}, true
 	}
 	if len(name) > 1 && name[0] == 'S' {
 		speed := 0.0
@@ -174,8 +188,25 @@ func ForName(name string) mve.Behavior {
 			speed = speed*10 + float64(ch-'0')
 		}
 		if speed > 0 {
-			return &Star{Speed: speed}
+			return &Star{Speed: speed}, true
 		}
+	}
+	return nil, false
+}
+
+// Known reports whether name is a valid behavior name for ForName. Unlike
+// ForName (which falls back to behavior A), Known is strict, so scenario
+// validation can reject typos.
+func Known(name string) bool {
+	_, ok := lookup(name)
+	return ok
+}
+
+// ForName returns a fresh behavior by its Table I name: "A", "R", "Sinc",
+// "idle", or "S<digits>" (e.g. "S3", "S8"). Unknown names return behavior A.
+func ForName(name string) mve.Behavior {
+	if b, ok := lookup(name); ok {
+		return b
 	}
 	return &BoundedMove{}
 }

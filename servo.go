@@ -38,6 +38,7 @@ import (
 	"servo/internal/metrics"
 	"servo/internal/mve"
 	"servo/internal/sc"
+	"servo/internal/scenario"
 	"servo/internal/sim"
 	"servo/internal/workload"
 	"servo/internal/world"
@@ -302,3 +303,31 @@ func ListExperiments() map[string]string {
 	}
 	return out
 }
+
+// Scenario-harness re-exports (internal/scenario): declarative scenarios
+// that drive the real server/backend stack with fleets, chaos injection,
+// stress generators, and end-of-run assertions. See cmd/servo-sim for the
+// CLI front-end and the README for the spec format.
+type (
+	// ScenarioSpec is a parsed, validated scenario.
+	ScenarioSpec = scenario.Spec
+	// ScenarioReport is the deterministic outcome of one scenario run.
+	ScenarioReport = scenario.Report
+)
+
+// ParseScenario decodes and validates a scenario spec document (JSON).
+func ParseScenario(data []byte) (*ScenarioSpec, error) { return scenario.Parse(data) }
+
+// RunScenario executes a scenario to completion on the virtual clock.
+// log, if non-nil, receives progress lines; the returned report is a pure
+// function of the spec (byte-identical across runs).
+func RunScenario(spec *ScenarioSpec, log io.Writer) (*ScenarioReport, error) {
+	return scenario.Run(spec, log)
+}
+
+// BundledScenarios returns the names of the scenarios shipped with
+// cmd/servo-sim.
+func BundledScenarios() []string { return scenario.Bundled() }
+
+// LoadBundledScenario parses a bundled scenario by name.
+func LoadBundledScenario(name string) (*ScenarioSpec, error) { return scenario.LoadBundled(name) }
