@@ -3,12 +3,17 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race validate sim bench
+.PHONY: ci vet fmtcheck build test race validate sim bench benchsmoke
 
-ci: vet build race validate
+ci: vet fmtcheck build race validate benchsmoke
 
 vet:
 	$(GO) vet ./...
+
+# fmtcheck fails if any file needs gofmt.
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt -l flagged:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -30,3 +35,8 @@ sim:
 # bench regenerates the paper's tables and figures at bench scale.
 bench:
 	$(GO) run ./cmd/servo-bench -exp all
+
+# benchsmoke runs every benchmark exactly once in short mode: a fast
+# compile-and-execute gate over the figure pipelines, not a measurement.
+benchsmoke:
+	$(GO) test -short -run '^$$' -bench . -benchtime 1x .

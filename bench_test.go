@@ -19,8 +19,17 @@ import (
 
 var benchScale = flag.Float64("servo.scale", 0.1, "experiment duration scale for benchmarks (1.0 = paper length)")
 
+// benchSmokeScale is the scale cap in -short mode: `make benchsmoke` is a
+// compile-and-execute gate over every figure pipeline, not a measurement,
+// so the windows shrink to seconds of virtual time.
+const benchSmokeScale = 0.02
+
 func benchOpt() experiment.Options {
-	return experiment.Options{Seed: 42, Scale: *benchScale}
+	scale := *benchScale
+	if testing.Short() && scale > benchSmokeScale {
+		scale = benchSmokeScale
+	}
+	return experiment.Options{Seed: 42, Scale: scale}
 }
 
 // BenchmarkFig1MaxPlayers regenerates Fig. 1: the headline maximum-players

@@ -32,7 +32,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   servo-sim list
   servo-sim validate all | <name|file.json>...
-  servo-sim run [-v] [-seed N] all | <name|file.json>...`)
+  servo-sim run [-v] [-seed N] [-shards N] all | <name|file.json>...`)
 }
 
 func run(args []string) int {
@@ -113,6 +113,7 @@ func cmdRun(args []string) int {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	verbose := fs.Bool("v", false, "log per-event progress to stderr")
 	seed := fs.Int64("seed", 0, "override every scenario's seed (0 = use the spec's)")
+	shards := fs.Int("shards", 0, "override every scenario's shard count (0 = use the spec's; >1 runs a region-sharded cluster)")
 	_ = fs.Parse(args)
 	specs, err := resolve(fs.Args())
 	if err != nil {
@@ -123,6 +124,12 @@ func cmdRun(args []string) int {
 	for _, spec := range specs {
 		if *seed != 0 {
 			spec.Seed = *seed
+		}
+		if *shards != 0 {
+			// Re-validated inside Run, so a spec that depends on its
+			// shard count (per-shard assertions, placement) surfaces a
+			// clear error instead of running nonsense.
+			spec.Shards = *shards
 		}
 		var log io.Writer
 		if *verbose {

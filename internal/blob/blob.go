@@ -285,6 +285,15 @@ func (s *Store) put(key string, data []byte, gen uint64, cb func(err error)) {
 // write still in flight is dropped at install time, so a stale value can
 // never clobber a newer write.
 func (s *Store) PutRetrying(key string, data []byte) {
+	s.PutRetryingThen(key, data, nil)
+}
+
+// PutRetryingThen is PutRetrying with a completion callback: done runs
+// once the write lands (or once the chain is superseded by a newer write
+// for the same key). Cross-shard handoff uses it to sequence the
+// save-then-restore round-trip, so a brownout can delay but never lose a
+// transferring player's state.
+func (s *Store) PutRetryingThen(key string, data []byte, done func()) {
 	s.putGen[key]++
 	gen := s.putGen[key]
 	var put func()
@@ -292,6 +301,10 @@ func (s *Store) PutRetrying(key string, data []byte) {
 		s.put(key, data, gen, func(err error) {
 			if errors.Is(err, ErrInjectedFault) && s.putGen[key] == gen {
 				put()
+				return
+			}
+			if done != nil {
+				done()
 			}
 		})
 	}

@@ -1,0 +1,428 @@
+// Package cluster scales the MVE horizontally: a Cluster partitions chunk
+// space into contiguous region bands (world.Partition), runs one
+// mve.Server per shard on the shared virtual clock, and routes player
+// sessions to the shard owning their avatar's region. The serverless
+// substrate — blob store, FaaS platform, warm pools — is shared across
+// shards (one storage/compute layer, N game loops: the paper's
+// architecture, multiplied); internal/core owns that wiring through a
+// ShardBuilder callback, so this package depends only on mve and world.
+//
+// Cross-shard handoff: a periodic scan detects avatars that crossed a
+// region boundary (with one scan of hysteresis against boundary
+// oscillation) and transfers the session — the player snapshot plus any
+// player-owned constructs is saved through the cluster's Transfer (the
+// shared storage substrate, with retrying writes, so a brownout delays
+// but never loses state), restored on the target shard, and admitted
+// there. The wall between eviction and admission is the handoff latency,
+// recorded per transfer.
+package cluster
+
+import (
+	"time"
+
+	"servo/internal/metrics"
+	"servo/internal/mve"
+	"servo/internal/sc"
+	"servo/internal/sim"
+	"servo/internal/world"
+)
+
+// DefaultScanInterval is how often the cluster checks avatars against
+// region boundaries (5 ticks at the 20 Hz default rate).
+const DefaultScanInterval = 250 * time.Millisecond
+
+// ShardBuilder constructs shard i's server owning region. internal/core
+// supplies a builder that wires every shard onto one shared serverless
+// substrate.
+type ShardBuilder func(shard int, region world.Region) *mve.Server
+
+// Transfer persists handoff state through the cluster's storage
+// substrate, keyed by player name. Save must survive transient storage
+// faults (retry until the write lands) and call done exactly once; Load
+// reports ok=false only for genuinely absent records. A nil Transfer
+// makes handoff an in-memory move with zero latency (no store
+// configured).
+type Transfer interface {
+	Save(name string, data []byte, done func())
+	Load(name string, cb func(data []byte, ok bool))
+}
+
+// Config configures a Cluster.
+type Config struct {
+	// Shards is the number of region shards (required, >= 1).
+	Shards int
+	// BandChunks is the region band width in chunk columns
+	// (0 → world.DefaultBandChunks).
+	BandChunks int
+	// ScanInterval is the boundary-scan cadence (0 → DefaultScanInterval).
+	ScanInterval time.Duration
+	// Transfer persists handoff state; nil moves state in memory.
+	Transfer Transfer
+}
+
+// PlayerID is a cluster-global player identity, stable across handoffs
+// (shard-level mve.PlayerIDs change when a session moves).
+type PlayerID uint64
+
+// Player is a cluster-level session handle.
+type Player struct {
+	ID   PlayerID
+	Name string
+
+	shard    int
+	pid      mve.PlayerID
+	behavior mve.Behavior
+	// pendingShard is the boundary-scan hysteresis state: a handoff
+	// starts only when two consecutive scans agree on the same foreign
+	// shard, so an avatar oscillating on a band edge does not thrash.
+	pendingShard int
+	// inflight marks a handoff in progress (the session is on no shard
+	// while its state crosses the storage substrate).
+	inflight bool
+	// closed marks a disconnect issued mid-handoff; the transfer
+	// completes by persisting the state instead of admitting it.
+	closed bool
+	// constructs are the player-owned constructs simulated on the
+	// player's shard and travelling with it on handoff.
+	constructs []ownedConstruct
+}
+
+// OwnedConstructs returns the number of constructs owned by the player.
+func (p *Player) OwnedConstructs() int { return len(p.constructs) }
+
+// Shard returns the index of the shard currently hosting the session
+// (the source shard while a handoff is in flight).
+func (p *Player) Shard() int { return p.shard }
+
+// InFlight reports whether the session is mid-handoff.
+func (p *Player) InFlight() bool { return p.inflight }
+
+// ownedConstruct tracks one player-owned construct on its current shard,
+// by anchor: shard-level ids are not stable across the halt/resume cycle
+// (resuming re-adds the construct under a fresh id), so the live id is
+// resolved from the anchor at handoff time.
+type ownedConstruct struct {
+	anchor world.BlockPos
+}
+
+// HandoffRecord logs one completed handoff, in completion order. The
+// sequence is part of the deterministic replay surface: same seed, same
+// records.
+type HandoffRecord struct {
+	Player   string
+	From, To int
+	Latency  time.Duration
+}
+
+// Cluster is a set of region shards behind one session router.
+type Cluster struct {
+	clock sim.Clock
+	cfg   Config
+	part  world.Partition
+
+	shards   []*mve.Server
+	transfer Transfer
+
+	players map[PlayerID]*Player
+	order   []PlayerID
+	nextID  PlayerID
+
+	running bool
+	stopped bool
+
+	// Handoff metrics.
+	Handoffs       metrics.Counter
+	HandoffLatency *metrics.Sample
+	HandoffsIn     []metrics.Counter // per target shard
+	HandoffsOut    []metrics.Counter // per source shard
+	// Log records completed handoffs in completion order.
+	Log []HandoffRecord
+}
+
+// New builds a cluster of cfg.Shards servers via build. Shard servers are
+// constructed in shard order, so builders drawing from the shared clock
+// RNG stay deterministic.
+func New(clock sim.Clock, cfg Config, build ShardBuilder) *Cluster {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.BandChunks == 0 {
+		cfg.BandChunks = world.DefaultBandChunks
+	}
+	if cfg.ScanInterval == 0 {
+		cfg.ScanInterval = DefaultScanInterval
+	}
+	c := &Cluster{
+		clock:          clock,
+		cfg:            cfg,
+		part:           world.Partition{Shards: cfg.Shards, BandChunks: cfg.BandChunks},
+		transfer:       cfg.Transfer,
+		players:        make(map[PlayerID]*Player),
+		HandoffLatency: metrics.NewSample(4096),
+		HandoffsIn:     make([]metrics.Counter, cfg.Shards),
+		HandoffsOut:    make([]metrics.Counter, cfg.Shards),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		c.shards = append(c.shards, build(i, c.part.Region(i)))
+	}
+	return c
+}
+
+// Partition returns the cluster's region partition.
+func (c *Cluster) Partition() world.Partition { return c.part }
+
+// Shards returns the shard servers in shard order.
+func (c *Cluster) Shards() []*mve.Server { return c.shards }
+
+// Shard returns shard i's server.
+func (c *Cluster) Shard(i int) *mve.Server { return c.shards[i] }
+
+// Start starts every shard's game loop and the boundary scan.
+func (c *Cluster) Start() {
+	if c.running {
+		return
+	}
+	c.running = true
+	for _, s := range c.shards {
+		s.Start()
+	}
+	c.clock.After(c.cfg.ScanInterval, c.scan)
+}
+
+// Stop halts the shards and the boundary scan.
+func (c *Cluster) Stop() {
+	c.stopped = true
+	for _, s := range c.shards {
+		s.Stop()
+	}
+}
+
+// Connect joins a player at the world spawn point, routed to the shard
+// owning spawn.
+func (c *Cluster) Connect(name string, b mve.Behavior) *Player {
+	return c.ConnectAt(name, b, world.BlockPos{})
+}
+
+// ConnectAt joins a player standing at pos, routed to the owning shard
+// (shard-aware fleet placement). Persisted player data still overrides
+// the position once the shard's store answers.
+func (c *Cluster) ConnectAt(name string, b mve.Behavior, pos world.BlockPos) *Player {
+	shard := c.part.ShardOfBlock(pos)
+	sess := c.shards[shard].ConnectAt(name, b, float64(pos.X), float64(pos.Z))
+	c.nextID++
+	p := &Player{
+		ID:           c.nextID,
+		Name:         name,
+		shard:        shard,
+		pid:          sess.ID,
+		behavior:     b,
+		pendingShard: shard,
+	}
+	c.players[p.ID] = p
+	c.order = append(c.order, p.ID)
+	return p
+}
+
+// Home returns a spawn position inside shard i's region (see
+// world.Partition.HomeBlock).
+func (c *Cluster) Home(i int) world.BlockPos { return c.part.HomeBlock(i) }
+
+// Disconnect removes a session wherever it currently lives. A disconnect
+// racing an in-flight handoff is honoured when the transfer completes:
+// the moved state is persisted rather than admitted, so nothing is lost.
+func (c *Cluster) Disconnect(id PlayerID) {
+	p, ok := c.players[id]
+	if !ok {
+		return
+	}
+	if p.inflight {
+		p.closed = true
+		return
+	}
+	c.shards[p.shard].Disconnect(p.pid)
+	c.drop(id)
+}
+
+// drop removes the handle from the routing tables.
+func (c *Cluster) drop(id PlayerID) {
+	delete(c.players, id)
+	for i, pid := range c.order {
+		if pid == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Players returns the live session handles in join order.
+func (c *Cluster) Players() []*Player {
+	out := make([]*Player, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.players[id])
+	}
+	return out
+}
+
+// PlayerCount returns the number of live sessions (including in-flight
+// handoffs).
+func (c *Cluster) PlayerCount() int { return len(c.players) }
+
+// Session returns the shard-level session behind a handle, or nil while
+// the player is mid-handoff.
+func (c *Cluster) Session(p *Player) *mve.Player {
+	if p.inflight {
+		return nil
+	}
+	return c.shards[p.shard].Player(p.pid)
+}
+
+// SpawnConstruct activates an unowned construct on the shard owning its
+// anchor and returns (shard, id). Unowned constructs never migrate.
+func (c *Cluster) SpawnConstruct(con *sc.Construct, anchor world.BlockPos) (int, uint64) {
+	shard := c.part.ShardOfBlock(anchor)
+	return shard, c.shards[shard].SpawnConstruct(con, anchor)
+}
+
+// SpawnOwnedConstruct activates a construct owned by a player. Owned
+// constructs are simulated by the shard hosting their owner (their
+// outputs feed that player's client) and travel with the owner on
+// handoff when their anchor lies in the destination region — the case
+// where the footprint moves between chunk copies each persisted by
+// their owning shard. Constructs anchored elsewhere, constructs that are
+// halted (chunk unloaded) at handoff time, and all owned constructs on
+// disconnect stay behind on their current shard as unowned.
+func (c *Cluster) SpawnOwnedConstruct(con *sc.Construct, anchor world.BlockPos, owner *Player) uint64 {
+	id := c.shards[owner.shard].SpawnConstruct(con, anchor)
+	owner.constructs = append(owner.constructs, ownedConstruct{anchor: anchor})
+	return id
+}
+
+// scan walks every session in join order and starts handoffs for avatars
+// that settled in a foreign region (two consecutive scans agreeing, the
+// hysteresis against band-edge oscillation).
+func (c *Cluster) scan() {
+	if c.stopped {
+		return
+	}
+	for _, id := range append([]PlayerID(nil), c.order...) {
+		p, ok := c.players[id]
+		if !ok || p.inflight {
+			continue
+		}
+		sess := c.shards[p.shard].Player(p.pid)
+		if sess == nil {
+			continue
+		}
+		want := c.part.ShardOfBlock(sess.Pos())
+		if want == p.shard {
+			p.pendingShard = p.shard
+			continue
+		}
+		if want != p.pendingShard {
+			p.pendingShard = want // first sighting: arm the hysteresis
+			continue
+		}
+		c.handoff(p, want)
+	}
+	c.clock.After(c.cfg.ScanInterval, c.scan)
+}
+
+// handoff transfers a session from its current shard to dst: evict, save
+// the snapshot (player + owned constructs) through the storage substrate,
+// restore on dst, admit. With a nil Transfer the move is purely in
+// memory.
+func (c *Cluster) handoff(p *Player, dst int) {
+	src := p.shard
+	snap, ok := c.shards[src].EvictPlayer(p.pid)
+	if !ok {
+		return
+	}
+	start := c.clock.Now()
+	p.inflight = true
+	// Owned constructs whose anchor lies in the destination region leave
+	// the source shard with their owner, resolved by anchor (ids are not
+	// stable across halt/resume). Migration is restricted to
+	// destination-region anchors so the world footprint only ever moves
+	// between chunk copies persisted by their owning shard — eviction
+	// clears the source's never-persisted ghost copy, respawn writes the
+	// destination's owned copy. Constructs anchored elsewhere (and
+	// constructs currently halted) stay behind on the source shard as
+	// unowned.
+	for _, oc := range p.constructs {
+		if c.part.ShardOfBlock(oc.anchor) != dst {
+			continue
+		}
+		id, ok := c.shards[src].ActiveConstructAt(oc.anchor)
+		if !ok {
+			continue
+		}
+		if con, anchor, ok := c.shards[src].EvictConstruct(id); ok {
+			snap.Constructs = append(snap.Constructs, mve.ConstructSnapshot{
+				Anchor: anchor,
+				Layout: con.EncodeLayout(),
+				State:  con.State(),
+			})
+		}
+	}
+	p.constructs = nil
+
+	// restoreConstructs re-activates the travelling constructs on a
+	// shard, returning their ownership refs.
+	restoreConstructs := func(shard int, snaps []mve.ConstructSnapshot) []ownedConstruct {
+		var out []ownedConstruct
+		for _, cs := range snaps {
+			con, err := sc.DecodeLayout(cs.Layout)
+			if err != nil {
+				continue
+			}
+			if err := con.SetState(cs.State); err != nil {
+				continue
+			}
+			c.shards[shard].SpawnConstruct(con, cs.Anchor)
+			out = append(out, ownedConstruct{anchor: cs.Anchor})
+		}
+		return out
+	}
+
+	finish := func(restored mve.PlayerSnapshot) {
+		p.inflight = false
+		if p.closed {
+			// Disconnected mid-handoff: the player record is already
+			// persisted (when a Transfer exists), and the travelling
+			// constructs land on the target shard as unowned — the same
+			// stay-behind contract as a plain disconnect.
+			restoreConstructs(dst, restored.Constructs)
+			c.drop(p.ID)
+			return
+		}
+		sess := c.shards[dst].AdmitPlayer(restored)
+		p.shard, p.pid, p.pendingShard = dst, sess.ID, dst
+		p.constructs = restoreConstructs(dst, restored.Constructs)
+		lat := c.clock.Now() - start
+		c.Handoffs.Inc()
+		c.HandoffLatency.Add(lat)
+		c.HandoffsIn[dst].Inc()
+		c.HandoffsOut[src].Inc()
+		c.Log = append(c.Log, HandoffRecord{Player: p.Name, From: src, To: dst, Latency: lat})
+	}
+
+	if c.transfer == nil {
+		finish(snap)
+		return
+	}
+	data := mve.EncodeSnapshot(snap)
+	c.transfer.Save(p.Name, data, func() {
+		c.transfer.Load(p.Name, func(got []byte, ok bool) {
+			restored := snap
+			if ok {
+				if dec, err := mve.DecodeSnapshot(got); err == nil {
+					// Name and Behavior are carried in memory, not on
+					// the wire.
+					dec.Name, dec.Behavior = snap.Name, snap.Behavior
+					restored = dec
+				}
+			}
+			finish(restored)
+		})
+	})
+}

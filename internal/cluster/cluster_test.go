@@ -1,0 +1,311 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"servo/internal/blob"
+	"servo/internal/mve"
+	"servo/internal/sc"
+	"servo/internal/servo/rstore"
+	"servo/internal/sim"
+	"servo/internal/world"
+)
+
+// newTestCluster builds a cluster of plain (no serverless backends)
+// servers on a fresh loop. BandChunks 4 → 64-block bands.
+func newTestCluster(t *testing.T, seed int64, shards int, cfg Config) (*sim.Loop, *Cluster) {
+	t.Helper()
+	loop := sim.NewLoop(seed)
+	cfg.Shards = shards
+	cfg.BandChunks = 4
+	c := New(loop, cfg, func(i int, region world.Region) *mve.Server {
+		return mve.NewServer(loop, mve.Config{
+			WorldType:    "flat",
+			ViewDistance: 32,
+			Region:       region,
+		})
+	})
+	return loop, c
+}
+
+// walker issues a single move order and then stays quiet.
+func walker(x, z, speed float64) mve.Behavior {
+	issued := false
+	return mve.BehaviorFunc(func(_ *rand.Rand, _ *mve.Player, _ *mve.Server) []mve.Action {
+		if issued {
+			return nil
+		}
+		issued = true
+		return []mve.Action{mve.MoveTo(x, z, speed)}
+	})
+}
+
+func TestHandoffAcrossBoundary(t *testing.T) {
+	loop, c := newTestCluster(t, 1, 2, Config{})
+	// Band 0 (x in [0,64)) → shard 0; band 1 (x in [64,128)) → shard 1.
+	p := c.ConnectAt("runner", walker(100, 8, 8), world.BlockPos{X: 32, Y: 0, Z: 8})
+	if p.Shard() != 0 {
+		t.Fatalf("spawned on shard %d, want 0", p.Shard())
+	}
+	sess := c.Session(p)
+	sess.Inventory = 13
+	c.Start()
+	loop.RunUntil(30 * time.Second)
+
+	if got := c.Handoffs.Value(); got != 1 {
+		t.Fatalf("handoffs = %d, want exactly 1", got)
+	}
+	if p.Shard() != 1 {
+		t.Fatalf("player on shard %d after crossing, want 1", p.Shard())
+	}
+	if c.Shard(0).PlayerCount() != 0 || c.Shard(1).PlayerCount() != 1 {
+		t.Fatalf("session counts: shard0=%d shard1=%d", c.Shard(0).PlayerCount(), c.Shard(1).PlayerCount())
+	}
+	sess = c.Session(p)
+	if sess == nil {
+		t.Fatal("no session after handoff")
+	}
+	if sess.Inventory != 13 {
+		t.Fatalf("inventory lost in handoff: %d", sess.Inventory)
+	}
+	// Movement state survived: the avatar finished its walk on the new
+	// shard.
+	if sess.X < 99 || sess.X > 101 {
+		t.Fatalf("avatar did not keep walking after handoff: x=%g", sess.X)
+	}
+	if len(c.Log) != 1 || c.Log[0].From != 0 || c.Log[0].To != 1 || c.Log[0].Player != "runner" {
+		t.Fatalf("handoff log wrong: %+v", c.Log)
+	}
+	if c.HandoffsOut[0].Value() != 1 || c.HandoffsIn[1].Value() != 1 {
+		t.Fatalf("per-shard counters wrong: out0=%d in1=%d", c.HandoffsOut[0].Value(), c.HandoffsIn[1].Value())
+	}
+}
+
+func TestHandoffHysteresisNoThrash(t *testing.T) {
+	loop, c := newTestCluster(t, 2, 2, Config{})
+	p := c.ConnectAt("osc", nil, world.BlockPos{X: 62, Y: 0, Z: 8})
+	c.Start()
+	// Teleport the avatar across the x=64 boundary between scans (scan
+	// period 250ms, flips offset by 125ms), so consecutive scans always
+	// see opposite sides: the two-scan hysteresis must never fire.
+	far := false
+	var flip func()
+	flip = func() {
+		if sess := c.Session(p); sess != nil {
+			far = !far
+			if far {
+				sess.X = 66
+			} else {
+				sess.X = 62
+			}
+		}
+		loop.After(250*time.Millisecond, flip)
+	}
+	loop.After(125*time.Millisecond, flip)
+	loop.RunUntil(60 * time.Second)
+	if got := c.Handoffs.Value(); got != 0 {
+		t.Fatalf("boundary oscillation caused %d handoffs (thrash)", got)
+	}
+}
+
+func TestOwnedConstructMigratesWithState(t *testing.T) {
+	loop, c := newTestCluster(t, 3, 2, Config{})
+	p := c.ConnectAt("engineer", walker(100, 8, 8), world.BlockPos{X: 32, Y: 0, Z: 8})
+	con := sc.BuildSized(48)
+	// Anchor near the walk's destination so the construct's chunk stays
+	// within view range on both shards (an anchor left far behind would
+	// legitimately halt on chunk unload instead of migrating).
+	c.SpawnOwnedConstruct(con, world.BlockPos{X: 90, Y: 5, Z: 8}, p)
+	if c.Shard(0).SCs().Count() != 1 {
+		t.Fatal("construct not on source shard")
+	}
+	c.Start()
+	loop.RunUntil(30 * time.Second)
+
+	if c.Handoffs.Value() == 0 {
+		t.Fatal("no handoff happened")
+	}
+	if got := c.Shard(0).SCs().Count(); got != 0 {
+		t.Fatalf("source shard still simulates %d constructs", got)
+	}
+	if got := c.Shard(1).SCs().Count(); got != 1 {
+		t.Fatalf("target shard simulates %d constructs, want 1", got)
+	}
+	if p.OwnedConstructs() != 1 {
+		t.Fatalf("ownership refs lost: %d", p.OwnedConstructs())
+	}
+}
+
+// seqWalker walks through waypoints in order, one move at a time.
+func seqWalker(speed float64, waypoints ...[2]float64) mve.Behavior {
+	idx := 0
+	return mve.BehaviorFunc(func(_ *rand.Rand, p *mve.Player, _ *mve.Server) []mve.Action {
+		if p.Moving() || idx >= len(waypoints) {
+			return nil
+		}
+		w := waypoints[idx]
+		idx++
+		return []mve.Action{mve.MoveTo(w[0], w[1], speed)}
+	})
+}
+
+// TestOwnedConstructSurvivesHaltResumeThenMigrates is the stale-id
+// regression: the owner walks far enough that the construct's chunk
+// unloads (halting it), comes back (the construct resumes under a FRESH
+// shard-level id), and then crosses a shard boundary. Anchor-based
+// ownership must still migrate the construct.
+func TestOwnedConstructSurvivesHaltResumeThenMigrates(t *testing.T) {
+	loop, c := newTestCluster(t, 8, 2, Config{})
+	// Out along +Z far past view+margin (halts the construct anchored at
+	// the edge of view), back (resumes it under a fresh shard-level id),
+	// then across the x=64 band boundary. The anchor sits in band 1 so
+	// the handoff into shard 1 migrates it.
+	p := c.ConnectAt("roamer", seqWalker(8, [2]float64{32, 150}, [2]float64{32, 8}, [2]float64{80, 8}),
+		world.BlockPos{X: 32, Y: 0, Z: 8})
+	c.SpawnOwnedConstruct(sc.BuildSized(48), world.BlockPos{X: 70, Y: 5, Z: 8}, p)
+	c.Start()
+	loop.RunUntil(90 * time.Second)
+
+	if c.Shard(0).ConstructsResumed.Value() == 0 {
+		t.Fatal("construct never halted+resumed; regression test proves nothing")
+	}
+	if c.Handoffs.Value() == 0 {
+		t.Fatal("no handoff happened")
+	}
+	if got := c.Shard(1).SCs().Count(); got != 1 {
+		t.Fatalf("construct did not migrate after halt/resume: shard1 has %d", got)
+	}
+	if got := c.Shard(0).SCs().Count(); got != 0 {
+		t.Fatalf("source shard still simulates %d constructs", got)
+	}
+	if p.OwnedConstructs() != 1 {
+		t.Fatalf("ownership lost across halt/resume: %d refs", p.OwnedConstructs())
+	}
+}
+
+// retryingTransfer is the test double of core's blob-backed transfer.
+type retryingTransfer struct{ remote *blob.Store }
+
+func (t *retryingTransfer) Save(name string, data []byte, done func()) {
+	t.remote.PutRetryingThen(rstore.PlayerKey(name), data, done)
+}
+
+func (t *retryingTransfer) Load(name string, cb func([]byte, bool)) {
+	t.remote.GetRetrying(rstore.PlayerKey(name), func(data []byte, err error) {
+		cb(data, err == nil)
+	})
+}
+
+func TestHandoffThroughStoreSurvivesBrownout(t *testing.T) {
+	loop := sim.NewLoop(4)
+	remote := blob.NewStore(loop, blob.TierPremium)
+	cfg := Config{Transfer: &retryingTransfer{remote: remote}, Shards: 2, BandChunks: 4}
+	c := New(loop, cfg, func(i int, region world.Region) *mve.Server {
+		return mve.NewServer(loop, mve.Config{WorldType: "flat", ViewDistance: 32, Region: region})
+	})
+	p := c.ConnectAt("survivor", walker(100, 8, 8), world.BlockPos{X: 32, Y: 0, Z: 8})
+	c.Session(p).Inventory = 21
+	// A brownout for the whole run: half of reads and writes fail, and
+	// everything is 5x slower. Retrying transfer must still deliver.
+	remote.SetChaos(&blob.Chaos{ReadErrorRate: 0.5, WriteErrorRate: 0.5, LatencyFactor: 5})
+	c.Start()
+	loop.RunUntil(60 * time.Second)
+
+	if got := c.Handoffs.Value(); got != 1 {
+		t.Fatalf("handoffs = %d, want 1", got)
+	}
+	sess := c.Session(p)
+	if sess == nil {
+		t.Fatal("session lost")
+	}
+	if sess.Inventory != 21 {
+		t.Fatalf("inventory lost through brownout handoff: %d", sess.Inventory)
+	}
+	if sess.X < 99 || sess.X > 101 {
+		t.Fatalf("position lost through brownout handoff: x=%g", sess.X)
+	}
+	if remote.FaultsInjected.Value() == 0 {
+		t.Fatal("brownout injected no faults; test proves nothing")
+	}
+	// The storage round-trip is the handoff latency: with a 5x brownout
+	// it must be visible (well above one tick).
+	if lat := c.HandoffLatency.Max(); lat < 10*time.Millisecond {
+		t.Fatalf("handoff latency %v implausibly low for a brownout", lat)
+	}
+}
+
+func TestDisconnectDuringHandoffDoesNotCrash(t *testing.T) {
+	loop := sim.NewLoop(5)
+	remote := blob.NewStore(loop, blob.TierStandard)
+	cfg := Config{Transfer: &retryingTransfer{remote: remote}, Shards: 2, BandChunks: 4}
+	c := New(loop, cfg, func(i int, region world.Region) *mve.Server {
+		return mve.NewServer(loop, mve.Config{WorldType: "flat", ViewDistance: 32, Region: region})
+	})
+	p := c.ConnectAt("quitter", walker(100, 8, 8), world.BlockPos{X: 32, Y: 0, Z: 8})
+	c.SpawnOwnedConstruct(sc.BuildSized(48), world.BlockPos{X: 90, Y: 5, Z: 8}, p)
+	c.Start()
+	// Slow the store drastically so the handoff is in flight for a while.
+	remote.SetChaos(&blob.Chaos{LatencyFactor: 50})
+	// Disconnect as soon as the handoff starts.
+	var poll func()
+	poll = func() {
+		if p.InFlight() {
+			c.Disconnect(p.ID)
+			return
+		}
+		loop.After(100*time.Millisecond, poll)
+	}
+	loop.After(100*time.Millisecond, poll)
+	loop.RunUntil(2 * time.Minute)
+
+	if c.PlayerCount() != 0 {
+		t.Fatalf("player count = %d after disconnect, want 0", c.PlayerCount())
+	}
+	if c.Shard(0).PlayerCount()+c.Shard(1).PlayerCount() != 0 {
+		t.Fatal("a shard still hosts the disconnected session")
+	}
+	// The mid-handoff state was persisted, not lost: a reconnect finds
+	// the record.
+	if !remote.Exists(rstore.PlayerKey("quitter")) {
+		t.Fatal("mid-handoff disconnect lost the persisted player record")
+	}
+	// The travelling construct was not dropped from the world: it landed
+	// on the target shard as unowned (the stay-behind disconnect
+	// contract).
+	if got := c.Shard(0).SCs().Count() + c.Shard(1).SCs().Count(); got != 1 {
+		t.Fatalf("mid-handoff disconnect lost the owned construct: %d in world", got)
+	}
+}
+
+// TestHandoffDeterministicSequence runs the same seeded multi-player
+// cluster twice and requires identical handoff logs.
+func TestHandoffDeterministicSequence(t *testing.T) {
+	run := func() []HandoffRecord {
+		loop, c := newTestCluster(t, 42, 4, Config{})
+		for i := 0; i < 12; i++ {
+			home := c.Home(i % 4)
+			// Every player walks two bands to the right, guaranteeing
+			// handoffs; speed varies by the clock RNG.
+			speed := 4 + loop.RNG().Float64()*4
+			c.ConnectAt(fmt.Sprintf("p%d", i), walker(float64(home.X+128), 8, speed), home)
+		}
+		c.Start()
+		loop.RunUntil(2 * time.Minute)
+		return append([]HandoffRecord(nil), c.Log...)
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no handoffs recorded; test proves nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("handoff counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("handoff[%d] differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"servo/internal/blob"
+	"servo/internal/cluster"
 	"servo/internal/faas"
 	"servo/internal/mve"
 	"servo/internal/sc"
@@ -77,27 +78,65 @@ type Config struct {
 	DisableCache bool
 	// WrapStore, if non-nil, wraps the assembled chunk store before the
 	// server boots (e.g. with a latency-measurement probe), so that even
-	// boot-time world loading is observed.
+	// boot-time world loading is observed. With shards it wraps every
+	// shard's store.
 	WrapStore func(mve.ChunkStore) mve.ChunkStore
+
+	// Shards > 1 assembles a region-sharded cluster: one mve.Server per
+	// shard over a single shared substrate (one FaaS platform with shared
+	// warm pools, one blob store), with cross-shard player handoff
+	// (internal/cluster). 0 or 1 builds the classic single server.
+	Shards int
+	// BandChunks is the region band width in chunk columns
+	// (0 → world.DefaultBandChunks). Only meaningful with Shards > 1.
+	BandChunks int
 }
 
-// System is an assembled Servo (or baseline) instance.
+// ShardComponents holds the per-shard component instances riding on the
+// system-wide substrate: every shard has its own game loop, speculative
+// execution unit, terrain backend, and pre-fetching cache, while the FaaS
+// platform (and its warm pools) and the blob store are shared.
+type ShardComponents struct {
+	Server *mve.Server
+	// SpecExec is this shard's speculative execution unit (nil unless
+	// ServerlessSC).
+	SpecExec *specexec.Manager
+	// TGBackend is this shard's serverless terrain backend (nil unless
+	// ServerlessTG).
+	TGBackend *tgen.Backend
+	// Cache and RStore are this shard's cached view of the shared remote
+	// store (nil unless ServerlessRS with the cache enabled).
+	Cache  *tcache.Cache
+	RStore *rstore.Store
+}
+
+// System is an assembled Servo (or baseline) instance: one shard by
+// default, N region shards behind a Cluster when Config.Shards > 1.
 type System struct {
+	// Server is shard 0's game loop — the only one in the unsharded
+	// case, which keeps every single-server caller working unchanged.
 	Server   *mve.Server
 	Platform *faas.Platform
 
-	// SpecExec is the speculative execution unit (nil unless
+	// Cluster routes players across shards (nil unless Shards > 1).
+	Cluster *cluster.Cluster
+	// Shards lists every shard's components in shard order (always at
+	// least one entry; entry 0 mirrors the legacy top-level fields).
+	Shards []*ShardComponents
+
+	// SpecExec is shard 0's speculative execution unit (nil unless
 	// ServerlessSC).
 	SpecExec *specexec.Manager
-	// SCFn and TGFn are the deployed functions (nil if unused).
+	// SCFn and TGFn are the deployed functions (nil if unused), shared by
+	// every shard.
 	SCFn *faas.Function
 	TGFn *faas.Function
-	// TGBackend is the serverless terrain backend (nil unless
+	// TGBackend is shard 0's serverless terrain backend (nil unless
 	// ServerlessTG).
 	TGBackend *tgen.Backend
 
-	// Remote, Cache, and RStore are the storage stack (nil unless a
-	// store is configured).
+	// Remote is the shared object store; Cache and RStore are shard 0's
+	// storage stack (nil unless a store is configured).
 	Remote *blob.Store
 	Cache  *tcache.Cache
 	RStore *rstore.Store
@@ -135,41 +174,38 @@ func DefaultTGFnConfig() faas.Config {
 
 // New assembles a system on the clock. With all serverless toggles off it
 // builds a pure baseline server (profile-dependent), which is how the
-// experiment harness constructs Opencraft and Minecraft.
+// experiment harness constructs Opencraft and Minecraft. With Shards > 1
+// it builds one server per region shard over a single shared substrate:
+// functions (and their warm pools) are registered once on one platform,
+// every shard's cache flushes into the same blob store, and a Cluster
+// routes players between shards.
 func New(clock sim.Clock, cfg Config) *System {
 	sys := &System{}
 	profile := cfg.Profile
 	if profile == 0 {
 		profile = mve.ProfileServo
 	}
-	needPlatform := cfg.ServerlessSC || cfg.ServerlessTG
-	if needPlatform {
+	shardCount := cfg.Shards
+	if shardCount < 1 {
+		shardCount = 1
+	}
+	if cfg.ServerlessSC || cfg.ServerlessTG {
 		sys.Platform = faas.NewPlatform(clock)
 	}
 
-	srvCfg := mve.Config{
-		Profile:      profile,
-		WorldType:    cfg.WorldType,
-		Seed:         cfg.Seed,
-		ViewDistance: cfg.ViewDistance,
-		TickInterval: cfg.TickInterval,
-		Cost:         cfg.Cost,
-	}
-
+	// Shared substrate: deployed functions and the object store exist
+	// once, regardless of the shard count.
+	spec := cfg.SpecExec
 	if cfg.ServerlessSC {
 		fnCfg := cfg.SCFn
 		if fnCfg.NsPerWorkUnit == 0 {
 			fnCfg = DefaultSCFnConfig()
 		}
 		sys.SCFn = sys.Platform.Register(SCFunctionName, fnCfg, specexec.Handler)
-		spec := cfg.SpecExec
 		if spec.StepsPerInvocation == 0 {
 			spec = specexec.DefaultConfig()
 		}
-		sys.SpecExec = specexec.NewManager(sys.Platform, SCFunctionName, spec)
-		srvCfg.SC = &scAdapter{mgr: sys.SpecExec}
 	}
-
 	if cfg.ServerlessTG {
 		fnCfg := cfg.TGFn
 		if fnCfg.NsPerWorkUnit == 0 {
@@ -177,45 +213,108 @@ func New(clock sim.Clock, cfg Config) *System {
 		}
 		gen := terrain.ForWorldType(cfg.WorldType, cfg.Seed)
 		sys.TGFn = tgen.Register(sys.Platform, gen, fnCfg)
-		sys.TGBackend = tgen.NewBackend(sys.Platform, tgen.FunctionName)
-		srvCfg.Terrain = sys.TGBackend
 	}
-
-	switch {
-	case cfg.ServerlessRS:
-		tier := cfg.StorageTier
-		if tier == 0 {
-			tier = blob.TierPremium
-		}
+	if cfg.ServerlessRS || cfg.LocalStore {
 		sys.Remote = cfg.Remote
 		if sys.Remote == nil {
+			tier := blob.TierLocal
+			if cfg.ServerlessRS {
+				tier = cfg.StorageTier
+				if tier == 0 {
+					tier = blob.TierPremium
+				}
+			}
 			sys.Remote = blob.NewStore(clock, tier)
 		}
-		if cfg.DisableCache {
-			srvCfg.Store = &uncachedStore{remote: sys.Remote}
-		} else {
-			cacheCfg := tcache.DefaultConfig()
-			if cfg.CacheConfig != nil {
-				cacheCfg = *cfg.CacheConfig
-			}
-			sys.Cache = tcache.New(clock, sys.Remote, cacheCfg)
-			sys.Cache.StartFlusher()
-			sys.RStore = rstore.New(sys.Cache)
-			srvCfg.Store = sys.RStore
-		}
-	case cfg.LocalStore:
-		sys.Remote = cfg.Remote
-		if sys.Remote == nil {
-			sys.Remote = blob.NewStore(clock, blob.TierLocal)
-		}
-		srvCfg.Store = &uncachedStore{remote: sys.Remote}
 	}
 
-	if cfg.WrapStore != nil && srvCfg.Store != nil {
-		srvCfg.Store = cfg.WrapStore(srvCfg.Store)
+	part := world.Partition{Shards: shardCount, BandChunks: cfg.BandChunks}
+	buildShard := func(i int, region world.Region) *mve.Server {
+		shard := &ShardComponents{}
+		srvCfg := mve.Config{
+			Profile:      profile,
+			WorldType:    cfg.WorldType,
+			Seed:         cfg.Seed,
+			ViewDistance: cfg.ViewDistance,
+			TickInterval: cfg.TickInterval,
+			Cost:         cfg.Cost,
+			Region:       region,
+		}
+		if shardCount > 1 {
+			// Boot both spawn and the shard's own home band, so
+			// shard-aware fleet placement does not open with a
+			// generation storm.
+			srvCfg.BootCenters = []world.BlockPos{{}, part.HomeBlock(i)}
+		}
+		if cfg.ServerlessSC {
+			shard.SpecExec = specexec.NewManager(sys.Platform, SCFunctionName, spec)
+			srvCfg.SC = &scAdapter{mgr: shard.SpecExec}
+		}
+		if cfg.ServerlessTG {
+			shard.TGBackend = tgen.NewBackend(sys.Platform, tgen.FunctionName)
+			srvCfg.Terrain = shard.TGBackend
+		}
+		switch {
+		case cfg.ServerlessRS:
+			if cfg.DisableCache {
+				srvCfg.Store = &uncachedStore{remote: sys.Remote}
+			} else {
+				cacheCfg := tcache.DefaultConfig()
+				if cfg.CacheConfig != nil {
+					cacheCfg = *cfg.CacheConfig
+				}
+				shard.Cache = tcache.New(clock, sys.Remote, cacheCfg)
+				shard.Cache.StartFlusher()
+				shard.RStore = rstore.New(shard.Cache)
+				srvCfg.Store = shard.RStore
+			}
+		case cfg.LocalStore:
+			srvCfg.Store = &uncachedStore{remote: sys.Remote}
+		}
+		if cfg.WrapStore != nil && srvCfg.Store != nil {
+			srvCfg.Store = cfg.WrapStore(srvCfg.Store)
+		}
+		shard.Server = mve.NewServer(clock, srvCfg)
+		sys.Shards = append(sys.Shards, shard)
+		return shard.Server
 	}
-	sys.Server = mve.NewServer(clock, srvCfg)
+
+	if shardCount == 1 {
+		buildShard(0, world.Region{})
+	} else {
+		clCfg := cluster.Config{Shards: shardCount, BandChunks: cfg.BandChunks}
+		if sys.Remote != nil {
+			clCfg.Transfer = &blobTransfer{remote: sys.Remote}
+		}
+		sys.Cluster = cluster.New(clock, clCfg, buildShard)
+	}
+	s0 := sys.Shards[0]
+	sys.Server = s0.Server
+	sys.SpecExec = s0.SpecExec
+	sys.TGBackend = s0.TGBackend
+	sys.Cache = s0.Cache
+	sys.RStore = s0.RStore
 	return sys
+}
+
+// blobTransfer persists handoff snapshots under the player's storage key
+// on the shared remote store: the handoff save doubles as the player's
+// persisted record (the snapshot encoding is a superset of the player
+// record), and retrying writes make brownouts delay-only.
+type blobTransfer struct {
+	remote *blob.Store
+}
+
+var _ cluster.Transfer = (*blobTransfer)(nil)
+
+func (t *blobTransfer) Save(name string, data []byte, done func()) {
+	t.remote.PutRetryingThen(rstore.PlayerKey(name), data, done)
+}
+
+func (t *blobTransfer) Load(name string, cb func(data []byte, ok bool)) {
+	t.remote.GetRetrying(rstore.PlayerKey(name), func(data []byte, err error) {
+		cb(data, err == nil)
+	})
 }
 
 // scAdapter adapts the speculative execution unit to mve.SCBackend.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
@@ -194,4 +195,81 @@ func TestSCAdapterModifyPath(t *testing.T) {
 	if sys.Server.SCs().Count() != 0 {
 		t.Fatal("Remove through the adapter failed")
 	}
+}
+
+// TestShardedAssemblySharesSubstrate checks the cluster wiring: N game
+// loops, one platform (shared warm pools), one blob store, per-shard
+// caches and managers, and a working cross-shard handoff path.
+func TestShardedAssemblySharesSubstrate(t *testing.T) {
+	loop := sim.NewLoop(9)
+	sys := New(loop, Config{
+		WorldType:    "flat",
+		ViewDistance: 32,
+		Shards:       4,
+		BandChunks:   4,
+		ServerlessSC: true,
+		ServerlessTG: true,
+		ServerlessRS: true,
+	})
+	if sys.Cluster == nil {
+		t.Fatal("no cluster assembled")
+	}
+	if len(sys.Shards) != 4 || len(sys.Cluster.Shards()) != 4 {
+		t.Fatalf("shard count wrong: %d / %d", len(sys.Shards), len(sys.Cluster.Shards()))
+	}
+	if sys.Server != sys.Shards[0].Server {
+		t.Fatal("legacy Server field must alias shard 0")
+	}
+	seen := map[*mve.Server]bool{}
+	for i, sh := range sys.Shards {
+		if sh.Server == nil || sh.SpecExec == nil || sh.TGBackend == nil || sh.Cache == nil {
+			t.Fatalf("shard %d missing components: %+v", i, sh)
+		}
+		if seen[sh.Server] {
+			t.Fatalf("shard %d reuses another shard's server", i)
+		}
+		seen[sh.Server] = true
+		if sh.Cache.Remote() != sys.Remote {
+			t.Fatalf("shard %d's cache does not flush into the shared store", i)
+		}
+		region := sh.Server.OwnedRegion()
+		if region.Index != i {
+			t.Fatalf("shard %d owns region %v", i, region)
+		}
+	}
+	// One platform, functions registered once.
+	if sys.Platform.Function(SCFunctionName) != sys.SCFn {
+		t.Fatal("construct function not shared")
+	}
+
+	// A player walking right out of shard 0's band hands off through the
+	// shared store.
+	p := sys.Cluster.ConnectAt("mover", walkRight(200, 8), world.BlockPos{X: 32, Y: 0, Z: 8})
+	sys.Cluster.Start()
+	loop.RunUntil(60 * time.Second)
+	if sys.Cluster.Handoffs.Value() == 0 {
+		t.Fatal("no handoff through the assembled cluster")
+	}
+	if p.Shard() == 0 {
+		t.Fatal("player still on shard 0 after walking out of its band")
+	}
+	if sys.Cluster.HandoffLatency.Max() <= 0 {
+		t.Fatal("store-backed handoff must have nonzero latency")
+	}
+	// The handoff persisted the player record on the shared store.
+	if !sys.Remote.Exists("player/mover") {
+		t.Fatal("handoff did not persist the player record")
+	}
+}
+
+// walkRight issues one move order toward +X.
+func walkRight(x, speed float64) mve.Behavior {
+	issued := false
+	return mve.BehaviorFunc(func(_ *rand.Rand, p *mve.Player, _ *mve.Server) []mve.Action {
+		if issued {
+			return nil
+		}
+		issued = true
+		return []mve.Action{mve.MoveTo(x, p.Z, speed)}
+	})
 }

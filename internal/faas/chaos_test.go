@@ -112,6 +112,74 @@ func TestChaosLatencyFactorExact(t *testing.T) {
 	}
 }
 
+// TestPerFunctionChaosTargetsOnlyNamedFunction checks that a
+// function-level injector fails only its own function, and that it fully
+// overrides (not merges with) the platform-wide injector.
+func TestPerFunctionChaosTargetsOnlyNamedFunction(t *testing.T) {
+	loop := sim.NewLoop(9)
+	p := NewPlatform(loop)
+	sick := p.Register("sick", DefaultConfig(), echoHandler)
+	healthy := p.Register("healthy", DefaultConfig(), echoHandler)
+
+	if !p.SetFunctionChaos("sick", &Chaos{FailureRate: 1}) {
+		t.Fatal("SetFunctionChaos did not find the function")
+	}
+	if p.SetFunctionChaos("missing", &Chaos{FailureRate: 1}) {
+		t.Fatal("SetFunctionChaos invented a function")
+	}
+
+	var sickErrs, healthyErrs int
+	for i := 0; i < 50; i++ {
+		p.Invoke("sick", nil, func(inv Invocation) {
+			if inv.Err != nil {
+				sickErrs++
+			}
+		})
+		p.Invoke("healthy", nil, func(inv Invocation) {
+			if inv.Err != nil {
+				healthyErrs++
+			}
+		})
+	}
+	loop.Run()
+	if sickErrs != 50 {
+		t.Fatalf("targeted function failed %d/50 invocations, want all", sickErrs)
+	}
+	if healthyErrs != 0 {
+		t.Fatalf("untargeted function failed %d invocations", healthyErrs)
+	}
+	if sick.FaultsInjected.Value() != 50 || healthy.FaultsInjected.Value() != 0 {
+		t.Fatalf("fault counters wrong: sick=%d healthy=%d",
+			sick.FaultsInjected.Value(), healthy.FaultsInjected.Value())
+	}
+
+	// Function-level overrides platform-wide wholesale: with a benign
+	// function injector installed, a platform failure injector must not
+	// leak through to that function.
+	p.SetFunctionChaos("sick", &Chaos{LatencyFactor: 1})
+	p.SetChaos(&Chaos{FailureRate: 1})
+	sickErrs, healthyErrs = 0, 0
+	for i := 0; i < 20; i++ {
+		p.Invoke("sick", nil, func(inv Invocation) {
+			if inv.Err != nil {
+				sickErrs++
+			}
+		})
+		p.Invoke("healthy", nil, func(inv Invocation) {
+			if inv.Err != nil {
+				healthyErrs++
+			}
+		})
+	}
+	loop.Run()
+	if sickErrs != 0 {
+		t.Fatalf("function-level injector did not shield its function: %d errors", sickErrs)
+	}
+	if healthyErrs != 20 {
+		t.Fatalf("platform injector should still govern untargeted function: %d/20", healthyErrs)
+	}
+}
+
 // TestChaosForceColdAndEviction covers the cold-start storm primitives:
 // ForceCold makes every invocation a cold start, and EvictAllWarm clears
 // warm pools so the next natural invocation is cold again.

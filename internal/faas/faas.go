@@ -144,6 +144,7 @@ type Function struct {
 	cfg       Config
 	handler   Handler
 	instances []*instance
+	chaos     *Chaos
 
 	// Stats observable by experiments.
 	Latency     metrics.Sample // end-to-end latency as seen from the caller
@@ -210,6 +211,36 @@ func (p *Platform) SetChaos(c *Chaos) { p.chaos = c }
 // Chaos returns the installed fault injector, or nil.
 func (p *Platform) Chaos() *Chaos { return p.chaos }
 
+// SetChaos installs (or, with nil, removes) a fault injector targeting
+// this function only. A function-level injector fully overrides the
+// platform-wide one for this function's invocations (settings do not
+// merge), so a scenario can fail only `simulate-construct` while
+// `generate-terrain` stays healthy.
+func (f *Function) SetChaos(c *Chaos) { f.chaos = c }
+
+// Chaos returns the function-level fault injector, or nil.
+func (f *Function) Chaos() *Chaos { return f.chaos }
+
+// SetFunctionChaos installs a fault injector on the named function. It
+// reports whether the function exists.
+func (p *Platform) SetFunctionChaos(name string, c *Chaos) bool {
+	f := p.fns[name]
+	if f == nil {
+		return false
+	}
+	f.SetChaos(c)
+	return true
+}
+
+// effectiveChaos returns the injector governing one invocation of f: the
+// function-level injector when set, the platform-wide one otherwise.
+func (p *Platform) effectiveChaos(f *Function) *Chaos {
+	if f.chaos != nil {
+		return f.chaos
+	}
+	return p.chaos
+}
+
 // EvictWarm deallocates every warm instance of the function, as a platform
 // capacity reclaim would; the next invocations all pay cold starts. It
 // returns the number of instances evicted.
@@ -275,11 +306,12 @@ func (p *Platform) Invoke(name string, payload []byte, cb func(Invocation)) {
 	exec := time.Duration(execNs * math.Exp(sigma*rng.NormFloat64()))
 
 	latency := f.cfg.NetRTT.Sample(rng) + exec
+	chaos := p.effectiveChaos(f)
 	// Always run the pool claim/prune, even under ForceCold: the storm
 	// makes the invocation *behave* cold but must not let the warm pool
 	// grow without bound (or emerge from the storm fully stocked).
 	cold := !f.acquireWarm(now)
-	if p.chaos != nil && p.chaos.ForceCold {
+	if chaos != nil && chaos.ForceCold {
 		cold = true
 	}
 	if cold {
@@ -290,7 +322,7 @@ func (p *Platform) Invoke(name string, payload []byte, cb func(Invocation)) {
 	// Fault injection (scenario chaos layer). The chaos == nil fast path
 	// draws no randomness, so disabled chaos is invisible to replay.
 	failed := false
-	if ch := p.chaos; ch != nil {
+	if ch := chaos; ch != nil {
 		latency = ch.inflate(latency, rng)
 		if ch.FailureRate > 0 && rng.Float64() < ch.FailureRate {
 			failed = true

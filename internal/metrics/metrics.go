@@ -201,6 +201,18 @@ func (ts *TimeSeries) Add(t, v time.Duration) {
 // Len returns the number of observations.
 func (ts *TimeSeries) Len() int { return len(ts.ts) }
 
+// ValuesBetween returns the values observed in the inclusive time window
+// [from, to], in observation order (time-windowed scenario assertions).
+func (ts *TimeSeries) ValuesBetween(from, to time.Duration) []time.Duration {
+	var out []time.Duration
+	for i, t := range ts.ts {
+		if t >= from && t <= to {
+			out = append(out, ts.vs[i])
+		}
+	}
+	return out
+}
+
 // WindowPoint summarises one rolling window.
 type WindowPoint struct {
 	T                  time.Duration // window end time

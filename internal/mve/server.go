@@ -49,6 +49,18 @@ type Config struct {
 	// MaxChunkSendsPerTick throttles per-player chunk serialisation
 	// (default 4, as real servers do).
 	MaxChunkSendsPerTick int
+	// Region is the slice of chunk space this server owns. The zero value
+	// owns everything (the unsharded single-server case). A sharded server
+	// still loads ghost chunks outside its region when players near a
+	// boundary can see them, but only the owning shard persists a chunk,
+	// so N shards over one storage substrate never write the same key.
+	Region world.Region
+	// BootCenters are the block positions whose surroundings (view
+	// distance plus the unload margin) are loaded before the server opens.
+	// Empty means the world spawn point. A cluster shard boots both spawn
+	// and its own region's home band so shard-aware fleet placement does
+	// not open with a generation storm.
+	BootCenters []world.BlockPos
 }
 
 // Defaults for Config fields.
@@ -169,21 +181,37 @@ func NewServer(clock sim.Clock, cfg Config) *Server {
 	if s.terrain == nil {
 		s.terrain = NewLocalTerrain(clock, gen)
 	}
-	// Boot the spawn region out to view distance plus the unload margin,
+	// Boot each boot region out to view distance plus the unload margin,
 	// as production servers do: players joining at spawn must not trigger
-	// a generation storm. Without persistent storage the region is
-	// generated synchronously; with a store it is loaded through the
+	// a generation storm. Without persistent storage the regions are
+	// generated synchronously; with a store they are loaded through the
 	// normal storage path (a restarted server reads its world back),
 	// which is where the boot-time cold reads of Fig. 13 come from.
-	for _, pos := range world.ChunksWithin(world.BlockPos{}, cfg.ViewDistance+unloadMargin) {
-		if s.store != nil {
-			s.requestChunk(pos)
-		} else {
-			s.applyChunk(gen.Generate(pos), false)
+	centers := cfg.BootCenters
+	if len(centers) == 0 {
+		centers = []world.BlockPos{{}}
+	}
+	for _, center := range centers {
+		for _, pos := range world.ChunksWithin(center, cfg.ViewDistance+unloadMargin) {
+			if s.world.Loaded(pos) {
+				continue // overlapping boot centers
+			}
+			if s.store != nil {
+				s.requestChunk(pos)
+			} else {
+				s.applyChunk(gen.Generate(pos), false)
+			}
 		}
 	}
 	return s
 }
+
+// OwnedRegion returns the slice of chunk space this server owns (the whole
+// grid for an unsharded server).
+func (s *Server) OwnedRegion() world.Region { return s.cfg.Region }
+
+// owned reports whether this server is the persisting owner of the chunk.
+func (s *Server) owned(cp world.ChunkPos) bool { return s.cfg.Region.Contains(cp) }
 
 // Clock returns the server's clock.
 func (s *Server) Clock() sim.Clock { return s.clock }
@@ -207,9 +235,6 @@ func (s *Server) Tick() uint64 { return s.tick }
 // SCs returns the construct backend.
 func (s *Server) SCs() SCBackend { return s.scs }
 
-// PlayerCount returns the number of connected players.
-func (s *Server) PlayerCount() int { return len(s.players) }
-
 // Start begins the game loop. It may be called once.
 func (s *Server) Start() {
 	if s.running {
@@ -221,49 +246,6 @@ func (s *Server) Start() {
 
 // Stop halts the game loop after the current tick.
 func (s *Server) Stop() { s.stopped = true }
-
-// Connect adds a player at the spawn point with the given behavior
-// (nil for an idle player) and returns the session.
-func (s *Server) Connect(name string, b Behavior) *Player {
-	s.nextPlayer++
-	p := &Player{
-		ID:       s.nextPlayer,
-		Name:     name,
-		behavior: b,
-		known:    make(map[world.ChunkPos]bool),
-	}
-	p.destX, p.destZ = p.X, p.Z
-	s.players[p.ID] = p
-	s.playerOrder = append(s.playerOrder, p.ID)
-	s.loadPlayerData(p)
-	return p
-}
-
-// Disconnect removes a player session, persisting its player data when a
-// store is configured.
-func (s *Server) Disconnect(id PlayerID) {
-	p, ok := s.players[id]
-	if !ok {
-		return
-	}
-	s.savePlayerData(p)
-	delete(s.players, id)
-	for i, pid := range s.playerOrder {
-		if pid == id {
-			s.playerOrder = append(s.playerOrder[:i], s.playerOrder[i+1:]...)
-			break
-		}
-	}
-}
-
-// Players returns the connected players in join order.
-func (s *Server) Players() []*Player {
-	out := make([]*Player, 0, len(s.playerOrder))
-	for _, id := range s.playerOrder {
-		out = append(out, s.players[id])
-	}
-	return out
-}
 
 // SpawnConstruct activates a simulated construct whose grid cell (0, 0)
 // maps to the anchor block position (cells extend along +X and +Z on the
@@ -283,6 +265,47 @@ func (s *Server) SpawnConstruct(c *sc.Construct, anchor world.BlockPos) uint64 {
 		}
 	}
 	return id
+}
+
+// ActiveConstructAt returns the id of the active construct anchored at
+// anchor. Anchors are stable across the halt/resume cycle while ids are
+// not (resuming re-adds the construct under a fresh id), so cross-shard
+// ownership tracks constructs by anchor and resolves the live id here.
+// With multiple constructs on one anchor the smallest id wins, keeping
+// the lookup deterministic.
+func (s *Server) ActiveConstructAt(anchor world.BlockPos) (uint64, bool) {
+	best, found := uint64(0), false
+	for id, h := range s.anchors {
+		if h.anchor == anchor && (!found || id < best) {
+			best, found = id, true
+		}
+	}
+	return best, found
+}
+
+// EvictConstruct deactivates an active construct and clears its world
+// footprint, returning the construct and its anchor so a cluster can
+// transfer it to another shard (the inverse of SpawnConstruct). Unlike
+// unload halting, the construct will not resume on this server. Halted
+// constructs (their chunk is unloaded) are not evictable and return false.
+func (s *Server) EvictConstruct(id uint64) (*sc.Construct, world.BlockPos, bool) {
+	h, ok := s.anchors[id]
+	if !ok {
+		return nil, world.BlockPos{}, false
+	}
+	s.scs.Remove(id)
+	delete(s.anchors, id)
+	w, ch := h.construct.Size()
+	for y := 0; y < ch; y++ {
+		for x := 0; x < w; x++ {
+			bp := h.anchor.Offset(x, 0, y)
+			if s.footprint[bp] == id {
+				delete(s.footprint, bp)
+				s.world.SetBlockAt(bp, world.Block{})
+			}
+		}
+	}
+	return h.construct, h.anchor, true
 }
 
 func blockForCell(k sc.CellKind) world.BlockID {
@@ -374,50 +397,6 @@ func (s *Server) tickOnce() {
 	s.clock.After(next, s.tickOnce)
 }
 
-// processAction applies one player action and returns its work cost.
-func (s *Server) processAction(p *Player, a Action) time.Duration {
-	s.ActionCount.Inc()
-	cost := s.cost.PerAction
-	switch a.Kind {
-	case ActionMove:
-		p.destX, p.destZ = a.DestX, a.DestZ
-		p.speed = a.Speed
-	case ActionPlaceBlock, ActionBreakBlock:
-		b := a.Block
-		if a.Kind == ActionBreakBlock {
-			b = world.Block{}
-		}
-		if id, ok := s.footprint[a.Pos]; ok {
-			// The block belongs to a simulated construct: this is a
-			// player modification that invalidates speculation.
-			anchor := s.anchors[id].anchor
-			cx, cz := a.Pos.X-anchor.X, a.Pos.Z-anchor.Z
-			s.scs.Modify(id, func(c *sc.Construct) {
-				cell := c.At(cx, cz)
-				if a.Kind == ActionBreakBlock {
-					c.Set(cx, cz, sc.Cell{})
-				} else {
-					cell.On = !cell.On
-					c.Set(cx, cz, cell)
-				}
-			})
-			if a.Kind == ActionBreakBlock {
-				delete(s.footprint, a.Pos)
-			}
-		}
-		s.world.SetBlockAt(a.Pos, b)
-	case ActionChat:
-		// Fan out to every connected player.
-		s.ChatsDelivered.Add(int64(len(s.players)))
-		cost += time.Duration(len(s.players)) * (s.cost.PerAction / 8)
-	case ActionSetInventory:
-		p.Inventory = a.Item
-	case ActionIdle:
-		// Explicit no-op.
-	}
-	return cost
-}
-
 // scanTerrainDemand requests every chunk within any player's view distance
 // that is neither loaded nor already requested, and refreshes send queues.
 func (s *Server) scanTerrainDemand() {
@@ -482,7 +461,7 @@ func (s *Server) applyCompletedChunks() time.Duration {
 	s.loadedFromStore = nil
 	for _, c := range s.terrain.Drain() {
 		apply(c)
-		if s.store != nil {
+		if s.store != nil && s.owned(c.Pos) {
 			s.store.Store(c) // persist freshly generated terrain
 		}
 	}
@@ -572,7 +551,7 @@ func (s *Server) unloadFarChunks() {
 			}
 		}
 		c := s.world.Chunk(cp)
-		if s.store != nil && c != nil {
+		if s.store != nil && c != nil && s.owned(cp) {
 			s.store.Store(c)
 		}
 		s.world.RemoveChunk(cp)

@@ -1,0 +1,196 @@
+// Session management: connecting, disconnecting, and routing player
+// actions. The game-loop world simulation lives in server.go; this file is
+// the narrow surface a cluster shard needs — Connect/Disconnect for local
+// sessions, and AdmitPlayer/EvictPlayer, which transfer a session between
+// shards as a PlayerSnapshot without touching the persistence path.
+
+package mve
+
+import (
+	"time"
+
+	"servo/internal/sc"
+	"servo/internal/world"
+)
+
+// Connect adds a player at the spawn point with the given behavior
+// (nil for an idle player) and returns the session.
+func (s *Server) Connect(name string, b Behavior) *Player {
+	return s.ConnectAt(name, b, 0, 0)
+}
+
+// ConnectAt is Connect with an explicit spawn position (shard-aware fleet
+// placement drops players into their shard's home band). Persisted player
+// data, when a store is configured, still overrides the position once it
+// arrives.
+func (s *Server) ConnectAt(name string, b Behavior, x, z float64) *Player {
+	s.nextPlayer++
+	p := &Player{
+		ID:       s.nextPlayer,
+		Name:     name,
+		X:        x,
+		Z:        z,
+		behavior: b,
+		known:    make(map[world.ChunkPos]bool),
+	}
+	p.destX, p.destZ = p.X, p.Z
+	s.players[p.ID] = p
+	s.playerOrder = append(s.playerOrder, p.ID)
+	s.loadPlayerData(p)
+	return p
+}
+
+// Disconnect removes a player session, persisting its player data when a
+// store is configured.
+func (s *Server) Disconnect(id PlayerID) {
+	p, ok := s.players[id]
+	if !ok {
+		return
+	}
+	s.savePlayerData(p)
+	s.removeSession(id)
+}
+
+// removeSession drops the session from the routing tables.
+func (s *Server) removeSession(id PlayerID) {
+	delete(s.players, id)
+	for i, pid := range s.playerOrder {
+		if pid == id {
+			s.playerOrder = append(s.playerOrder[:i], s.playerOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// Players returns the connected players in join order.
+func (s *Server) Players() []*Player {
+	out := make([]*Player, 0, len(s.playerOrder))
+	for _, id := range s.playerOrder {
+		out = append(out, s.players[id])
+	}
+	return out
+}
+
+// Player returns the session with the given id, or nil.
+func (s *Server) Player(id PlayerID) *Player { return s.players[id] }
+
+// PlayerCount returns the number of connected players.
+func (s *Server) PlayerCount() int { return len(s.players) }
+
+// ConstructSnapshot is the transferable state of one player-owned
+// construct: its layout, cell state, and world anchor.
+type ConstructSnapshot struct {
+	Anchor world.BlockPos
+	Layout []byte // sc.Construct.EncodeLayout
+	State  sc.StateVector
+}
+
+// PlayerSnapshot is the transferable state of a session: the unit of
+// cross-shard handoff. Behavior rides along in memory only (behaviors are
+// code, not data); everything else round-trips through EncodeSnapshot.
+type PlayerSnapshot struct {
+	Name         string
+	X, Z         float64
+	DestX, DestZ float64
+	Speed        float64
+	Inventory    uint8
+	// ChunksReceived carries the client's delivery counter across shards.
+	ChunksReceived int
+	Behavior       Behavior
+	// Constructs are the player's owned constructs travelling with it
+	// (populated by the cluster, not by EvictPlayer).
+	Constructs []ConstructSnapshot
+}
+
+// EvictPlayer removes a session without persisting it and returns its
+// snapshot: the source half of a cross-shard handoff, where the cluster —
+// not the shard — owns the persistence round-trip. ok is false if the
+// session does not exist.
+func (s *Server) EvictPlayer(id PlayerID) (PlayerSnapshot, bool) {
+	p, ok := s.players[id]
+	if !ok {
+		return PlayerSnapshot{}, false
+	}
+	s.removeSession(id)
+	return PlayerSnapshot{
+		Name:           p.Name,
+		X:              p.X,
+		Z:              p.Z,
+		DestX:          p.destX,
+		DestZ:          p.destZ,
+		Speed:          p.speed,
+		Inventory:      p.Inventory,
+		ChunksReceived: p.ChunksReceived,
+		Behavior:       p.behavior,
+	}, true
+}
+
+// AdmitPlayer installs a session from a snapshot at its recorded position:
+// the target half of a cross-shard handoff. Unlike Connect it does not
+// consult the player store (the cluster already moved the state) and it
+// restores any constructs travelling with the player. The client's chunk
+// knowledge is empty on the new shard, so terrain resends — exactly the
+// reconnect cost a real cross-server transfer pays.
+func (s *Server) AdmitPlayer(snap PlayerSnapshot) *Player {
+	s.nextPlayer++
+	p := &Player{
+		ID:             s.nextPlayer,
+		Name:           snap.Name,
+		X:              snap.X,
+		Z:              snap.Z,
+		destX:          snap.DestX,
+		destZ:          snap.DestZ,
+		speed:          snap.Speed,
+		Inventory:      snap.Inventory,
+		ChunksReceived: snap.ChunksReceived,
+		behavior:       snap.Behavior,
+		known:          make(map[world.ChunkPos]bool),
+	}
+	s.players[p.ID] = p
+	s.playerOrder = append(s.playerOrder, p.ID)
+	return p
+}
+
+// processAction applies one player action and returns its work cost.
+func (s *Server) processAction(p *Player, a Action) time.Duration {
+	s.ActionCount.Inc()
+	cost := s.cost.PerAction
+	switch a.Kind {
+	case ActionMove:
+		p.destX, p.destZ = a.DestX, a.DestZ
+		p.speed = a.Speed
+	case ActionPlaceBlock, ActionBreakBlock:
+		b := a.Block
+		if a.Kind == ActionBreakBlock {
+			b = world.Block{}
+		}
+		if id, ok := s.footprint[a.Pos]; ok {
+			// The block belongs to a simulated construct: this is a
+			// player modification that invalidates speculation.
+			anchor := s.anchors[id].anchor
+			cx, cz := a.Pos.X-anchor.X, a.Pos.Z-anchor.Z
+			s.scs.Modify(id, func(c *sc.Construct) {
+				cell := c.At(cx, cz)
+				if a.Kind == ActionBreakBlock {
+					c.Set(cx, cz, sc.Cell{})
+				} else {
+					cell.On = !cell.On
+					c.Set(cx, cz, cell)
+				}
+			})
+			if a.Kind == ActionBreakBlock {
+				delete(s.footprint, a.Pos)
+			}
+		}
+		s.world.SetBlockAt(a.Pos, b)
+	case ActionChat:
+		// Fan out to every connected player.
+		s.ChatsDelivered.Add(int64(len(s.players)))
+		cost += time.Duration(len(s.players)) * (s.cost.PerAction / 8)
+	case ActionSetInventory:
+		p.Inventory = a.Item
+	case ActionIdle:
+		// Explicit no-op.
+	}
+	return cost
+}

@@ -1,0 +1,137 @@
+package mve
+
+import (
+	"testing"
+
+	"servo/internal/sc"
+	"servo/internal/sim"
+	"servo/internal/world"
+)
+
+// TestEvictAdmitRoundTrip moves a session between two servers and checks
+// that avatar state survives the transfer.
+func TestEvictAdmitRoundTrip(t *testing.T) {
+	loop := sim.NewLoop(1)
+	a := NewServer(loop, Config{WorldType: "flat", ViewDistance: 32})
+	b := NewServer(loop, Config{WorldType: "flat", ViewDistance: 32})
+
+	p := a.ConnectAt("walker", nil, 100, -20)
+	p.Inventory = 7
+	p.destX, p.destZ, p.speed = 300, -20, 4
+	p.ChunksReceived = 42
+
+	snap, ok := a.EvictPlayer(p.ID)
+	if !ok {
+		t.Fatal("evict failed")
+	}
+	if a.PlayerCount() != 0 {
+		t.Fatalf("source still has %d players", a.PlayerCount())
+	}
+	if _, ok := a.EvictPlayer(p.ID); ok {
+		t.Fatal("double evict must fail")
+	}
+
+	q := b.AdmitPlayer(snap)
+	if q.Name != "walker" || q.X != 100 || q.Z != -20 || q.Inventory != 7 {
+		t.Fatalf("admitted state wrong: %+v", q)
+	}
+	if q.destX != 300 || q.speed != 4 {
+		t.Fatalf("movement state lost: dest=(%g,%g) speed=%g", q.destX, q.destZ, q.speed)
+	}
+	if q.ChunksReceived != 42 {
+		t.Fatalf("ChunksReceived = %d, want 42", q.ChunksReceived)
+	}
+	if b.PlayerCount() != 1 {
+		t.Fatalf("target has %d players", b.PlayerCount())
+	}
+}
+
+// TestSnapshotCodecRoundTrip checks the wire format, including owned
+// constructs and prefix compatibility with the plain player record.
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	con := sc.BuildSized(48)
+	snap := PlayerSnapshot{
+		X: 12.5, Z: -3.25, DestX: 99, DestZ: -44, Speed: 3.5,
+		Inventory: 9, ChunksReceived: 17,
+		Constructs: []ConstructSnapshot{{
+			Anchor: world.BlockPos{X: -8, Y: 5, Z: 120},
+			Layout: con.EncodeLayout(),
+			State:  con.State(),
+		}},
+	}
+	data := EncodeSnapshot(snap)
+	got, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.X != snap.X || got.Z != snap.Z || got.DestX != 99 || got.Speed != 3.5 ||
+		got.Inventory != 9 || got.ChunksReceived != 17 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if len(got.Constructs) != 1 {
+		t.Fatalf("constructs lost: %d", len(got.Constructs))
+	}
+	c := got.Constructs[0]
+	if c.Anchor != (world.BlockPos{X: -8, Y: 5, Z: 120}) {
+		t.Fatalf("anchor mismatch: %v", c.Anchor)
+	}
+	dec, err := sc.DecodeLayout(c.Layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.SetState(c.State); err != nil {
+		t.Fatal(err)
+	}
+	if dec.BlockCount() != con.BlockCount() {
+		t.Fatalf("construct layout mismatch: %d vs %d blocks", dec.BlockCount(), con.BlockCount())
+	}
+
+	// Prefix compatibility: the snapshot decodes as a plain player record.
+	rec, err := decodePlayer(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.X != snap.X || rec.Z != snap.Z || rec.Inventory != snap.Inventory {
+		t.Fatalf("player-record prefix mismatch: %+v", rec)
+	}
+	// And a bare record decodes as a snapshot.
+	bare, err := DecodeSnapshot(data[:17])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.X != snap.X || bare.DestX != snap.X {
+		t.Fatalf("bare record snapshot wrong: %+v", bare)
+	}
+}
+
+// TestRegionGatedPersistence checks that a sharded server persists only
+// chunks its region owns, while still generating ghost chunks on demand.
+func TestRegionGatedPersistence(t *testing.T) {
+	loop := sim.NewLoop(3)
+	part := world.Partition{Shards: 2, BandChunks: 4}
+	store := &recordingStore{stored: map[world.ChunkPos]bool{}}
+	s := NewServer(loop, Config{
+		WorldType:    "flat",
+		ViewDistance: 64,
+		Region:       part.Region(0),
+		Store:        store,
+	})
+	s.Connect("p", nil)
+	s.Start()
+	loop.RunUntil(10 * 1e9) // 10s: boot requests resolve, terrain persists
+	for cp := range store.stored {
+		if part.ShardOf(cp) != 0 {
+			t.Errorf("persisted unowned chunk %v (owner shard %d)", cp, part.ShardOf(cp))
+		}
+	}
+	if len(store.stored) == 0 {
+		t.Fatal("no chunks persisted at all")
+	}
+}
+
+// recordingStore is a ChunkStore that records Store calls and always
+// misses on Load.
+type recordingStore struct{ stored map[world.ChunkPos]bool }
+
+func (r *recordingStore) Load(pos world.ChunkPos, cb func(*world.Chunk, bool)) { cb(nil, false) }
+func (r *recordingStore) Store(c *world.Chunk)                                 { r.stored[c.Pos] = true }

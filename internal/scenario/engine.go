@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"servo/internal/blob"
+	"servo/internal/cluster"
 	"servo/internal/core"
 	"servo/internal/faas"
 	"servo/internal/metrics"
@@ -29,6 +30,94 @@ const scSpacing = 15
 // stormEvictPeriod is how often a cold-start storm re-evicts warm pools.
 const stormEvictPeriod = time.Second
 
+// prewriteDrain is how long after the write phase stops the engine waits
+// for in-flight cache flushes and store writes to land before restarting
+// the world over the populated store.
+const prewriteDrain = time.Minute
+
+// ref is a session handle valid on either frontend: the single server or
+// the sharded cluster.
+type ref struct {
+	p  *mve.Player
+	cp *cluster.Player
+}
+
+// front routes session operations to the system under test.
+type front struct{ sys *core.System }
+
+func (f front) sharded() bool { return f.sys.Cluster != nil }
+
+// connect joins a player; shard >= 0 places it in that shard's home band
+// (sharded systems only), -1 joins at world spawn.
+func (f front) connect(name string, b mve.Behavior, shard int) ref {
+	if cl := f.sys.Cluster; cl != nil {
+		if shard >= 0 {
+			return ref{cp: cl.ConnectAt(name, b, cl.Home(shard))}
+		}
+		return ref{cp: cl.Connect(name, b)}
+	}
+	return ref{p: f.sys.Server.Connect(name, b)}
+}
+
+func (f front) disconnect(r ref) {
+	if r.cp != nil {
+		f.sys.Cluster.Disconnect(r.cp.ID)
+		return
+	}
+	f.sys.Server.Disconnect(r.p.ID)
+}
+
+func (f front) count() int {
+	if cl := f.sys.Cluster; cl != nil {
+		return cl.PlayerCount()
+	}
+	return f.sys.Server.PlayerCount()
+}
+
+// newest returns the n most recently joined sessions.
+func (f front) newest(n int) []ref {
+	var all []ref
+	if cl := f.sys.Cluster; cl != nil {
+		for _, p := range cl.Players() {
+			all = append(all, ref{cp: p})
+		}
+	} else {
+		for _, p := range f.sys.Server.Players() {
+			all = append(all, ref{p: p})
+		}
+	}
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[len(all)-n:]
+}
+
+func (f front) start() {
+	if cl := f.sys.Cluster; cl != nil {
+		cl.Start()
+		return
+	}
+	f.sys.Server.Start()
+}
+
+func (f front) stop() {
+	if cl := f.sys.Cluster; cl != nil {
+		cl.Stop()
+		return
+	}
+	f.sys.Server.Stop()
+}
+
+// spawnConstruct activates a construct, routed by anchor region when
+// sharded.
+func (f front) spawnConstruct(c *sc.Construct, anchor world.BlockPos) {
+	if cl := f.sys.Cluster; cl != nil {
+		cl.SpawnConstruct(c, anchor)
+		return
+	}
+	f.sys.Server.SpawnConstruct(c, anchor)
+}
+
 // Runner executes one scenario on a fresh virtual-clock system.
 type Runner struct {
 	spec *Spec
@@ -36,8 +125,12 @@ type Runner struct {
 
 	loop     *sim.Loop
 	sys      *core.System
+	front    front
 	flip     *flipStore
 	localAlt *blob.Store // backing store of the flip's "local" side
+	// t0 is the virtual time the measured scenario starts: 0, or the end
+	// of the prewrite phase (write + drain).
+	t0 time.Duration
 	// hrng drives harness-level decisions (behavior mixes, churn session
 	// lengths), seeded from the spec so they replay deterministically and
 	// stay independent of the simulation clock's random stream.
@@ -47,9 +140,10 @@ type Runner struct {
 	crowdSeq int // flash-crowd naming sequence
 	peak     int // peak concurrent players
 
-	// Chaos window generations: when windows of the same kind overlap,
+	// Chaos window generations, keyed by target function name ("" = the
+	// whole platform / store): when windows of the same target overlap,
 	// the newest wins and an older window's end must not clear it.
-	faasChaosGen    int
+	faasChaosGen    map[string]int
 	storageChaosGen int
 
 	base baseline
@@ -63,9 +157,10 @@ func Run(spec *Spec, log io.Writer) (*Report, error) {
 		return nil, err
 	}
 	r := &Runner{
-		spec: spec,
-		log:  log,
-		hrng: rand.New(rand.NewSource(spec.Seed ^ 0x5eed0c)),
+		spec:         spec,
+		log:          log,
+		hrng:         rand.New(rand.NewSource(spec.Seed ^ 0x5eed0c)),
+		faasChaosGen: make(map[string]int),
 	}
 	r.build()
 	r.schedule()
@@ -77,6 +172,10 @@ func (r *Runner) logf(format string, args ...any) {
 		fmt.Fprintf(r.log, "[%10s] %s\n", r.loop.Now(), fmt.Sprintf(format, args...))
 	}
 }
+
+// at schedules fn at d after the measured scenario's start (offset by the
+// prewrite phase when one ran).
+func (r *Runner) at(d time.Duration, fn func()) { r.loop.At(r.t0+d, fn) }
 
 func profileFor(name string) mve.Profile {
 	switch name {
@@ -122,6 +221,7 @@ func (r *Runner) build() {
 		ServerlessRS: spec.Backend.Storage,
 		LocalStore:   spec.Backend.LocalStore,
 		StorageTier:  tierFor(spec.Backend.StorageTier),
+		Shards:       spec.Shards,
 	}
 	if se := spec.Backend.SpecExec; se != nil {
 		sx := specexec.DefaultConfig()
@@ -136,6 +236,9 @@ func (r *Runner) build() {
 		}
 		cfg.SpecExec = sx
 	}
+	if spec.Prewrite != nil {
+		cfg = r.runPrewrite(cfg)
+	}
 	if hasFlip(spec) {
 		r.localAlt = blob.NewStore(r.loop, blob.TierLocal)
 		local := core.NewBlobChunkStore(r.localAlt)
@@ -145,16 +248,78 @@ func (r *Runner) build() {
 		}
 	}
 	r.sys = core.New(r.loop, cfg)
+	r.front = front{sys: r.sys}
 	for _, g := range spec.Constructs {
 		r.placeConstructs(g.Count, g.Blocks)
 	}
-	r.sys.Server.Start()
+	r.front.start()
+}
+
+// runPrewrite executes the write phase: a throwaway system over a fresh
+// store runs the prewrite fleet, stops, flushes its caches, and drains
+// in-flight writes. The returned config carries the populated store into
+// the measured system, and r.t0 shifts the whole measured schedule past
+// the phase — the world-restart hook of the Fig. 13 read phase.
+func (r *Runner) runPrewrite(cfg core.Config) core.Config {
+	pw := r.spec.Prewrite
+	sys := core.New(r.loop, cfg)
+	f := front{sys: sys}
+	var refs []ref
+	for gi := range pw.Fleet {
+		g := pw.Fleet[gi]
+		gi := gi
+		var members []ref
+		r.loop.At(g.JoinAt.D(), func() {
+			for i := 0; i < g.Count; i++ {
+				m := f.connect(fmt.Sprintf("pre%d-%d", gi, i), workload.ForName(g.Behavior), fleetShard(g))
+				members = append(members, m)
+				refs = append(refs, m)
+			}
+			r.logf("prewrite fleet[%d]: %d %q players joined", gi, g.Count, g.Behavior)
+		})
+		if g.LeaveAt != 0 {
+			r.loop.At(g.LeaveAt.D(), func() {
+				for _, m := range members {
+					f.disconnect(m)
+				}
+			})
+		}
+	}
+	f.start()
+	r.loop.RunUntil(pw.Duration.D())
+	for _, m := range refs {
+		f.disconnect(m) // persist player records
+	}
+	f.stop()
+	for _, sh := range sys.Shards {
+		if sh.Cache != nil {
+			sh.Cache.Flush()
+			// The throwaway system is about to be discarded; without this
+			// its flusher closures would pin it in memory (and tick) for
+			// the whole measured run.
+			sh.Cache.StopFlusher()
+		}
+	}
+	r.loop.RunUntil(pw.Duration.D() + prewriteDrain)
+	r.t0 = pw.Duration.D() + prewriteDrain
+	r.logf("prewrite complete: %d objects persisted; restarting world", sys.Remote.Len())
+	cfg.Remote = sys.Remote
+	return cfg
+}
+
+// fleetShard returns the placement shard of a fleet group (-1 = spawn).
+func fleetShard(g FleetGroup) int {
+	if g.Shard == nil {
+		return -1
+	}
+	return *g.Shard
 }
 
 // placeConstructs activates count constructs of the given size on a grid
 // near spawn. The pitch adapts to the construct footprint and every wave
 // gets a fresh Z band, so construct storms never overlap earlier
-// placements.
+// placements. On a sharded system each construct lands on the shard
+// owning its anchor.
 func (r *Runner) placeConstructs(count, blocks int) {
 	w, h := sc.BuildSized(blocks).Size()
 	pitchX, pitchZ := scSpacing, scSpacing
@@ -171,18 +336,19 @@ func (r *Runner) placeConstructs(count, blocks int) {
 	for i := 0; i < count; i++ {
 		x := (i%perRow)*pitchX - 105
 		z := r.scZ + (i/perRow)*pitchZ
-		r.sys.Server.SpawnConstruct(sc.BuildSized(blocks), world.BlockPos{X: x, Y: 5, Z: z})
+		r.front.spawnConstruct(sc.BuildSized(blocks), world.BlockPos{X: x, Y: 5, Z: z})
 	}
 	r.scZ += (count + perRow - 1) / perRow * pitchZ
 }
 
-// connect joins one player and tracks the concurrency peak.
-func (r *Runner) connect(name, behavior string) *mve.Player {
-	p := r.sys.Server.Connect(name, workload.ForName(behavior))
-	if n := r.sys.Server.PlayerCount(); n > r.peak {
+// connect joins one player and tracks the concurrency peak. shard >= 0
+// places the player in that shard's home band.
+func (r *Runner) connect(name, behavior string, shard int) ref {
+	m := r.front.connect(name, workload.ForName(behavior), shard)
+	if n := r.front.count(); n > r.peak {
 		r.peak = n
 	}
-	return p
+	return m
 }
 
 // schedule queues every fleet join/leave, stress bot, and timed event on
@@ -192,17 +358,17 @@ func (r *Runner) schedule() {
 	for gi := range spec.Fleet {
 		g := spec.Fleet[gi]
 		gi := gi
-		var members []*mve.Player
-		r.loop.At(g.JoinAt.D(), func() {
+		var members []ref
+		r.at(g.JoinAt.D(), func() {
 			for i := 0; i < g.Count; i++ {
-				members = append(members, r.connect(fmt.Sprintf("fleet%d-%d", gi, i), g.Behavior))
+				members = append(members, r.connect(fmt.Sprintf("fleet%d-%d", gi, i), g.Behavior, fleetShard(g)))
 			}
 			r.logf("fleet[%d]: %d %q players joined", gi, g.Count, g.Behavior)
 		})
 		if g.LeaveAt != 0 {
-			r.loop.At(g.LeaveAt.D(), func() {
-				for _, p := range members {
-					r.sys.Server.Disconnect(p.ID)
+			r.at(g.LeaveAt.D(), func() {
+				for _, m := range members {
+					r.front.disconnect(m)
 				}
 				r.logf("fleet[%d]: %d players left", gi, len(members))
 			})
@@ -212,12 +378,12 @@ func (r *Runner) schedule() {
 		for i := 0; i < st.Bots; i++ {
 			i := i
 			joinAt := time.Duration(float64(st.Ramp.D()) * float64(i) / float64(st.Bots))
-			r.loop.At(joinAt, func() { r.runBot(i, st) })
+			r.at(joinAt, func() { r.runBot(i, st) })
 		}
 	}
 	for i := range spec.Events {
 		e := spec.Events[i]
-		r.loop.At(e.At.D(), func() { r.fire(e) })
+		r.at(e.At.D(), func() { r.fire(e) })
 	}
 }
 
@@ -242,17 +408,25 @@ func (r *Runner) pickBehavior(st *StressSpec) string {
 	return names[len(names)-1]
 }
 
+// botShard returns stress bot i's placement shard (-1 = spawn).
+func (r *Runner) botShard(i int, st *StressSpec) int {
+	if st.Placement != "spread" {
+		return -1
+	}
+	return i % r.spec.Shards
+}
+
 // runBot connects one stress bot (stable identity per index, so rejoins
 // resume persisted player data) and, under churn, schedules its session
 // end and eventual rejoin.
 func (r *Runner) runBot(i int, st *StressSpec) {
-	p := r.connect(fmt.Sprintf("bot-%d", i), r.pickBehavior(st))
+	m := r.connect(fmt.Sprintf("bot-%d", i), r.pickBehavior(st), r.botShard(i, st))
 	if st.Churn == nil {
 		return
 	}
 	session := time.Duration(r.hrng.ExpFloat64() * float64(st.Churn.MeanSession.D()))
 	r.loop.After(session, func() {
-		r.sys.Server.Disconnect(p.ID)
+		r.front.disconnect(m)
 		pause := time.Duration(r.hrng.ExpFloat64() * float64(st.Churn.MeanPause.D()))
 		r.loop.After(pause, func() { r.runBot(i, st) })
 	})
@@ -266,37 +440,45 @@ func (r *Runner) fire(e Event) {
 		seq := r.crowdSeq
 		r.crowdSeq++
 		for i := 0; i < e.Count; i++ {
-			r.connect(fmt.Sprintf("crowd%d-%d", seq, i), e.Behavior)
+			r.connect(fmt.Sprintf("crowd%d-%d", seq, i), e.Behavior, -1)
 		}
 		r.logf("flash crowd: %d %q players joined", e.Count, e.Behavior)
 	case EvDisconnect:
-		ps := r.sys.Server.Players()
-		n := e.Count
-		if n > len(ps) {
-			n = len(ps)
+		victims := r.front.newest(e.Count)
+		for _, m := range victims {
+			r.front.disconnect(m)
 		}
-		for _, p := range ps[len(ps)-n:] {
-			r.sys.Server.Disconnect(p.ID)
-		}
-		r.logf("disconnect: %d players left", n)
+		r.logf("disconnect: %d players left", len(victims))
 	case EvSpawnSCs:
 		r.placeConstructs(e.Count, e.Blocks)
 		r.logf("construct storm: %d x %d-block constructs activated", e.Count, e.Blocks)
 	case EvFaasChaos:
-		r.faasChaosGen++
-		gen := r.faasChaosGen
-		r.sys.Platform.SetChaos(&faas.Chaos{
+		r.faasChaosGen[e.Function]++
+		gen := r.faasChaosGen[e.Function]
+		ch := &faas.Chaos{
 			FailureRate:   e.FailureRate,
 			LatencyFactor: e.LatencyFactor,
 			ForceCold:     e.ForceCold,
-		})
+		}
+		setChaos := func(c *faas.Chaos) {
+			if e.Function != "" {
+				r.sys.Platform.SetFunctionChaos(e.Function, c)
+			} else {
+				r.sys.Platform.SetChaos(c)
+			}
+		}
+		setChaos(ch)
 		r.loop.After(e.Duration.D(), func() {
-			if r.faasChaosGen == gen { // not superseded by a newer window
-				r.sys.Platform.SetChaos(nil)
-				r.logf("faas chaos window ended")
+			if r.faasChaosGen[e.Function] == gen { // not superseded by a newer window
+				setChaos(nil)
+				r.logf("faas chaos window ended (target %q)", e.Function)
 			}
 		})
-		r.logf("faas chaos: failure_rate=%g latency_factor=%g for %s", e.FailureRate, e.LatencyFactor, e.Duration)
+		target := "platform"
+		if e.Function != "" {
+			target = e.Function
+		}
+		r.logf("faas chaos on %s: failure_rate=%g latency_factor=%g for %s", target, e.FailureRate, e.LatencyFactor, e.Duration)
 	case EvStorageChaos:
 		r.storageChaosGen++
 		gen := r.storageChaosGen
@@ -339,6 +521,7 @@ func (r *Runner) fire(e Event) {
 }
 
 // baseline snapshots every delta-reported counter at the end of warm-up.
+// On a sharded system the scalar fields hold sums across shards.
 type baseline struct {
 	actions, chunksApplied, chunksSent, resumed int64
 	discards                                    int64
@@ -347,17 +530,29 @@ type baseline struct {
 	tgBackendFailures                           int
 	cacheHits, cacheMisses, prefetch            int64
 	reads, writes, storeFaults                  int64
+	handoffs                                    int64
+	handoffsIn, handoffsOut                     []int64
 }
 
 func (r *Runner) snapshotBaseline() {
-	srv := r.sys.Server
 	b := &r.base
-	b.actions = srv.ActionCount.Value()
-	b.chunksApplied = srv.ChunksApplied.Value()
-	b.chunksSent = srv.ChunksSent.Value()
-	b.resumed = srv.ConstructsResumed.Value()
-	if m := r.sys.SpecExec; m != nil {
-		b.discards = m.Discards.Value()
+	for _, sh := range r.sys.Shards {
+		srv := sh.Server
+		b.actions += srv.ActionCount.Value()
+		b.chunksApplied += srv.ChunksApplied.Value()
+		b.chunksSent += srv.ChunksSent.Value()
+		b.resumed += srv.ConstructsResumed.Value()
+		if m := sh.SpecExec; m != nil {
+			b.discards += m.Discards.Value()
+		}
+		if tb := sh.TGBackend; tb != nil {
+			b.tgBackendFailures += tb.Failures
+		}
+		if c := sh.Cache; c != nil {
+			b.cacheHits += c.Hits.Value()
+			b.cacheMisses += c.Misses.Value()
+			b.prefetch += c.PrefetchIssued.Value()
+		}
 	}
 	if f := r.sys.SCFn; f != nil {
 		b.scInv = int64(f.Invocations.Count())
@@ -369,14 +564,6 @@ func (r *Runner) snapshotBaseline() {
 		b.tgCold = f.ColdStarts.Value()
 		b.tgFaults = f.FaultsInjected.Value()
 	}
-	if tb := r.sys.TGBackend; tb != nil {
-		b.tgBackendFailures = tb.Failures
-	}
-	if c := r.sys.Cache; c != nil {
-		b.cacheHits = c.Hits.Value()
-		b.cacheMisses = c.Misses.Value()
-		b.prefetch = c.PrefetchIssued.Value()
-	}
 	if st := r.sys.Remote; st != nil {
 		b.reads = st.Reads.Value()
 		b.writes = st.Writes.Value()
@@ -387,70 +574,153 @@ func (r *Runner) snapshotBaseline() {
 		b.writes += st.Writes.Value()
 		b.storeFaults += st.FaultsInjected.Value()
 	}
+	if cl := r.sys.Cluster; cl != nil {
+		b.handoffs = cl.Handoffs.Value()
+		for i := range r.sys.Shards {
+			b.handoffsIn = append(b.handoffsIn, cl.HandoffsIn[i].Value())
+			b.handoffsOut = append(b.handoffsOut, cl.HandoffsOut[i].Value())
+		}
+	}
 }
 
 // run drives the scenario: warm up, reset measurement state, run the
 // measured window, then collect the report.
 func (r *Runner) run() *Report {
 	spec := r.spec
-	srv := r.sys.Server
-	r.loop.RunUntil(spec.Warmup.D())
+	r.loop.RunUntil(r.t0 + spec.Warmup.D())
 	r.snapshotBaseline()
-	srv.TickDurations = metrics.NewSample(int((spec.Duration - spec.Warmup).D() / srv.Config().TickInterval))
-	if m := r.sys.SpecExec; m != nil {
-		m.Efficiency = nil
+	measured := int((spec.Duration - spec.Warmup).D() / r.sys.Server.Config().TickInterval)
+	for _, sh := range r.sys.Shards {
+		sh.Server.TickDurations = metrics.NewSample(measured)
+		if m := sh.SpecExec; m != nil {
+			m.Efficiency = nil
+		}
 	}
 	if st := r.sys.Remote; st != nil {
 		// Like the tick sample, storage latency percentiles are measured
 		// over the post-warm-up window only (boot reads excluded).
 		st.ReadLatency = metrics.Sample{}
 	}
+	if cl := r.sys.Cluster; cl != nil {
+		cl.HandoffLatency = metrics.NewSample(4096)
+	}
 	r.logf("warm-up complete; measuring")
-	r.loop.RunUntil(spec.Duration.D())
-	srv.Stop()
-	r.logf("run complete: %d ticks measured", srv.TickDurations.Len())
+	r.loop.RunUntil(r.t0 + spec.Duration.D())
+	r.front.stop()
+	ticks := 0
+	for _, sh := range r.sys.Shards {
+		ticks += sh.Server.TickDurations.Len()
+	}
+	r.logf("run complete: %d ticks measured across %d shard(s)", ticks, len(r.sys.Shards))
 	return r.collect()
+}
+
+// windowTicks gathers per-tick durations from every shard inside the
+// window [from, to] (relative to the measured scenario's start).
+func (r *Runner) windowTicks(from, to time.Duration) *metrics.Sample {
+	s := &metrics.Sample{}
+	for _, sh := range r.sys.Shards {
+		s.AddAll(sh.Server.TickSeries.ValuesBetween(r.t0+from, r.t0+to))
+	}
+	return s
+}
+
+// tickMetric computes one tick metric over a sample (the shared math
+// behind end-of-run values and windowed assertions).
+func tickMetric(name string, ticks *metrics.Sample) float64 {
+	msOf := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	total := ticks.Len()
+	switch name {
+	case "ticks_total":
+		return float64(total)
+	case "ticks_over_budget":
+		return float64(ticks.CountAbove(qosBudget))
+	case "over_budget_frac":
+		if total == 0 {
+			return 0
+		}
+		return float64(ticks.CountAbove(qosBudget)) / float64(total)
+	case "tick_p50_ms":
+		return msOf(ticks.Percentile(50))
+	case "tick_p90_ms":
+		return msOf(ticks.Percentile(90))
+	case "tick_p95_ms":
+		return msOf(ticks.Percentile(95))
+	case "tick_p99_ms":
+		return msOf(ticks.Percentile(99))
+	case "tick_max_ms":
+		return msOf(ticks.Max())
+	case "tick_mean_ms":
+		return msOf(ticks.Mean())
+	}
+	return 0
 }
 
 // collect computes the metric map, evaluates assertions, and assembles the
 // deterministic report.
 func (r *Runner) collect() *Report {
 	spec := r.spec
-	srv := r.sys.Server
 	b := &r.base
 	msOf := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
-	vals := make(map[string]float64)
-	ticks := srv.TickDurations
-	total := ticks.Len()
-	over := ticks.CountAbove(qosBudget)
-	vals["ticks_total"] = float64(total)
-	vals["ticks_over_budget"] = float64(over)
-	if total > 0 {
-		vals["over_budget_frac"] = float64(over) / float64(total)
-	} else {
-		vals["over_budget_frac"] = 0
+	// Pool every shard's post-warm-up ticks for the cluster-wide tick
+	// statistics (a single-shard system pools trivially).
+	ticks := &metrics.Sample{}
+	for _, sh := range r.sys.Shards {
+		ticks.AddAll(sh.Server.TickDurations.Values())
 	}
-	vals["tick_p50_ms"] = msOf(ticks.Percentile(50))
-	vals["tick_p90_ms"] = msOf(ticks.Percentile(90))
-	vals["tick_p95_ms"] = msOf(ticks.Percentile(95))
-	vals["tick_p99_ms"] = msOf(ticks.Percentile(99))
-	vals["tick_max_ms"] = msOf(ticks.Max())
-	vals["tick_mean_ms"] = msOf(ticks.Mean())
-	vals["players_final"] = float64(srv.PlayerCount())
+
+	vals := make(map[string]float64)
+	for _, name := range []string{
+		"ticks_total", "ticks_over_budget", "over_budget_frac",
+		"tick_p50_ms", "tick_p90_ms", "tick_p95_ms", "tick_p99_ms",
+		"tick_max_ms", "tick_mean_ms",
+	} {
+		vals[name] = tickMetric(name, ticks)
+	}
+	vals["players_final"] = float64(r.front.count())
 	vals["players_peak"] = float64(r.peak)
-	vals["actions"] = float64(srv.ActionCount.Value() - b.actions)
-	vals["chunks_applied"] = float64(srv.ChunksApplied.Value() - b.chunksApplied)
-	vals["chunks_sent"] = float64(srv.ChunksSent.Value() - b.chunksSent)
-	vals["view_margin"] = float64(srv.MinViewMargin())
-	vals["constructs"] = float64(srv.SCs().Count())
-	vals["constructs_resumed"] = float64(srv.ConstructsResumed.Value() - b.resumed)
+
+	var actions, chunksApplied, chunksSent, resumed, discards int64
+	var cacheHits, cacheMisses, prefetch int64
+	var tgBackendFailures, constructs int
+	var efficiency []float64
+	viewMargin := -1
+	for _, sh := range r.sys.Shards {
+		srv := sh.Server
+		actions += srv.ActionCount.Value()
+		chunksApplied += srv.ChunksApplied.Value()
+		chunksSent += srv.ChunksSent.Value()
+		resumed += srv.ConstructsResumed.Value()
+		constructs += srv.SCs().Count()
+		if vm := srv.MinViewMargin(); viewMargin < 0 || vm < viewMargin {
+			viewMargin = vm
+		}
+		if m := sh.SpecExec; m != nil {
+			discards += m.Discards.Value()
+			efficiency = append(efficiency, m.Efficiency...)
+		}
+		if tb := sh.TGBackend; tb != nil {
+			tgBackendFailures += tb.Failures
+		}
+		if c := sh.Cache; c != nil {
+			cacheHits += c.Hits.Value()
+			cacheMisses += c.Misses.Value()
+			prefetch += c.PrefetchIssued.Value()
+		}
+	}
+	vals["actions"] = float64(actions - b.actions)
+	vals["chunks_applied"] = float64(chunksApplied - b.chunksApplied)
+	vals["chunks_sent"] = float64(chunksSent - b.chunksSent)
+	vals["view_margin"] = float64(viewMargin)
+	vals["constructs"] = float64(constructs)
+	vals["constructs_resumed"] = float64(resumed - b.resumed)
 
 	cost := 0.0
 	var coldStarts, faults int64
-	if m := r.sys.SpecExec; m != nil {
-		vals["spec_efficiency_median"] = medianOf(m.Efficiency)
-		vals["invalidations"] = float64(m.Discards.Value() - b.discards)
+	if spec.Backend.Constructs {
+		vals["spec_efficiency_median"] = medianOf(efficiency)
+		vals["invalidations"] = float64(discards - b.discards)
 	}
 	if f := r.sys.SCFn; f != nil {
 		vals["sc_invocations"] = float64(int64(f.Invocations.Count()) - b.scInv)
@@ -468,16 +738,16 @@ func (r *Runner) collect() *Report {
 		faults += f.FaultsInjected.Value() - b.tgFaults
 		cost += f.BilledDollars()
 	}
-	if tb := r.sys.TGBackend; tb != nil {
-		vals["tg_failures"] = float64(tb.Failures - b.tgBackendFailures)
+	if spec.Backend.Terrain {
+		vals["tg_failures"] = float64(tgBackendFailures - b.tgBackendFailures)
 	}
 	if spec.hasFunctionBackend() {
 		vals["cold_starts"] = float64(coldStarts)
 		vals["faas_faults"] = float64(faults)
 	}
-	if c := r.sys.Cache; c != nil {
-		hits := c.Hits.Value() - b.cacheHits
-		misses := c.Misses.Value() - b.cacheMisses
+	if r.sys.Cache != nil {
+		hits := cacheHits - b.cacheHits
+		misses := cacheMisses - b.cacheMisses
 		vals["cache_hits"] = float64(hits)
 		vals["cache_misses"] = float64(misses)
 		if hits+misses > 0 {
@@ -485,23 +755,53 @@ func (r *Runner) collect() *Report {
 		} else {
 			vals["cache_hit_rate"] = 0
 		}
-		vals["prefetch_issued"] = float64(c.PrefetchIssued.Value() - b.prefetch)
+		vals["prefetch_issued"] = float64(prefetch - b.prefetch)
 	}
 	if st := r.sys.Remote; st != nil {
-		reads, writes, faults := st.Reads.Value(), st.Writes.Value(), st.FaultsInjected.Value()
+		reads, writes, storeFaults := st.Reads.Value(), st.Writes.Value(), st.FaultsInjected.Value()
 		if alt := r.localAlt; alt != nil { // count the flip's local side too
 			reads += alt.Reads.Value()
 			writes += alt.Writes.Value()
-			faults += alt.FaultsInjected.Value()
+			storeFaults += alt.FaultsInjected.Value()
 			cost += alt.BilledDollars()
 		}
 		vals["storage_reads"] = float64(reads - b.reads)
 		vals["storage_writes"] = float64(writes - b.writes)
-		vals["storage_faults"] = float64(faults - b.storeFaults)
+		vals["storage_faults"] = float64(storeFaults - b.storeFaults)
 		// p99 covers the serverless/remote store only (the flip's local
 		// side has local-disk latency and would skew the tail).
 		vals["storage_read_p99_ms"] = msOf(st.ReadLatency.Percentile(99))
 		cost += st.BilledDollars()
+	}
+	if cl := r.sys.Cluster; cl != nil {
+		vals["shards"] = float64(len(r.sys.Shards))
+		vals["handoffs"] = float64(cl.Handoffs.Value() - b.handoffs)
+		vals["handoff_mean_ms"] = msOf(cl.HandoffLatency.Mean())
+		vals["handoff_p99_ms"] = msOf(cl.HandoffLatency.Percentile(99))
+		// Load imbalance: max over shards of mean tick duration, divided
+		// by the cross-shard mean (1 = perfectly balanced).
+		var sum, max float64
+		for _, sh := range r.sys.Shards {
+			m := float64(sh.Server.TickDurations.Mean())
+			sum += m
+			if m > max {
+				max = m
+			}
+		}
+		if sum > 0 {
+			vals["load_imbalance"] = max / (sum / float64(len(r.sys.Shards)))
+		} else {
+			vals["load_imbalance"] = 1
+		}
+		for i, sh := range r.sys.Shards {
+			srv := sh.Server
+			vals[fmt.Sprintf("shard%d_ticks_total", i)] = float64(srv.TickDurations.Len())
+			vals[fmt.Sprintf("shard%d_tick_p50_ms", i)] = msOf(srv.TickDurations.Percentile(50))
+			vals[fmt.Sprintf("shard%d_tick_p99_ms", i)] = msOf(srv.TickDurations.Percentile(99))
+			vals[fmt.Sprintf("shard%d_players_final", i)] = float64(srv.PlayerCount())
+			vals[fmt.Sprintf("shard%d_handoffs_in", i)] = float64(cl.HandoffsIn[i].Value() - b.handoffsIn[i])
+			vals[fmt.Sprintf("shard%d_handoffs_out", i)] = float64(cl.HandoffsOut[i].Value() - b.handoffsOut[i])
+		}
 	}
 	vals["cost_dollars"] = cost
 
@@ -511,8 +811,23 @@ func (r *Runner) collect() *Report {
 			rep.Metrics = append(rep.Metrics, Metric{Name: e.Name, Value: v})
 		}
 	}
+	if r.sys.Cluster != nil {
+		// Per-shard rollup rows, after the registry metrics, in shard
+		// order.
+		for i := range r.sys.Shards {
+			for _, base := range shardMetricBases {
+				name := fmt.Sprintf("shard%d_%s", i, base)
+				if v, ok := vals[name]; ok {
+					rep.Metrics = append(rep.Metrics, Metric{Name: name, Value: v})
+				}
+			}
+		}
+	}
 	for _, a := range spec.Assertions {
 		actual := vals[a.Metric]
+		if a.Windowed() {
+			actual = tickMetric(a.Metric, r.windowTicks(a.From.D(), a.To.D()))
+		}
 		c := Check{Assertion: a, Actual: actual, Ok: a.holds(actual)}
 		if !c.Ok {
 			rep.Pass = false

@@ -24,6 +24,7 @@ const replaySpec = `{
     {"at": "15s", "kind": "flash_crowd", "count": 10},
     {"at": "20s", "kind": "faas_chaos", "duration": "10s", "failure_rate": 0.2, "latency_factor": 2},
     {"at": "25s", "kind": "spawn_constructs", "count": 5},
+    {"at": "31s", "kind": "faas_chaos", "duration": "5s", "failure_rate": 0.5, "function": "simulate-construct"},
     {"at": "35s", "kind": "storage_chaos", "duration": "10s", "error_rate": 0.05, "latency_factor": 3},
     {"at": "40s", "kind": "cold_start_storm", "duration": "10s"}
   ],
@@ -128,5 +129,163 @@ func TestFlipStorageScenario(t *testing.T) {
 	}
 	if !rep.Pass {
 		t.Fatalf("flip scenario failed:\n%s", rep.Render())
+	}
+}
+
+// shardedReplaySpec is a compact version of the bundled sharded-stress
+// scenario: a 4-shard cluster with spread placement, wanderers crossing
+// region bands, and storage-backed handoff.
+const shardedReplaySpec = `{
+  "name": "sharded-replay-probe",
+  "seed": 7,
+  "duration": "50s",
+  "warmup": "10s",
+  "shards": 4,
+  "backend": {"storage": true},
+  "stress": {
+    "bots": 120,
+    "ramp": "10s",
+    "placement": "spread",
+    "behaviors": {"A": 4, "R": 3, "S3": 3}
+  },
+  "assertions": [
+    {"metric": "players_peak", "op": ">=", "value": 120},
+    {"metric": "handoffs", "op": ">=", "value": 1},
+    {"metric": "shards", "op": ">=", "value": 4},
+    {"metric": "load_imbalance", "op": "<", "value": 4},
+    {"metric": "shard2_ticks_total", "op": ">", "value": 0}
+  ]
+}`
+
+// TestShardedDeterministicReplay runs the sharded probe twice and
+// requires byte-identical reports: identical per-shard tick statistics,
+// handoff counts/latencies, and assertion outcomes.
+func TestShardedDeterministicReplay(t *testing.T) {
+	render := func() string {
+		spec, err := Parse([]byte(shardedReplaySpec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Pass {
+			t.Fatalf("sharded probe failed its assertions:\n%s", rep.Render())
+		}
+		return rep.Render()
+	}
+	first := render()
+	second := render()
+	if first != second {
+		t.Fatalf("sharded replay diverged:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+}
+
+// TestPerFunctionChaosScenario fails only the construct function for a
+// window: construct invocations take faults while the terrain pipeline
+// stays fault-free.
+func TestPerFunctionChaosScenario(t *testing.T) {
+	spec, err := Parse([]byte(`{
+		"name": "function-chaos-inline",
+		"duration": "60s",
+		"warmup": "5s",
+		"backend": {"constructs": true, "terrain": true, "spec_exec": {"detect_loops": false}},
+		"constructs": [{"count": 5}],
+		"fleet": [{"count": 4, "behavior": "A"}, {"count": 2, "behavior": "S3"}],
+		"events": [
+			{"at": "10s", "kind": "faas_chaos", "duration": "30s", "failure_rate": 0.8, "function": "simulate-construct"}
+		],
+		"assertions": [
+			{"metric": "faas_faults", "op": ">", "value": 0},
+			{"metric": "tg_failures", "op": "<=", "value": 0},
+			{"metric": "tg_invocations", "op": ">", "value": 10}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("per-function chaos scenario failed:\n%s", rep.Render())
+	}
+}
+
+// TestPrewriteRestartServesFromStorage checks the world-restart hook: the
+// measured phase reads the terrain the prewrite phase persisted.
+func TestPrewriteRestartServesFromStorage(t *testing.T) {
+	spec, err := Parse([]byte(`{
+		"name": "prewrite-inline",
+		"duration": "30s",
+		"warmup": "5s",
+		"backend": {"storage": true},
+		"prewrite": {"duration": "30s", "fleet": [{"count": 4, "behavior": "S3"}]},
+		"fleet": [{"count": 4, "behavior": "S3"}],
+		"assertions": [
+			{"metric": "storage_reads", "op": ">", "value": 0},
+			{"metric": "cache_hits", "op": ">", "value": 0},
+			{"metric": "chunks_applied", "op": ">", "value": 0}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("prewrite scenario failed:\n%s", rep.Render())
+	}
+	// Determinism holds across the phase boundary too.
+	spec2, _ := Parse([]byte(`{
+		"name": "prewrite-inline",
+		"duration": "30s",
+		"warmup": "5s",
+		"backend": {"storage": true},
+		"prewrite": {"duration": "30s", "fleet": [{"count": 4, "behavior": "S3"}]},
+		"fleet": [{"count": 4, "behavior": "S3"}],
+		"assertions": [
+			{"metric": "storage_reads", "op": ">", "value": 0},
+			{"metric": "cache_hits", "op": ">", "value": 0},
+			{"metric": "chunks_applied", "op": ">", "value": 0}
+		]
+	}`))
+	rep2, err := Run(spec2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Render() != rep2.Render() {
+		t.Fatalf("prewrite replay diverged:\n--- first ---\n%s--- second ---\n%s", rep.Render(), rep2.Render())
+	}
+}
+
+// TestWindowedAssertionCountsTicksInWindow pins the window semantics: a
+// 10-second window at the 20 Hz tick rate holds ≈200 ticks, far fewer
+// than the full run.
+func TestWindowedAssertionCountsTicksInWindow(t *testing.T) {
+	spec, err := Parse([]byte(`{
+		"name": "window-inline",
+		"duration": "60s",
+		"warmup": "5s",
+		"fleet": [{"count": 2, "behavior": "idle"}],
+		"assertions": [
+			{"metric": "ticks_total", "op": ">=", "value": 150, "from": "20s", "to": "30s"},
+			{"metric": "ticks_total", "op": "<=", "value": 250, "from": "20s", "to": "30s"},
+			{"metric": "ticks_total", "op": ">", "value": 1000}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("windowed tick-count scenario failed:\n%s", rep.Render())
 	}
 }

@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -10,12 +11,13 @@ import (
 // Metric availability classes: some metrics only exist when the matching
 // backend is configured, and assertions on them are rejected statically.
 const (
-	needsNone  = ""
-	needsSC    = "sc"    // backend.constructs
-	needsTG    = "tg"    // backend.terrain
-	needsFaaS  = "faas"  // any serverless function backend
-	needsCache = "cache" // backend.storage (the terrain cache)
-	needsStore = "store" // backend.storage or backend.local_store
+	needsNone    = ""
+	needsSC      = "sc"      // backend.constructs
+	needsTG      = "tg"      // backend.terrain
+	needsFaaS    = "faas"    // any serverless function backend
+	needsCache   = "cache"   // backend.storage (the terrain cache)
+	needsStore   = "store"   // backend.storage or backend.local_store
+	needsCluster = "cluster" // shards > 1
 )
 
 // metricOrder fixes the registry and its deterministic report order.
@@ -58,7 +60,51 @@ var metricOrder = []struct {
 	{"storage_writes", needsStore},
 	{"storage_faults", needsStore},
 	{"storage_read_p99_ms", needsStore},
-	{"cost_dollars", needsNone}, // FaaS + storage billing over the whole run
+	{"shards", needsCluster},
+	{"handoffs", needsCluster},        // completed cross-shard handoffs
+	{"handoff_mean_ms", needsCluster}, // mean handoff latency
+	{"handoff_p99_ms", needsCluster},  // p99 handoff latency
+	{"load_imbalance", needsCluster},  // max/mean per-shard mean tick duration
+	{"cost_dollars", needsNone},       // FaaS + storage billing over the whole run
+}
+
+// shardMetricBases are the per-shard metrics a sharded report rolls up,
+// reported (and assertable) as "shard<i>_<base>".
+var shardMetricBases = []string{
+	"ticks_total", "tick_p50_ms", "tick_p99_ms",
+	"players_final", "handoffs_in", "handoffs_out",
+}
+
+// parseShardMetric splits a "shard<i>_<base>" name. ok is false if the
+// name is not a per-shard metric.
+func parseShardMetric(name string) (shard int, base string, ok bool) {
+	if !strings.HasPrefix(name, "shard") {
+		return 0, "", false
+	}
+	rest := name[len("shard"):]
+	sep := strings.IndexByte(rest, '_')
+	if sep <= 0 {
+		return 0, "", false
+	}
+	n, err := strconv.Atoi(rest[:sep])
+	if err != nil || n < 0 {
+		return 0, "", false
+	}
+	base = rest[sep+1:]
+	for _, b := range shardMetricBases {
+		if b == base {
+			return n, base, true
+		}
+	}
+	return 0, "", false
+}
+
+// windowableMetrics are the assertions that support [from, to] windows:
+// everything recomputable from the per-tick time series.
+var windowableMetrics = map[string]bool{
+	"ticks_total": true, "ticks_over_budget": true, "over_budget_frac": true,
+	"tick_p50_ms": true, "tick_p90_ms": true, "tick_p95_ms": true,
+	"tick_p99_ms": true, "tick_max_ms": true, "tick_mean_ms": true,
 }
 
 // metricNeeds maps metric name → availability class, derived from
@@ -135,8 +181,12 @@ func (r *Report) Render() string {
 		if !c.Ok {
 			status = "FAIL"
 		}
-		fmt.Fprintf(&b, "  assert %s %s %s: %s (actual %s)\n",
-			c.Metric, c.Op, fmtVal(c.Value), status, fmtVal(c.Actual))
+		window := ""
+		if c.Windowed() {
+			window = fmt.Sprintf(" in [%s,%s]", c.From, c.To)
+		}
+		fmt.Fprintf(&b, "  assert %s %s %s%s: %s (actual %s)\n",
+			c.Metric, c.Op, fmtVal(c.Value), window, status, fmtVal(c.Actual))
 	}
 	return b.String()
 }

@@ -122,6 +122,9 @@ type FleetGroup struct {
 	// LeaveAt, if set, is when the group disconnects; must be after
 	// JoinAt. 0 → stay until the end.
 	LeaveAt Span `json:"leave_at,omitempty"`
+	// Shard, if set, places the group inside that shard's home band
+	// instead of at world spawn (requires a sharded scenario).
+	Shard *int `json:"shard,omitempty"`
 }
 
 // ChurnSpec adds session churn to a stress fleet: bots play for an
@@ -146,6 +149,23 @@ type StressSpec struct {
 	Behaviors map[string]float64 `json:"behaviors,omitempty"`
 	// Churn, if set, recycles bot sessions.
 	Churn *ChurnSpec `json:"churn,omitempty"`
+	// Placement is "spawn" (everyone joins at world spawn, the default)
+	// or "spread" (bot i joins in shard i mod N's home band, so a
+	// sharded cluster starts load-balanced; requires shards > 1).
+	Placement string `json:"placement,omitempty"`
+}
+
+// PrewriteSpec runs a write phase before the measured scenario: a
+// throwaway system over the same storage substrate explores (persisting
+// terrain and player records), is stopped and flushed, and then the
+// measured system restarts over the populated store — the world-restart
+// hook behind the paper's Fig. 13 read phase. Requires a storage backend.
+type PrewriteSpec struct {
+	// Duration is the write-phase length (required).
+	Duration Span `json:"duration"`
+	// Fleet is the write-phase population (required; join/leave times are
+	// relative to the write phase).
+	Fleet []FleetGroup `json:"fleet"`
 }
 
 // Event kinds.
@@ -178,6 +198,11 @@ type Event struct {
 
 	// faas_chaos, storage_chaos, cold_start_storm: window length.
 	Duration Span `json:"duration,omitempty"`
+	// faas_chaos: target one deployed function by name
+	// ("simulate-construct" or "generate-terrain") instead of the whole
+	// platform. A function-level window fully overrides the platform-wide
+	// injector for that function.
+	Function string `json:"function,omitempty"`
 	// faas_chaos: probability an invocation fails.
 	FailureRate float64 `json:"failure_rate,omitempty"`
 	// storage_chaos: probability an operation fails.
@@ -191,7 +216,12 @@ type Event struct {
 	Target string `json:"target,omitempty"`
 }
 
-// Assertion is one end-of-run check: metric OP value.
+// Assertion is one check: metric OP value, evaluated end-of-run, or —
+// when From/To set a window — over the tick observations inside
+// [from, to] (times relative to scenario start, spanning warm-up freely).
+// Windowed assertions support the tick metrics only (ticks_total,
+// ticks_over_budget, over_budget_frac, tick_*_ms), which are recomputed
+// from the per-tick time series inside the window.
 type Assertion struct {
 	// Metric is a name from the metric registry (see Metrics section of
 	// the README). Duration-valued metrics are in milliseconds.
@@ -200,7 +230,13 @@ type Assertion struct {
 	Op string `json:"op"`
 	// Value is the bound.
 	Value float64 `json:"value"`
+	// From and To bound the assertion window; both zero → end of run.
+	From Span `json:"from,omitempty"`
+	To   Span `json:"to,omitempty"`
 }
+
+// Windowed reports whether the assertion is evaluated over a time window.
+func (a Assertion) Windowed() bool { return a.To != 0 }
 
 // Spec is a complete scenario.
 type Spec struct {
@@ -213,9 +249,14 @@ type Spec struct {
 	// Warmup is discarded before tick statistics and counter deltas are
 	// measured; 0 → min(10s, duration/5). Must be shorter than Duration.
 	Warmup Span `json:"warmup,omitempty"`
+	// Shards > 1 runs a region-sharded cluster: one server per shard over
+	// one shared serverless substrate, with cross-shard player handoff.
+	// 0 or 1 → the classic single server.
+	Shards int `json:"shards,omitempty"`
 
 	World      WorldSpec        `json:"world,omitempty"`
 	Backend    BackendSpec      `json:"backend,omitempty"`
+	Prewrite   *PrewriteSpec    `json:"prewrite,omitempty"`
 	Constructs []ConstructGroup `json:"constructs,omitempty"`
 	Fleet      []FleetGroup     `json:"fleet,omitempty"`
 	Stress     *StressSpec      `json:"stress,omitempty"`
@@ -277,11 +318,17 @@ func (s *Spec) Validate() error {
 	if s.Warmup >= s.Duration {
 		return s.errf("warmup %s must be shorter than duration %s", s.Warmup, s.Duration)
 	}
+	if s.Shards < 0 || s.Shards > 64 {
+		return s.errf("shards must be in [0, 64] (got %d)", s.Shards)
+	}
 
 	if err := s.validateWorld(); err != nil {
 		return err
 	}
 	if err := s.validateBackend(); err != nil {
+		return err
+	}
+	if err := s.validatePrewrite(); err != nil {
 		return err
 	}
 	for i := range s.Constructs {
@@ -296,26 +343,8 @@ func (s *Spec) Validate() error {
 			return s.errf("constructs[%d]: blocks must be >= 12 (got %d)", i, g.Blocks)
 		}
 	}
-	for i := range s.Fleet {
-		g := &s.Fleet[i]
-		if g.Count <= 0 {
-			return s.errf("fleet[%d]: count must be positive", i)
-		}
-		if g.Behavior == "" {
-			g.Behavior = "A"
-		}
-		if !workload.Known(g.Behavior) {
-			return s.errf("fleet[%d]: unknown behavior %q", i, g.Behavior)
-		}
-		if g.JoinAt >= s.Duration {
-			return s.errf("fleet[%d]: join_at %s is past the scenario duration %s", i, g.JoinAt, s.Duration)
-		}
-		if g.LeaveAt != 0 && g.LeaveAt <= g.JoinAt {
-			return s.errf("fleet[%d]: leave_at %s must be after join_at %s", i, g.LeaveAt, g.JoinAt)
-		}
-		if g.LeaveAt != 0 && g.LeaveAt >= s.Duration {
-			return s.errf("fleet[%d]: leave_at %s is past the scenario duration %s and would never fire", i, g.LeaveAt, s.Duration)
-		}
+	if err := s.validateFleet("fleet", s.Fleet, "scenario duration", s.Duration); err != nil {
+		return err
 	}
 	if err := s.validateStress(); err != nil {
 		return err
@@ -383,6 +412,61 @@ func (s *Spec) validateBackend() error {
 	return nil
 }
 
+// validateFleet checks one fleet section (the main fleet or the prewrite
+// fleet) against its time horizon.
+func (s *Spec) validateFleet(section string, fleet []FleetGroup, horizonName string, horizon Span) error {
+	for i := range fleet {
+		g := &fleet[i]
+		if g.Count <= 0 {
+			return s.errf("%s[%d]: count must be positive", section, i)
+		}
+		if g.Behavior == "" {
+			g.Behavior = "A"
+		}
+		if !workload.Known(g.Behavior) {
+			return s.errf("%s[%d]: unknown behavior %q", section, i, g.Behavior)
+		}
+		if g.JoinAt >= horizon {
+			return s.errf("%s[%d]: join_at %s is past the %s %s", section, i, g.JoinAt, horizonName, horizon)
+		}
+		if g.LeaveAt != 0 && g.LeaveAt <= g.JoinAt {
+			return s.errf("%s[%d]: leave_at %s must be after join_at %s", section, i, g.LeaveAt, g.JoinAt)
+		}
+		if g.LeaveAt != 0 && g.LeaveAt >= horizon {
+			return s.errf("%s[%d]: leave_at %s is past the %s %s and would never fire", section, i, g.LeaveAt, horizonName, horizon)
+		}
+		if g.Shard != nil {
+			if s.Shards <= 1 {
+				return s.errf("%s[%d]: shard placement requires shards > 1", section, i)
+			}
+			if *g.Shard < 0 || *g.Shard >= s.Shards {
+				return s.errf("%s[%d]: shard %d out of range [0, %d)", section, i, *g.Shard, s.Shards)
+			}
+		}
+	}
+	return nil
+}
+
+// validatePrewrite checks the write phase (the Fig. 13 world-restart
+// hook): it needs a storage backend to populate and a fleet to do the
+// writing.
+func (s *Spec) validatePrewrite() error {
+	pw := s.Prewrite
+	if pw == nil {
+		return nil
+	}
+	if !s.hasStore() {
+		return s.errf("prewrite requires a storage backend (backend.storage or backend.local_store)")
+	}
+	if pw.Duration <= 0 {
+		return s.errf("prewrite.duration is required and must be positive")
+	}
+	if len(pw.Fleet) == 0 {
+		return s.errf("prewrite.fleet is required (an empty write phase writes nothing)")
+	}
+	return s.validateFleet("prewrite.fleet", pw.Fleet, "prewrite duration", pw.Duration)
+}
+
 func (s *Spec) validateStress() error {
 	st := s.Stress
 	if st == nil {
@@ -416,6 +500,17 @@ func (s *Spec) validateStress() error {
 			st.Churn.MeanPause = Span(5 * time.Second)
 		}
 	}
+	switch st.Placement {
+	case "":
+		st.Placement = "spawn"
+	case "spawn":
+	case "spread":
+		if s.Shards <= 1 {
+			return s.errf(`stress.placement "spread" requires shards > 1`)
+		}
+	default:
+		return s.errf(`stress.placement must be "spawn" or "spread" (got %q)`, st.Placement)
+	}
 	return nil
 }
 
@@ -447,11 +542,15 @@ func (s *Spec) validateEvents() error {
 			return err
 		}
 		if e.Kind == EvFaasChaos || e.Kind == EvStorageChaos {
-			if e.At < windowEnd[e.Kind] {
+			// Windows targeting different functions occupy different
+			// injector slots and may overlap freely (a function-level
+			// window fully overrides the platform-wide one).
+			key := e.Kind + "/" + e.Function
+			if e.At < windowEnd[key] {
 				return s.errf("events[%d] (%s at %s): overlaps the previous %s window (ends at %s)",
-					i, e.Kind, e.At, e.Kind, windowEnd[e.Kind])
+					i, e.Kind, e.At, e.Kind, windowEnd[key])
 			}
-			windowEnd[e.Kind] = e.At + e.Duration
+			windowEnd[key] = e.At + e.Duration
 		}
 	}
 	return nil
@@ -486,6 +585,19 @@ func (s *Spec) validateEvent(i int, e *Event) error {
 	case EvFaasChaos:
 		if !s.hasFunctionBackend() {
 			return s.errf("events[%d] %s: no serverless function backend configured (enable backend.constructs or backend.terrain)", i, e.Kind)
+		}
+		switch e.Function {
+		case "":
+		case "simulate-construct":
+			if !s.Backend.Constructs {
+				return s.errf("events[%d] %s: function %q requires backend.constructs", i, e.Kind, e.Function)
+			}
+		case "generate-terrain":
+			if !s.Backend.Terrain {
+				return s.errf("events[%d] %s: function %q requires backend.terrain", i, e.Kind, e.Function)
+			}
+		default:
+			return s.errf(`events[%d] %s: unknown function %q (valid: "simulate-construct", "generate-terrain")`, i, e.Kind, e.Function)
 		}
 		if e.Duration <= 0 {
 			return s.errf("events[%d] %s: duration is required", i, e.Kind)
@@ -526,6 +638,9 @@ func (s *Spec) validateEvent(i int, e *Event) error {
 		if !s.Backend.Storage {
 			return s.errf("events[%d] %s: requires backend.storage", i, e.Kind)
 		}
+		if s.Shards > 1 {
+			return s.errf("events[%d] %s: runtime storage flips are not supported on a sharded cluster", i, e.Kind)
+		}
 		switch e.Target {
 		case "local", "serverless":
 		default:
@@ -553,6 +668,7 @@ func (s *Spec) checkStrayEventFields(i int, e *Event) error {
 		c.Count, c.Blocks = 0, 0
 	case EvFaasChaos:
 		c.Duration, c.FailureRate, c.LatencyFactor, c.ForceCold = 0, 0, 0, false
+		c.Function = ""
 	case EvStorageChaos:
 		c.Duration, c.ErrorRate, c.LatencyFactor = 0, 0, 0
 	case EvColdStartStorm:
@@ -580,6 +696,8 @@ func (s *Spec) checkStrayEventFields(i int, e *Event) error {
 		stray = "force_cold"
 	case c.Target != "":
 		stray = "target"
+	case c.Function != "":
+		stray = "function"
 	}
 	if stray != "" {
 		return s.errf("events[%d] %s: field %q does not apply to this event kind", i, e.Kind, stray)
@@ -590,7 +708,31 @@ func (s *Spec) checkStrayEventFields(i int, e *Event) error {
 func (s *Spec) validateAssertion(i int, a Assertion) error {
 	needs, ok := metricNeeds[a.Metric]
 	if !ok {
-		return s.errf("assertions[%d]: unknown metric %q", i, a.Metric)
+		if shard, _, isShard := parseShardMetric(a.Metric); isShard {
+			if s.Shards <= 1 {
+				return s.errf("assertions[%d]: per-shard metric %q requires shards > 1", i, a.Metric)
+			}
+			if shard >= s.Shards {
+				return s.errf("assertions[%d]: metric %q names shard %d but the scenario has %d shards", i, a.Metric, shard, s.Shards)
+			}
+			needs = needsNone
+		} else {
+			return s.errf("assertions[%d]: unknown metric %q", i, a.Metric)
+		}
+	}
+	if a.From != 0 || a.To != 0 {
+		if !windowableMetrics[a.Metric] {
+			return s.errf("assertions[%d]: metric %q does not support [from, to] windows (tick metrics only)", i, a.Metric)
+		}
+		if a.To == 0 {
+			return s.errf("assertions[%d]: window has from but no to", i)
+		}
+		if a.From >= a.To {
+			return s.errf("assertions[%d]: window from %s must be before to %s", i, a.From, a.To)
+		}
+		if a.To > s.Duration {
+			return s.errf("assertions[%d]: window to %s is past the scenario duration %s", i, a.To, s.Duration)
+		}
 	}
 	switch needs {
 	case needsSC:
@@ -612,6 +754,10 @@ func (s *Spec) validateAssertion(i int, a Assertion) error {
 	case needsStore:
 		if !s.hasStore() {
 			return s.errf("assertions[%d]: metric %q requires a storage backend", i, a.Metric)
+		}
+	case needsCluster:
+		if s.Shards <= 1 {
+			return s.errf("assertions[%d]: metric %q requires shards > 1", i, a.Metric)
 		}
 	}
 	switch a.Op {

@@ -66,6 +66,26 @@ func TestParseRejectsInvalidSpecs(t *testing.T) {
 		{"metric needs storage", minimal(`"assertions": [{"metric": "cache_hit_rate", "op": ">", "value": 0}]`), "requires backend.storage"},
 		{"metric needs constructs", minimal(`"assertions": [{"metric": "spec_efficiency_median", "op": ">", "value": 0}]`), "requires backend.constructs"},
 		{"bad op", minimal(`"assertions": [{"metric": "ticks_total", "op": "==", "value": 1}]`), "op must be one of"},
+		{"too many shards", minimal(`"shards": 100`), "shards must be in [0, 64]"},
+		{"fleet shard without shards", minimal(`"fleet": [{"count": 1, "shard": 1}]`), "shard placement requires shards > 1"},
+		{"fleet shard out of range", minimal(`"shards": 2, "fleet": [{"count": 1, "shard": 5}]`), "shard 5 out of range"},
+		{"spread without shards", minimal(`"stress": {"bots": 5, "placement": "spread"}`), `"spread" requires shards > 1`},
+		{"bad placement", minimal(`"stress": {"bots": 5, "placement": "corners"}`), "placement must be"},
+		{"flip on sharded cluster", minimal(`"shards": 2, "backend": {"storage": true}, "events": [{"at": "1s", "kind": "flip_storage", "target": "local"}]`), "not supported on a sharded cluster"},
+		{"cluster metric without shards", minimal(`"assertions": [{"metric": "handoffs", "op": ">", "value": 0}]`), "requires shards > 1"},
+		{"shard metric without shards", minimal(`"assertions": [{"metric": "shard0_tick_p99_ms", "op": "<", "value": 50}]`), "requires shards > 1"},
+		{"shard metric out of range", minimal(`"shards": 2, "assertions": [{"metric": "shard7_ticks_total", "op": ">", "value": 0}]`), "names shard 7 but the scenario has 2"},
+		{"unknown shard metric base", minimal(`"shards": 2, "assertions": [{"metric": "shard0_fps", "op": ">", "value": 0}]`), `unknown metric "shard0_fps"`},
+		{"prewrite without store", minimal(`"prewrite": {"duration": "10s", "fleet": [{"count": 1}]}`), "prewrite requires a storage backend"},
+		{"prewrite without fleet", minimal(`"backend": {"storage": true}, "prewrite": {"duration": "10s", "fleet": []}`), "prewrite.fleet is required"},
+		{"prewrite fleet joins late", minimal(`"backend": {"storage": true}, "prewrite": {"duration": "10s", "fleet": [{"count": 1, "join_at": "20s"}]}`), "past the prewrite duration"},
+		{"chaos function unknown", minimal(`"backend": {"constructs": true}, "events": [{"at": "1s", "kind": "faas_chaos", "duration": "5s", "failure_rate": 0.5, "function": "mine-bitcoin"}]`), `unknown function "mine-bitcoin"`},
+		{"chaos function needs backend", minimal(`"backend": {"constructs": true}, "events": [{"at": "1s", "kind": "faas_chaos", "duration": "5s", "failure_rate": 0.5, "function": "generate-terrain"}]`), `requires backend.terrain`},
+		{"function on wrong kind", minimal(`"backend": {"storage": true}, "events": [{"at": "1s", "kind": "storage_chaos", "duration": "5s", "error_rate": 0.1, "function": "generate-terrain"}]`), `field "function" does not apply`},
+		{"window on counter metric", minimal(`"assertions": [{"metric": "actions", "op": ">", "value": 0, "from": "1s", "to": "2s"}]`), "does not support [from, to] windows"},
+		{"window from after to", minimal(`"assertions": [{"metric": "tick_p99_ms", "op": "<", "value": 50, "from": "10s", "to": "5s"}]`), "from 10s must be before to 5s"},
+		{"window past duration", minimal(`"assertions": [{"metric": "tick_p99_ms", "op": "<", "value": 50, "from": "10s", "to": "5m"}]`), "past the scenario duration"},
+		{"window without to", minimal(`"assertions": [{"metric": "tick_p99_ms", "op": "<", "value": 50, "from": "10s"}]`), "window has from but no to"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -148,5 +168,38 @@ func TestColdStartStormDurationDefault(t *testing.T) {
 	}
 	if spec.Events[0].Duration.D() != 30*time.Second {
 		t.Errorf("storm duration default = %s, want 30s", spec.Events[0].Duration)
+	}
+}
+
+func TestFunctionTargetedWindowsMayOverlapPlatformWindows(t *testing.T) {
+	// A function-level window occupies its own injector slot, so it may
+	// overlap a platform-wide window of the same kind.
+	_, err := Parse([]byte(minimal(`"backend": {"constructs": true, "terrain": true}, "events": [
+		{"at": "1s", "kind": "faas_chaos", "duration": "20s", "failure_rate": 0.5},
+		{"at": "5s", "kind": "faas_chaos", "duration": "5s", "failure_rate": 1, "function": "simulate-construct"}
+	]`)))
+	if err != nil {
+		t.Fatalf("overlapping windows with different targets rejected: %v", err)
+	}
+}
+
+func TestShardedSpecAccepted(t *testing.T) {
+	spec, err := Parse([]byte(minimal(`"shards": 4,
+		"backend": {"storage": true},
+		"fleet": [{"count": 2, "shard": 3}],
+		"stress": {"bots": 8, "placement": "spread"},
+		"assertions": [
+			{"metric": "handoffs", "op": ">=", "value": 0},
+			{"metric": "shard3_players_final", "op": ">=", "value": 0},
+			{"metric": "tick_p50_ms", "op": "<", "value": 100, "from": "5s", "to": "20s"}
+		]`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Shards != 4 || *spec.Fleet[0].Shard != 3 || spec.Stress.Placement != "spread" {
+		t.Fatalf("sharded fields lost: %+v", spec)
+	}
+	if !spec.Assertions[2].Windowed() {
+		t.Fatal("windowed assertion not recognised")
 	}
 }

@@ -77,6 +77,7 @@ type Cache struct {
 	PrefetchIssued metrics.Counter
 
 	flushing bool
+	flushGen int // invalidates old flusher closures across stop/start
 }
 
 // New returns a cache in front of remote. Start the periodic write-back
@@ -214,13 +215,28 @@ func (c *Cache) StartFlusher() {
 		return
 	}
 	c.flushing = true
+	c.flushGen++
+	gen := c.flushGen
 	var tick func()
 	tick = func() {
+		// The generation check retires this closure after StopFlusher
+		// even if the flusher was restarted before our pending callback
+		// fired — otherwise a stop/start cycle would leave two loops
+		// flushing concurrently.
+		if !c.flushing || c.flushGen != gen {
+			return
+		}
 		c.Flush()
 		c.clock.After(c.cfg.FlushInterval, tick)
 	}
 	c.clock.After(c.cfg.FlushInterval, tick)
 }
+
+// StopFlusher ends the periodic write-back loop after the next scheduled
+// tick, releasing the cache for collection. A discarded system (e.g. a
+// scenario's prewrite phase) must stop its flushers or their reschedule
+// closures pin the whole system in memory for the rest of the run.
+func (c *Cache) StopFlusher() { c.flushing = false }
 
 // Flush writes every dirty chunk to remote storage immediately, in
 // deterministic position order (map order would pair the store's random

@@ -29,16 +29,26 @@ import (
 const decisionPeriod = 20
 
 // BoundedMove is behavior A: move to random destinations within Radius
-// blocks of spawn, at 1–8 blocks/s.
+// blocks of the player's home — its position when the behavior first
+// ticks, i.e. its spawn point. Players placed at world spawn behave
+// exactly as before; shard-aware placement keeps each player bounded
+// inside its own shard's band instead of converging on the origin.
 type BoundedMove struct {
 	Radius int
 	ticks  int
+
+	homeSet      bool
+	homeX, homeZ float64
 }
 
 var _ mve.Behavior = (*BoundedMove)(nil)
 
 // Actions implements mve.Behavior.
 func (b *BoundedMove) Actions(r *rand.Rand, p *mve.Player, _ *mve.Server) []mve.Action {
+	if !b.homeSet {
+		b.homeSet = true
+		b.homeX, b.homeZ = p.X, p.Z
+	}
 	b.ticks++
 	if b.ticks%decisionPeriod != 1 {
 		return nil
@@ -47,8 +57,8 @@ func (b *BoundedMove) Actions(r *rand.Rand, p *mve.Player, _ *mve.Server) []mve.
 	if radius <= 0 {
 		radius = 40
 	}
-	x := (r.Float64()*2 - 1) * radius
-	z := (r.Float64()*2 - 1) * radius
+	x := b.homeX + (r.Float64()*2-1)*radius
+	z := b.homeZ + (r.Float64()*2-1)*radius
 	speed := 1 + r.Float64()*7
 	return []mve.Action{mve.MoveTo(x, z, speed)}
 }

@@ -1,0 +1,92 @@
+package world
+
+import "fmt"
+
+// DefaultBandChunks is the default width of one region band in chunk
+// columns (128 blocks): wide enough that bounded-area players rarely leave
+// their band, narrow enough that a handful of bands cover the spawn
+// neighbourhood of a small cluster.
+const DefaultBandChunks = 8
+
+// Partition maps the infinite chunk grid onto N shards. The grid is cut
+// into contiguous bands of BandChunks chunk columns along the X axis, and
+// band b is owned by shard floorMod(b, Shards): a trivial chunk-space hash
+// that keeps each band contiguous (players cross shard boundaries only at
+// band edges) while interleaving bands so every shard owns terrain near
+// spawn.
+//
+// The zero value is the trivial partition: one shard owning everything.
+type Partition struct {
+	// Shards is the number of shards; values < 1 mean 1.
+	Shards int
+	// BandChunks is the band width in chunk columns; values < 1 mean
+	// DefaultBandChunks.
+	BandChunks int
+}
+
+// shards returns the effective shard count.
+func (p Partition) shards() int {
+	if p.Shards < 1 {
+		return 1
+	}
+	return p.Shards
+}
+
+// bandChunks returns the effective band width.
+func (p Partition) bandChunks() int {
+	if p.BandChunks < 1 {
+		return DefaultBandChunks
+	}
+	return p.BandChunks
+}
+
+// Band returns the band index of a chunk column.
+func (p Partition) Band(cp ChunkPos) int { return floorDiv(cp.X, p.bandChunks()) }
+
+// ShardOf returns the shard owning the chunk column.
+func (p Partition) ShardOf(cp ChunkPos) int {
+	return floorMod(p.Band(cp), p.shards())
+}
+
+// ShardOfBlock returns the shard owning the block position.
+func (p Partition) ShardOfBlock(b BlockPos) int { return p.ShardOf(b.Chunk()) }
+
+// Region returns shard i's region.
+func (p Partition) Region(i int) Region { return Region{Part: p, Index: i} }
+
+// HomeBlock returns a block position inside shard i's region close to
+// spawn: the center of band i (the shard's nearest band to the origin).
+// Shard-aware fleet placement admits players here so a fresh cluster
+// starts with per-shard load instead of piling everyone onto the shard
+// that owns spawn.
+func (p Partition) HomeBlock(i int) BlockPos {
+	w := p.bandChunks() * ChunkSizeX
+	return BlockPos{X: i*w + w/2, Y: 0, Z: 0}
+}
+
+// Region is the set of chunk columns one shard owns. The zero value (the
+// zero Partition's shard 0) contains every chunk, which is what an
+// unsharded server uses.
+type Region struct {
+	Part  Partition
+	Index int
+}
+
+// Contains reports whether the region owns the chunk column.
+func (r Region) Contains(cp ChunkPos) bool {
+	return r.Part.ShardOf(cp) == r.Index
+}
+
+// ContainsBlock reports whether the region owns the block position.
+func (r Region) ContainsBlock(b BlockPos) bool { return r.Contains(b.Chunk()) }
+
+// All reports whether the region covers the whole grid (single shard).
+func (r Region) All() bool { return r.Part.shards() == 1 }
+
+// String implements fmt.Stringer.
+func (r Region) String() string {
+	if r.All() {
+		return "region(all)"
+	}
+	return fmt.Sprintf("region(%d/%d, band=%d chunks)", r.Index, r.Part.shards(), r.Part.bandChunks())
+}

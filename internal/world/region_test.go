@@ -1,0 +1,73 @@
+package world
+
+import "testing"
+
+func TestPartitionZeroValueOwnsEverything(t *testing.T) {
+	r := Region{}
+	for _, cp := range []ChunkPos{{0, 0}, {-1000, 3}, {999, -999}} {
+		if !r.Contains(cp) {
+			t.Errorf("zero region must contain %v", cp)
+		}
+	}
+	if !r.All() {
+		t.Error("zero region must report All()")
+	}
+}
+
+func TestPartitionBands(t *testing.T) {
+	p := Partition{Shards: 4, BandChunks: 8}
+	// Band 0 covers chunks [0, 8): shard 0. Band 1: shard 1. Band -1
+	// (chunks [-8, 0)): shard 3.
+	cases := []struct {
+		cp   ChunkPos
+		want int
+	}{
+		{ChunkPos{0, 0}, 0},
+		{ChunkPos{7, 50}, 0},
+		{ChunkPos{8, 0}, 1},
+		{ChunkPos{16, 0}, 2},
+		{ChunkPos{24, 0}, 3},
+		{ChunkPos{32, 0}, 0},
+		{ChunkPos{-1, 0}, 3},
+		{ChunkPos{-8, 0}, 3},
+		{ChunkPos{-9, 0}, 2},
+	}
+	for _, c := range cases {
+		if got := p.ShardOf(c.cp); got != c.want {
+			t.Errorf("ShardOf(%v) = %d, want %d", c.cp, got, c.want)
+		}
+	}
+	// Z never matters: bands run along X only.
+	for z := -100; z <= 100; z += 50 {
+		if got := p.ShardOf(ChunkPos{X: 9, Z: z}); got != 1 {
+			t.Errorf("ShardOf(9,%d) = %d, want 1", z, got)
+		}
+	}
+}
+
+func TestPartitionRegionsDisjointAndComplete(t *testing.T) {
+	p := Partition{Shards: 3, BandChunks: 4}
+	for x := -40; x <= 40; x++ {
+		owners := 0
+		for i := 0; i < p.Shards; i++ {
+			if p.Region(i).Contains(ChunkPos{X: x, Z: 7}) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("chunk x=%d owned by %d shards, want exactly 1", x, owners)
+		}
+	}
+}
+
+func TestHomeBlockInOwnRegion(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 7} {
+		p := Partition{Shards: shards, BandChunks: 8}
+		for i := 0; i < shards; i++ {
+			home := p.HomeBlock(i)
+			if got := p.ShardOfBlock(home); got != i {
+				t.Errorf("shards=%d: HomeBlock(%d)=%v maps to shard %d", shards, i, home, got)
+			}
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"servo/internal/blob"
+	"servo/internal/cluster"
 	"servo/internal/core"
 	"servo/internal/experiment"
 	"servo/internal/metrics"
@@ -80,6 +81,12 @@ type Config struct {
 	Servo Serverless
 	// ViewDistance in blocks (0 → 128, the paper's default).
 	ViewDistance int
+	// Shards > 1 runs a region-sharded cluster: one game loop per shard
+	// over a single shared serverless substrate, with cross-shard player
+	// handoff when avatars cross region-band boundaries. Session calls
+	// (Connect, Disconnect, SpawnConstruct) route through the cluster
+	// automatically; Cluster() exposes the router for handoff metrics.
+	Shards int
 	// RealTime runs the instance on the wall clock instead of virtual
 	// time. Run then blocks for real durations.
 	RealTime bool
@@ -166,9 +173,42 @@ func NewInstance(cfg Config) *Instance {
 		ServerlessSC: cfg.Servo.Constructs,
 		ServerlessTG: cfg.Servo.Terrain,
 		ServerlessRS: cfg.Servo.Storage,
+		Shards:       cfg.Shards,
 	})
-	inst.sys.Server.Start()
+	if cl := inst.sys.Cluster; cl != nil {
+		cl.Start()
+	} else {
+		inst.sys.Server.Start()
+	}
 	return inst
+}
+
+// Cluster exposes the cross-shard session router (nil unless the instance
+// was built with Shards > 1).
+func (i *Instance) Cluster() *cluster.Cluster { return i.sys.Cluster }
+
+// clusterHandle finds the cluster handle behind a session: by pointer
+// first, and by name as a fallback for sessions that moved shards since
+// the caller obtained the pointer (a handoff installs a fresh session
+// object). The name fallback only applies when exactly one handle bears
+// the name — with duplicates it returns nil rather than risk
+// disconnecting a different player's session.
+func (i *Instance) clusterHandle(p *Player) *cluster.Player {
+	var byName *cluster.Player
+	nameMatches := 0
+	for _, h := range i.sys.Cluster.Players() {
+		if i.sys.Cluster.Session(h) == p {
+			return h
+		}
+		if h.Name == p.Name {
+			byName = h
+			nameMatches++
+		}
+	}
+	if nameMatches == 1 {
+		return byName
+	}
+	return nil
 }
 
 // Server exposes the underlying game server for advanced use.
@@ -188,7 +228,16 @@ func (i *Instance) Connect(name string, b Behavior) *Player {
 	if b != "" {
 		behavior = workload.ForName(string(b))
 	}
-	return i.sys.Server.Connect(name, behavior)
+	return i.connectBehavior(name, behavior)
+}
+
+// connectBehavior joins a session through the cluster router when the
+// instance is sharded (the caller holds the real-time lock if any).
+func (i *Instance) connectBehavior(name string, b mve.Behavior) *Player {
+	if cl := i.sys.Cluster; cl != nil {
+		return cl.Session(cl.Connect(name, b))
+	}
+	return i.sys.Server.Connect(name, b)
 }
 
 // ConnectBehavior joins a player driven by a custom mve.Behavior
@@ -198,7 +247,7 @@ func (i *Instance) ConnectBehavior(name string, b mve.Behavior) *Player {
 		i.rtc.Lock()
 		defer i.rtc.Unlock()
 	}
-	return i.sys.Server.Connect(name, b)
+	return i.connectBehavior(name, b)
 }
 
 // Locked runs fn serialised with the game loop. In virtual time this is a
@@ -218,14 +267,26 @@ func (i *Instance) Disconnect(p *Player) {
 		i.rtc.Lock()
 		defer i.rtc.Unlock()
 	}
+	if cl := i.sys.Cluster; cl != nil {
+		if h := i.clusterHandle(p); h != nil {
+			cl.Disconnect(h.ID)
+		}
+		return
+	}
 	i.sys.Server.Disconnect(p.ID)
 }
 
 // SpawnConstruct activates a construct anchored at pos and returns its id.
+// On a sharded instance the construct lands on the shard owning its
+// anchor region.
 func (i *Instance) SpawnConstruct(c *Construct, pos Pos) uint64 {
 	if i.rtc != nil {
 		i.rtc.Lock()
 		defer i.rtc.Unlock()
+	}
+	if cl := i.sys.Cluster; cl != nil {
+		_, id := cl.SpawnConstruct(c, pos)
+		return id
 	}
 	return i.sys.Server.SpawnConstruct(c, pos)
 }
@@ -248,33 +309,55 @@ func (i *Instance) Now() time.Duration {
 	return i.rtc.Now()
 }
 
-// Stop halts the game loop.
+// Stop halts the game loop(s).
 func (i *Instance) Stop() {
+	stop := func() {
+		if cl := i.sys.Cluster; cl != nil {
+			cl.Stop()
+			return
+		}
+		i.sys.Server.Stop()
+	}
 	if i.rtc != nil {
 		i.rtc.Lock()
-		i.sys.Server.Stop()
+		stop()
 		i.rtc.Unlock()
 		i.rtc.Close()
 		return
 	}
-	i.sys.Server.Stop()
+	stop()
 }
 
-// TickStats summarises the tick-duration distribution so far.
+// TickStats summarises the tick-duration distribution so far, pooled
+// across every shard.
 func (i *Instance) TickStats() TickStats {
-	s := i.sys.Server.TickDurations
+	s := &metrics.Sample{}
+	for _, sh := range i.sys.Shards {
+		s.AddAll(sh.Server.TickDurations.Values())
+	}
 	over := s.FracAbove(50 * time.Millisecond)
 	return TickStats{Box: s.Box(), OverBudget: over, SupportsQoS: over < 0.05}
 }
 
 // ResetStats clears accumulated tick samples (e.g. after a warm-up).
 func (i *Instance) ResetStats() {
-	i.sys.Server.TickDurations = metrics.NewSample(4096)
+	for _, sh := range i.sys.Shards {
+		sh.Server.TickDurations = metrics.NewSample(4096)
+	}
 }
 
 // ViewMargin returns the distance from the closest player to the nearest
-// missing terrain (the Fig. 10 QoS metric; view distance = perfect).
-func (i *Instance) ViewMargin() int { return i.sys.Server.MinViewMargin() }
+// missing terrain (the Fig. 10 QoS metric; view distance = perfect),
+// taking the minimum across shards.
+func (i *Instance) ViewMargin() int {
+	margin := -1
+	for _, sh := range i.sys.Shards {
+		if vm := sh.Server.MinViewMargin(); margin < 0 || vm < margin {
+			margin = vm
+		}
+	}
+	return margin
+}
 
 // StorageTier names a storage tier for Experiments.
 type StorageTier = blob.Tier

@@ -119,3 +119,27 @@ func TestDeterministicInstances(t *testing.T) {
 		t.Fatalf("same seed gave different p95: %v vs %v", a, b)
 	}
 }
+
+func TestShardedInstance(t *testing.T) {
+	inst := NewInstance(Config{Seed: 5, WorldType: "flat", Shards: 2, Servo: Serverless{Storage: true}})
+	defer inst.Stop()
+	if inst.Cluster() == nil {
+		t.Fatal("sharded instance has no cluster")
+	}
+	p := inst.Connect("bob", BehaviorRandom)
+	if p == nil || p.Name != "bob" {
+		t.Fatal("connect through the cluster failed")
+	}
+	inst.SpawnConstruct(NewClockCircuit(), At(8, 5, 8))
+	inst.Run(30 * time.Second)
+	if inst.TickStats().Box.N == 0 {
+		t.Fatal("no pooled tick samples")
+	}
+	if inst.ViewMargin() <= 0 {
+		t.Fatalf("view margin = %d around a bounded player", inst.ViewMargin())
+	}
+	inst.Disconnect(p)
+	if n := inst.Cluster().PlayerCount(); n != 0 {
+		t.Fatalf("player count after disconnect = %d", n)
+	}
+}
