@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet fmtcheck build test race validate sim bench benchsmoke
+.PHONY: ci vet fmtcheck build test race validate sim bench benchsmoke clusterrace
 
-ci: vet fmtcheck build race validate benchsmoke
+ci: vet fmtcheck build race clusterrace validate benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +23,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# clusterrace re-runs the control-plane packages under the race detector
+# uncached: the rebalance/failover paths juggle closures across the
+# virtual clock and must stay data-race-free even as they grow.
+clusterrace:
+	$(GO) test -race -count=1 ./internal/cluster/ ./internal/world/
 
 # validate parses and validates every bundled scenario without running it.
 validate:

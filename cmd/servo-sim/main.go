@@ -9,6 +9,7 @@
 //	servo-sim run all                  # run every bundled scenario
 //	servo-sim run flash-crowd stress-fleet
 //	servo-sim run -v -seed 7 my-scenario.json
+//	servo-sim run -format csv rebalance-hotspot   # machine-readable report
 //
 // Arguments to run/validate are bundled scenario names or paths to
 // scenario JSON files (anything containing a path separator or ending in
@@ -32,7 +33,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   servo-sim list
   servo-sim validate all | <name|file.json>...
-  servo-sim run [-v] [-seed N] [-shards N] all | <name|file.json>...`)
+  servo-sim run [-v] [-seed N] [-shards N] [-format text|csv] all | <name|file.json>...`)
 }
 
 func run(args []string) int {
@@ -114,11 +115,21 @@ func cmdRun(args []string) int {
 	verbose := fs.Bool("v", false, "log per-event progress to stderr")
 	seed := fs.Int64("seed", 0, "override every scenario's seed (0 = use the spec's)")
 	shards := fs.Int("shards", 0, "override every scenario's shard count (0 = use the spec's; >1 runs a region-sharded cluster)")
+	format := fs.String("format", "text", `report format: "text" or "csv" (csv covers summary metrics, assertions, and the per-tick series)`)
 	_ = fs.Parse(args)
+	if *format != "text" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "servo-sim: -format must be \"text\" or \"csv\" (got %q)\n", *format)
+		return 2
+	}
 	specs, err := resolve(fs.Args())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "servo-sim: %v\n", err)
 		return 1
+	}
+	if *format == "csv" {
+		// One header for the whole invocation: `run -format csv all` must
+		// produce a single parseable table, not N header rows.
+		fmt.Println(scenario.CSVHeader)
 	}
 	failed := 0
 	for _, spec := range specs {
@@ -140,12 +151,21 @@ func cmdRun(args []string) int {
 			fmt.Fprintf(os.Stderr, "servo-sim: %v\n", err)
 			return 1
 		}
-		fmt.Print(rep.Render())
+		if *format == "csv" {
+			fmt.Print(rep.RenderCSVRows())
+		} else {
+			fmt.Print(rep.Render())
+		}
 		if !rep.Pass {
 			failed++
 		}
 	}
-	fmt.Printf("%d scenario(s): %d passed, %d failed\n", len(specs), len(specs)-failed, failed)
+	// In CSV mode the summary goes to stderr, keeping stdout pure CSV.
+	summary := os.Stdout
+	if *format == "csv" {
+		summary = os.Stderr
+	}
+	fmt.Fprintf(summary, "%d scenario(s): %d passed, %d failed\n", len(specs), len(specs)-failed, failed)
 	if failed > 0 {
 		return 1
 	}

@@ -169,6 +169,9 @@ type Store struct {
 	objects map[string][]byte
 	chaos   *Chaos
 	putGen  map[string]uint64 // write generations for PutRetrying chains
+	// durable holds PutDurablyThen callbacks awaiting the next successful
+	// install for their key, whichever write chain delivers it.
+	durable map[string][]func()
 
 	// Metrics observable by experiments.
 	ReadLatency  metrics.Sample
@@ -190,6 +193,7 @@ func NewStore(clock sim.Clock, tier Tier) *Store {
 		tier:    tier,
 		objects: make(map[string][]byte),
 		putGen:  make(map[string]uint64),
+		durable: make(map[string][]func()),
 	}
 }
 
@@ -270,6 +274,15 @@ func (s *Store) put(key string, data []byte, gen uint64, cb func(err error)) {
 		if s.curBytes > s.peakBytes {
 			s.peakBytes = s.curBytes
 		}
+		// Any successful install resolves the key's durability waiters:
+		// whichever chain delivered it, data for the key is now in the
+		// store.
+		if ws := s.durable[key]; len(ws) > 0 {
+			delete(s.durable, key)
+			for _, w := range ws {
+				w()
+			}
+		}
 		if cb != nil {
 			cb(nil)
 		}
@@ -309,6 +322,21 @@ func (s *Store) PutRetryingThen(key string, data []byte, done func()) {
 		})
 	}
 	put()
+}
+
+// PutDurablyThen stores data under key and calls done only once a write
+// for the key has actually been installed — this one, or any newer chain
+// that superseded it (the pending callback transfers to whichever write
+// lands first). This is the primitive ownership migrations gate on:
+// unlike PutRetryingThen, a supersession by a concurrent writer (an
+// unload-path PutRetrying, a cache flusher's PutLatest) cannot complete
+// the callback while zero bytes are durable, so "done" always means the
+// store holds data for the key at least as new as this write.
+func (s *Store) PutDurablyThen(key string, data []byte, done func()) {
+	if done != nil {
+		s.durable[key] = append(s.durable[key], done)
+	}
+	s.PutRetrying(key, data)
 }
 
 // PutLatest is Put with last-writer-wins semantics: the write joins the

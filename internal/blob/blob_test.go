@@ -173,3 +173,43 @@ func TestModelsValid(t *testing.T) {
 		}
 	}
 }
+
+// TestPutDurablyThenSurvivesSupersession pins the durability contract
+// ownership migrations rely on: when a newer write chain supersedes a
+// PutDurablyThen mid-brownout, the completion callback transfers to the
+// superseding chain instead of firing while zero bytes are durable.
+func TestPutDurablyThenSurvivesSupersession(t *testing.T) {
+	loop := sim.NewLoop(6)
+	s := NewStore(loop, TierPremium)
+	// Every write faults: the durable chain retries without landing.
+	s.SetChaos(&Chaos{WriteErrorRate: 1})
+	fired := false
+	s.PutDurablyThen("k", []byte("old"), func() { fired = true })
+	loop.RunUntil(2 * time.Second)
+	// A newer retrying write supersedes the durable chain.
+	s.PutRetrying("k", []byte("new"))
+	loop.RunUntil(10 * time.Second)
+	if fired {
+		t.Fatal("done fired during the brownout with nothing durable")
+	}
+	if s.Exists("k") {
+		t.Fatal("no write should have landed under total write failure")
+	}
+	// The brownout ends: the superseding chain lands and resolves done.
+	s.SetChaos(nil)
+	loop.RunUntil(20 * time.Second)
+	if !fired {
+		t.Fatal("done never fired after the superseding write landed")
+	}
+	var got []byte
+	s.Get("k", func(data []byte, err error) {
+		if err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		got = data
+	})
+	loop.Run()
+	if string(got) != "new" {
+		t.Fatalf("stored %q, want the superseding write's data", got)
+	}
+}

@@ -1,11 +1,18 @@
 // Package cluster scales the MVE horizontally: a Cluster partitions chunk
-// space into contiguous region bands (world.Partition), runs one
-// mve.Server per shard on the shared virtual clock, and routes player
-// sessions to the shard owning their avatar's region. The serverless
-// substrate — blob store, FaaS platform, warm pools — is shared across
-// shards (one storage/compute layer, N game loops: the paper's
-// architecture, multiplied); internal/core owns that wiring through a
-// ShardBuilder callback, so this package depends only on mve and world.
+// space into contiguous region bands, runs one mve.Server per shard on
+// the shared virtual clock, and routes player sessions to the shard
+// owning their avatar's region. The serverless substrate — blob store,
+// FaaS platform, warm pools — is shared across shards (one
+// storage/compute layer, N game loops: the paper's architecture,
+// multiplied); internal/core owns that wiring through a ShardBuilder
+// callback, so this package depends only on mve and world.
+//
+// Region ownership is runtime state, not boot configuration: a shared
+// world.OwnershipTable (band → owning shard, versioned by an epoch
+// counter, persisted through the storage substrate) backs every shard's
+// region view, and a controller loop (controller.go) migrates band
+// ownership between shards when tick load drifts out of balance, and
+// fails a killed shard's bands and players over to the survivors.
 //
 // Cross-shard handoff: a periodic scan detects avatars that crossed a
 // region boundary (with one scan of hysteresis against boundary
@@ -14,7 +21,9 @@
 // shared storage substrate, with retrying writes, so a brownout delays
 // but never loses state), restored on the target shard, and admitted
 // there. The wall between eviction and admission is the handoff latency,
-// recorded per transfer.
+// recorded per transfer. Ownership migration and failover reuse the same
+// machinery: after an epoch change, resident players simply look foreign
+// to the scan and follow their band to its new owner.
 package cluster
 
 import (
@@ -47,6 +56,15 @@ type Transfer interface {
 	Load(name string, cb func(data []byte, ok bool))
 }
 
+// TableStore persists the ownership table through the cluster's storage
+// substrate. Save must survive transient faults (retry until the write
+// lands); Load reports ok=false only for a genuinely absent table. A nil
+// TableStore keeps the table in memory only.
+type TableStore interface {
+	SaveTable(data []byte)
+	LoadTable(cb func(data []byte, ok bool))
+}
+
 // Config configures a Cluster.
 type Config struct {
 	// Shards is the number of region shards (required, >= 1).
@@ -58,6 +76,10 @@ type Config struct {
 	ScanInterval time.Duration
 	// Transfer persists handoff state; nil moves state in memory.
 	Transfer Transfer
+	// TableStore persists the ownership table; nil keeps it in memory.
+	TableStore TableStore
+	// Rebalance configures the controller loop (zero value: disabled).
+	Rebalance RebalanceConfig
 }
 
 // PlayerID is a cluster-global player identity, stable across handoffs
@@ -82,6 +104,10 @@ type Player struct {
 	// closed marks a disconnect issued mid-handoff; the transfer
 	// completes by persisting the state instead of admitting it.
 	closed bool
+	// lastPos is the avatar position at the most recent boundary scan:
+	// the failover fallback when a player on a killed shard was never
+	// persisted.
+	lastPos world.BlockPos
 	// constructs are the player-owned constructs simulated on the
 	// player's shard and travelling with it on handoff.
 	constructs []ownedConstruct
@@ -119,9 +145,14 @@ type Cluster struct {
 	clock sim.Clock
 	cfg   Config
 	part  world.Partition
+	// table is the live ownership state every shard's region view reads.
+	table *world.OwnershipTable
+	// build rebuilds a shard server after failover (RecoverShard).
+	build ShardBuilder
 
-	shards   []*mve.Server
-	transfer Transfer
+	shards     []*mve.Server
+	transfer   Transfer
+	tableStore TableStore
 
 	players map[PlayerID]*Player
 	order   []PlayerID
@@ -130,6 +161,14 @@ type Cluster struct {
 	running bool
 	stopped bool
 
+	// Controller state (see controller.go).
+	reb RebalanceConfig
+	// hotStreak counts consecutive over-threshold controller checks (the
+	// rebalancer's two-check hysteresis, mirroring the handoff scan's).
+	hotStreak int
+	// migrating marks bands whose ownership flush is in flight.
+	migrating map[int]bool
+
 	// Handoff metrics.
 	Handoffs       metrics.Counter
 	HandoffLatency *metrics.Sample
@@ -137,6 +176,15 @@ type Cluster struct {
 	HandoffsOut    []metrics.Counter // per source shard
 	// Log records completed handoffs in completion order.
 	Log []HandoffRecord
+
+	// Control-plane metrics.
+	Rebalances        metrics.Counter // controller rebalance decisions
+	BandsMoved        metrics.Counter // completed ownership migrations
+	Failovers         metrics.Counter // shards failed over
+	PlayersFailedOver metrics.Counter // sessions re-admitted after a shard kill
+	// MigrationLog records ownership changes in completion order (part of
+	// the deterministic replay surface, like Log).
+	MigrationLog []MigrationRecord
 }
 
 // New builds a cluster of cfg.Shards servers via build. Shard servers are
@@ -152,24 +200,71 @@ func New(clock sim.Clock, cfg Config, build ShardBuilder) *Cluster {
 	if cfg.ScanInterval == 0 {
 		cfg.ScanInterval = DefaultScanInterval
 	}
+	cfg.Rebalance = cfg.Rebalance.withDefaults()
 	c := &Cluster{
 		clock:          clock,
 		cfg:            cfg,
 		part:           world.Partition{Shards: cfg.Shards, BandChunks: cfg.BandChunks},
+		table:          world.NewOwnershipTable(cfg.Shards, cfg.BandChunks),
+		build:          build,
 		transfer:       cfg.Transfer,
+		tableStore:     cfg.TableStore,
+		reb:            cfg.Rebalance,
+		migrating:      make(map[int]bool),
 		players:        make(map[PlayerID]*Player),
 		HandoffLatency: metrics.NewSample(4096),
 		HandoffsIn:     make([]metrics.Counter, cfg.Shards),
 		HandoffsOut:    make([]metrics.Counter, cfg.Shards),
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		c.shards = append(c.shards, build(i, c.part.Region(i)))
+		c.shards = append(c.shards, build(i, c.table.View(i)))
+	}
+	for _, s := range c.shards {
+		s.SetChatRelay(c.relayChat)
 	}
 	return c
 }
 
-// Partition returns the cluster's region partition.
+// Partition returns the cluster's region geometry (band width, shard
+// count). Ownership itself lives in the Table.
 func (c *Cluster) Partition() world.Partition { return c.part }
+
+// Table returns the live ownership table.
+func (c *Cluster) Table() *world.OwnershipTable { return c.table }
+
+// Epoch returns the current ownership epoch.
+func (c *Cluster) Epoch() uint64 { return c.table.Epoch() }
+
+// Alive reports whether shard i's loop is running.
+func (c *Cluster) Alive(i int) bool { return c.table.Alive(i) }
+
+// BandCenter returns the block position at the center of a band.
+func (c *Cluster) BandCenter(band int) world.BlockPos { return c.part.BandCenter(band) }
+
+// relayChat fans one chat message out across every live shard (cross-
+// shard chat): each shard counts its local deliveries and the total is
+// the sender's fan-out cost. In-flight sessions (mid-handoff) are on no
+// shard and miss the message, exactly as they would miss any broadcast.
+func (c *Cluster) relayChat(from *mve.Player) int {
+	total := 0
+	for i, s := range c.shards {
+		if !c.table.Alive(i) {
+			continue
+		}
+		n := s.PlayerCount()
+		s.ChatsDelivered.Add(int64(n))
+		total += n
+	}
+	return total
+}
+
+// persistTable writes the ownership table through the table store (every
+// epoch change is durable before the next controller decision).
+func (c *Cluster) persistTable() {
+	if c.tableStore != nil {
+		c.tableStore.SaveTable(c.table.Encode())
+	}
+}
 
 // Shards returns the shard servers in shard order.
 func (c *Cluster) Shards() []*mve.Server { return c.shards }
@@ -177,7 +272,10 @@ func (c *Cluster) Shards() []*mve.Server { return c.shards }
 // Shard returns shard i's server.
 func (c *Cluster) Shard(i int) *mve.Server { return c.shards[i] }
 
-// Start starts every shard's game loop and the boundary scan.
+// Start starts every shard's game loop, the boundary scan, and (when
+// enabled) the rebalance controller. A persisted ownership table is
+// adopted asynchronously, so a cluster restarting over an existing world
+// resumes its ownership history.
 func (c *Cluster) Start() {
 	if c.running {
 		return
@@ -186,7 +284,20 @@ func (c *Cluster) Start() {
 	for _, s := range c.shards {
 		s.Start()
 	}
+	if c.tableStore != nil {
+		c.tableStore.LoadTable(func(data []byte, ok bool) {
+			if !ok {
+				return
+			}
+			if dec, err := world.DecodeOwnershipTable(data); err == nil {
+				c.table.Adopt(dec)
+			}
+		})
+	}
 	c.clock.After(c.cfg.ScanInterval, c.scan)
+	if c.reb.Enabled {
+		c.clock.After(c.reb.Interval, c.controllerTick)
+	}
 }
 
 // Stop halts the shards and the boundary scan.
@@ -207,7 +318,7 @@ func (c *Cluster) Connect(name string, b mve.Behavior) *Player {
 // (shard-aware fleet placement). Persisted player data still overrides
 // the position once the shard's store answers.
 func (c *Cluster) ConnectAt(name string, b mve.Behavior, pos world.BlockPos) *Player {
-	shard := c.part.ShardOfBlock(pos)
+	shard := c.table.ShardOfBlock(pos)
 	sess := c.shards[shard].ConnectAt(name, b, float64(pos.X), float64(pos.Z))
 	c.nextID++
 	p := &Player{
@@ -217,6 +328,7 @@ func (c *Cluster) ConnectAt(name string, b mve.Behavior, pos world.BlockPos) *Pl
 		pid:          sess.ID,
 		behavior:     b,
 		pendingShard: shard,
+		lastPos:      pos,
 	}
 	c.players[p.ID] = p
 	c.order = append(c.order, p.ID)
@@ -279,7 +391,7 @@ func (c *Cluster) Session(p *Player) *mve.Player {
 // SpawnConstruct activates an unowned construct on the shard owning its
 // anchor and returns (shard, id). Unowned constructs never migrate.
 func (c *Cluster) SpawnConstruct(con *sc.Construct, anchor world.BlockPos) (int, uint64) {
-	shard := c.part.ShardOfBlock(anchor)
+	shard := c.table.ShardOfBlock(anchor)
 	return shard, c.shards[shard].SpawnConstruct(con, anchor)
 }
 
@@ -313,7 +425,12 @@ func (c *Cluster) scan() {
 		if sess == nil {
 			continue
 		}
-		want := c.part.ShardOfBlock(sess.Pos())
+		p.lastPos = sess.Pos()
+		// The live table, not the boot partition: after a migration or
+		// failover bumped the epoch, residents of a moved band look
+		// foreign here and follow their band to its new owner through the
+		// ordinary handoff machinery.
+		want := c.table.ShardOfBlock(sess.Pos())
 		if want == p.shard {
 			p.pendingShard = p.shard
 			continue
@@ -349,7 +466,7 @@ func (c *Cluster) handoff(p *Player, dst int) {
 	// constructs currently halted) stay behind on the source shard as
 	// unowned.
 	for _, oc := range p.constructs {
-		if c.part.ShardOfBlock(oc.anchor) != dst {
+		if c.table.ShardOfBlock(oc.anchor) != dst {
 			continue
 		}
 		id, ok := c.shards[src].ActiveConstructAt(oc.anchor)
@@ -386,6 +503,12 @@ func (c *Cluster) handoff(p *Player, dst int) {
 
 	finish := func(restored mve.PlayerSnapshot) {
 		p.inflight = false
+		if !c.table.Alive(dst) {
+			// The destination died while the state crossed the substrate:
+			// re-route to whichever shard owns the position now (the
+			// failover reassignment), exactly like a fresh admission.
+			dst = c.table.ShardOfBlock(world.BlockPos{X: int(restored.X), Z: int(restored.Z)})
+		}
 		if p.closed {
 			// Disconnected mid-handoff: the player record is already
 			// persisted (when a Transfer exists), and the travelling

@@ -1,0 +1,344 @@
+// The cluster control plane: a controller loop that watches per-shard
+// tick load, migrates band ownership between shards when the load
+// imbalance drifts past a threshold (live rebalancing), and fails a
+// killed shard's bands and players over to the survivors.
+//
+// A migration is two-phase. First the source shard flushes its copy of
+// the band's chunks through the storage substrate with completion
+// reporting (mve.FlushOwnedChunks + SyncingChunkStore), so a brownout
+// delays the flush but cannot lose chunk state; only once every write
+// has landed does the ownership table flip the band to its new owner
+// (epoch bump, persisted through the TableStore). Resident players then
+// follow their band through the ordinary boundary-scan handoff — two-scan
+// hysteresis, retrying storage writes — because the scan consults the
+// live table and now sees them on foreign terrain.
+
+package cluster
+
+import (
+	"time"
+
+	"servo/internal/metrics"
+	"servo/internal/mve"
+	"servo/internal/world"
+)
+
+// Controller defaults.
+const (
+	// DefaultRebalanceThreshold is the load_imbalance (max over shards of
+	// mean tick duration, divided by the cross-shard mean) above which the
+	// controller migrates a band.
+	DefaultRebalanceThreshold = 1.25
+	// DefaultRebalanceInterval is the controller check cadence.
+	DefaultRebalanceInterval = 2 * time.Second
+	// rebalanceStreak is how many consecutive over-threshold checks arm a
+	// migration: the rebalancer's hysteresis against transient spikes,
+	// mirroring the handoff scan's two-scan rule.
+	rebalanceStreak = 2
+)
+
+// RebalanceConfig tunes the controller loop.
+type RebalanceConfig struct {
+	// Enabled turns live rebalancing on. Failover (FailShard/RecoverShard)
+	// works regardless: it is driven by explicit calls, not by load.
+	Enabled bool
+	// Threshold is the imbalance trigger (0 → DefaultRebalanceThreshold).
+	Threshold float64
+	// Interval is the check cadence (0 → DefaultRebalanceInterval).
+	Interval time.Duration
+}
+
+// withDefaults fills zero fields.
+func (r RebalanceConfig) withDefaults() RebalanceConfig {
+	if r.Threshold == 0 {
+		r.Threshold = DefaultRebalanceThreshold
+	}
+	if r.Interval == 0 {
+		r.Interval = DefaultRebalanceInterval
+	}
+	return r
+}
+
+// MigrationRecord logs one ownership change, in completion order. Like
+// the handoff Log, the sequence is part of the deterministic replay
+// surface: same seed, same records.
+type MigrationRecord struct {
+	Band     int
+	From, To int
+	Epoch    uint64
+	// Reason is "rebalance", "failover", or "recover".
+	Reason string
+	// Latency is the flush-to-flip wall time (zero for failover, which
+	// flips immediately: the dead shard has nothing left to flush).
+	Latency time.Duration
+}
+
+// controllerTick is one controller check: measure per-shard tick load
+// over the last interval, and migrate one band from the hottest to the
+// coldest shard once the imbalance has stayed over threshold for
+// rebalanceStreak consecutive checks.
+func (c *Cluster) controllerTick() {
+	if c.stopped {
+		return
+	}
+	defer c.clock.After(c.reb.Interval, c.controllerTick)
+	if len(c.migrating) > 0 {
+		return // let the in-flight migration land before re-measuring
+	}
+	imb, hot, cold := c.loadImbalance()
+	if imb < c.reb.Threshold || hot == cold {
+		c.hotStreak = 0
+		return
+	}
+	c.hotStreak++
+	if c.hotStreak < rebalanceStreak {
+		return
+	}
+	c.hotStreak = 0
+	if band, ok := c.pickBand(hot, cold); ok {
+		c.Rebalances.Inc()
+		c.migrateBand(band, cold, "rebalance")
+	}
+}
+
+// shardLoad is shard i's mean tick duration over the last controller
+// interval, read from the server's tick time series.
+func (c *Cluster) shardLoad(i int) time.Duration {
+	now := c.clock.Now()
+	s := &metrics.Sample{}
+	s.AddAll(c.shards[i].TickSeries.ValuesBetween(now-c.reb.Interval, now))
+	return s.Mean()
+}
+
+// loadImbalance returns metrics.ImbalanceRatio of per-shard tick load
+// across the alive shards, plus the hottest and coldest shard indices
+// (ties broken toward the lower index, keeping the controller
+// deterministic).
+func (c *Cluster) loadImbalance() (imb float64, hot, cold int) {
+	hot, cold = -1, -1
+	var hotLoad, coldLoad float64
+	var loads []float64
+	for i := range c.shards {
+		if !c.table.Alive(i) {
+			continue
+		}
+		load := float64(c.shardLoad(i))
+		loads = append(loads, load)
+		if hot < 0 || load > hotLoad {
+			hot, hotLoad = i, load
+		}
+		if cold < 0 || load < coldLoad {
+			cold, coldLoad = i, load
+		}
+	}
+	if hot < 0 {
+		return 1, 0, 0
+	}
+	return metrics.ImbalanceRatio(loads), hot, cold
+}
+
+// pickBand chooses which of the hot shard's bands to migrate to the cold
+// shard: resident player count is the per-band load proxy, and the band
+// minimising the post-move maximum of the two shards wins — with strict
+// improvement required, so a single dominant hotspot band is never
+// ping-ponged between shards.
+func (c *Cluster) pickBand(hot, cold int) (int, bool) {
+	counts := make(map[int]int)
+	var bands []int
+	hotPlayers, coldPlayers := 0, 0
+	for _, id := range c.order {
+		p := c.players[id]
+		if p.inflight {
+			continue
+		}
+		sess := c.shards[p.shard].Player(p.pid)
+		if sess == nil {
+			continue
+		}
+		band := c.table.BandOfBlock(sess.Pos())
+		switch p.shard {
+		case hot:
+			hotPlayers++
+			if c.table.Owner(band) == hot {
+				if counts[band] == 0 {
+					bands = append(bands, band)
+				}
+				counts[band]++
+			}
+		case cold:
+			coldPlayers++
+		}
+	}
+	best, bestMax := 0, hotPlayers
+	if coldPlayers > bestMax {
+		bestMax = coldPlayers
+	}
+	cur := bestMax
+	found := false
+	for _, band := range bands {
+		n := counts[band]
+		m := hotPlayers - n
+		if coldPlayers+n > m {
+			m = coldPlayers + n
+		}
+		if m < bestMax || (m == bestMax && found && band < best) {
+			best, bestMax, found = band, m, true
+		}
+	}
+	if !found || bestMax >= cur {
+		return 0, false
+	}
+	return best, true
+}
+
+// MigrateBand migrates ownership of a band to dst: flush the source
+// shard's chunk copies with completion reporting, then flip the table
+// (epoch bump, persisted). Resident players follow through the boundary
+// scan. Reports whether a migration was started.
+func (c *Cluster) MigrateBand(band, dst int) bool { return c.migrateBand(band, dst, "manual") }
+
+func (c *Cluster) migrateBand(band, dst int, reason string) bool {
+	src := c.table.Owner(band)
+	if src == dst || !c.table.Alive(dst) || c.migrating[band] {
+		return false
+	}
+	c.migrating[band] = true
+	start := c.clock.Now()
+	pred := func(cp world.ChunkPos) bool { return c.table.Band(cp) == band }
+	c.shards[src].FlushOwnedChunks(pred, func() {
+		delete(c.migrating, band)
+		if c.stopped || !c.table.Alive(dst) {
+			return // the cluster stopped or dst died while we flushed
+		}
+		if !c.table.SetOwner(band, dst) {
+			return
+		}
+		c.persistTable()
+		c.BandsMoved.Inc()
+		c.MigrationLog = append(c.MigrationLog, MigrationRecord{
+			Band: band, From: src, To: dst,
+			Epoch: c.table.Epoch(), Reason: reason,
+			Latency: c.clock.Now() - start,
+		})
+	})
+	return true
+}
+
+// FailShard kills shard i: its loop crashes (every in-memory session is
+// gone), its bands reroute deterministically to the survivors (epoch
+// bump), and its players are re-admitted from their last persisted
+// snapshots — falling back to the last scan-observed position for players
+// that were never persisted, so a failover loses no player. Owned-
+// construct state on the dead shard died with it; the ownership refs are
+// dropped. Refuses to kill the last alive shard.
+func (c *Cluster) FailShard(i int) bool {
+	if i < 0 || i >= len(c.shards) || !c.table.Alive(i) || c.table.AliveCount() <= 1 {
+		return false
+	}
+	// Collect the victims before the crash wipes the shard's sessions.
+	var victims []*Player
+	for _, id := range c.order {
+		if p := c.players[id]; p.shard == i && !p.inflight {
+			victims = append(victims, p)
+		}
+	}
+	c.shards[i].Crash()
+	c.table.SetDead(i, true)
+	c.persistTable()
+	c.Failovers.Inc()
+	c.MigrationLog = append(c.MigrationLog, MigrationRecord{
+		Band: 0, From: i, To: -1, Epoch: c.table.Epoch(), Reason: "failover",
+	})
+	for _, p := range victims {
+		c.readmit(p)
+	}
+	return true
+}
+
+// readmit restores one failed shard's session: from the last persisted
+// snapshot when the transfer store has one, else at the last scan-
+// observed position with an empty record.
+func (c *Cluster) readmit(p *Player) {
+	p.inflight = true
+	p.constructs = nil
+	finish := func(snap mve.PlayerSnapshot) {
+		p.inflight = false
+		if p.closed {
+			c.drop(p.ID)
+			return
+		}
+		dst := c.table.ShardOfBlock(world.BlockPos{X: int(snap.X), Z: int(snap.Z)})
+		sess := c.shards[dst].AdmitPlayer(snap)
+		p.shard, p.pid, p.pendingShard = dst, sess.ID, dst
+		c.PlayersFailedOver.Inc()
+	}
+	fallback := mve.PlayerSnapshot{
+		Name: p.Name,
+		X:    float64(p.lastPos.X), Z: float64(p.lastPos.Z),
+		DestX: float64(p.lastPos.X), DestZ: float64(p.lastPos.Z),
+		Behavior: p.behavior,
+	}
+	if c.transfer == nil {
+		finish(fallback)
+		return
+	}
+	c.transfer.Load(p.Name, func(data []byte, ok bool) {
+		snap := fallback
+		if ok {
+			if dec, err := mve.DecodeSnapshot(data); err == nil {
+				dec.Name, dec.Behavior = p.Name, p.behavior
+				// Constructs in a stale handoff snapshot were already
+				// respawned somewhere when that handoff completed;
+				// re-restoring them would duplicate world state.
+				dec.Constructs = nil
+				snap = dec
+			}
+		}
+		finish(snap)
+	})
+}
+
+// RecoverShard replaces a failed shard: every survivor flushes the chunks
+// it owns (so the store holds the interim owners' state), a fresh server
+// is built over the persisted world through the ShardBuilder, and the
+// shard is marked alive again — reverting its bands (epoch bump), after
+// which resident players walk home through the boundary scan. Reports
+// whether a recovery was started.
+func (c *Cluster) RecoverShard(i int) bool {
+	if i < 0 || i >= len(c.shards) || c.table.Alive(i) || c.stopped {
+		return false
+	}
+	pending := 1
+	finish := func() {
+		pending--
+		if pending != 0 || c.stopped {
+			return
+		}
+		// The replacement process boots over the persisted world. It
+		// inherits the crashed server's tick history (the dead gap is
+		// simply absent), so report series and windowed assertions keep
+		// spanning the whole run.
+		crashed := c.shards[i]
+		c.shards[i] = c.build(i, c.table.View(i))
+		c.shards[i].TickDurations = crashed.TickDurations
+		c.shards[i].TickSeries = crashed.TickSeries
+		c.shards[i].SetChatRelay(c.relayChat)
+		c.table.SetDead(i, false)
+		c.persistTable()
+		c.MigrationLog = append(c.MigrationLog, MigrationRecord{
+			Band: 0, From: -1, To: i, Epoch: c.table.Epoch(), Reason: "recover",
+		})
+		if c.running {
+			c.shards[i].Start()
+		}
+	}
+	for s := range c.shards {
+		if !c.table.Alive(s) {
+			continue
+		}
+		pending++
+		c.shards[s].FlushOwnedChunks(nil, finish)
+	}
+	finish()
+	return true
+}

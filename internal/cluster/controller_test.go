@@ -1,0 +1,358 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"servo/internal/blob"
+	"servo/internal/mve"
+	"servo/internal/servo/tcache"
+	"servo/internal/sim"
+	"servo/internal/world"
+)
+
+// blobChunkStore is the test double of core's uncached blob-backed chunk
+// store, including the completion-reporting writes (SyncingChunkStore)
+// that ownership migrations gate on.
+type blobChunkStore struct{ remote *blob.Store }
+
+var (
+	_ mve.ChunkStore        = (*blobChunkStore)(nil)
+	_ mve.SyncingChunkStore = (*blobChunkStore)(nil)
+)
+
+func (u *blobChunkStore) Load(pos world.ChunkPos, cb func(*world.Chunk, bool)) {
+	u.remote.GetRetrying(tcache.Key(pos), func(data []byte, err error) {
+		if err != nil {
+			cb(nil, false)
+			return
+		}
+		c, derr := world.DecodeChunk(data)
+		if derr != nil {
+			cb(nil, false)
+			return
+		}
+		cb(c, true)
+	})
+}
+
+func (u *blobChunkStore) Store(c *world.Chunk) {
+	u.remote.PutRetrying(tcache.Key(c.Pos), c.Encode())
+}
+
+func (u *blobChunkStore) StoreThen(c *world.Chunk, done func()) {
+	u.remote.PutDurablyThen(tcache.Key(c.Pos), c.Encode(), done)
+}
+
+// newStoreCluster builds a store-backed cluster (chunk persistence +
+// handoff transfer over one blob store), BandChunks 4 → 64-block bands.
+func newStoreCluster(t *testing.T, seed int64, shards int, cfg Config) (*sim.Loop, *blob.Store, *Cluster) {
+	t.Helper()
+	loop := sim.NewLoop(seed)
+	remote := blob.NewStore(loop, blob.TierPremium)
+	cfg.Shards = shards
+	cfg.BandChunks = 4
+	if cfg.Transfer == nil {
+		cfg.Transfer = &retryingTransfer{remote: remote}
+	}
+	c := New(loop, cfg, func(i int, region world.Region) *mve.Server {
+		return mve.NewServer(loop, mve.Config{
+			WorldType:    "flat",
+			ViewDistance: 32,
+			Region:       region,
+			Store:        &blobChunkStore{remote: remote},
+		})
+	})
+	return loop, remote, c
+}
+
+func TestMigrateBandMovesOwnershipAndPlayers(t *testing.T) {
+	loop, c := newTestCluster(t, 11, 2, Config{})
+	// Band 2 (x in [128,192)) is shard 0's by the default interleave.
+	home := c.BandCenter(2)
+	var ps []*Player
+	for i := 0; i < 3; i++ {
+		ps = append(ps, c.ConnectAt(fmt.Sprintf("m%d", i), nil, home))
+	}
+	for _, p := range ps {
+		if p.Shard() != 0 {
+			t.Fatalf("player started on shard %d, want 0", p.Shard())
+		}
+	}
+	c.Start()
+	loop.RunUntil(5 * time.Second)
+	if !c.MigrateBand(2, 1) {
+		t.Fatal("MigrateBand refused")
+	}
+	loop.RunUntil(30 * time.Second)
+
+	if got := c.Epoch(); got != 1 {
+		t.Fatalf("epoch = %d after one migration, want 1", got)
+	}
+	if got := c.Table().Owner(2); got != 1 {
+		t.Fatalf("band 2 owner = %d, want 1", got)
+	}
+	for _, p := range ps {
+		if p.Shard() != 1 {
+			t.Fatalf("player %s still on shard %d after migration", p.Name, p.Shard())
+		}
+	}
+	if got := c.BandsMoved.Value(); got != 1 {
+		t.Fatalf("bands moved = %d, want 1", got)
+	}
+	if len(c.MigrationLog) != 1 || c.MigrationLog[0].Band != 2 || c.MigrationLog[0].To != 1 {
+		t.Fatalf("migration log wrong: %+v", c.MigrationLog)
+	}
+}
+
+// TestMigrationBrownoutDelaysButNeverLoses is the migration safety
+// property: a player-modified chunk in the migrating band reaches the
+// store before the ownership flip, even under a heavy brownout — the
+// flip waits for the flush, so the brownout delays the migration but the
+// new owner reads the modified state, never a regenerated one.
+func TestMigrationBrownoutDelaysButNeverLoses(t *testing.T) {
+	loop, remote, c := newStoreCluster(t, 12, 2, Config{})
+	home := c.BandCenter(2)
+	p := c.ConnectAt("sculptor", nil, home)
+	c.Start()
+	loop.RunUntil(10 * time.Second) // band 2 terrain loads around the player
+
+	// The player carves a signature block into its chunk.
+	mark := world.BlockPos{X: home.X + 1, Y: 3, Z: home.Z + 1}
+	if !c.Shard(0).World().SetBlockAt(mark, world.Block{ID: world.Stone}) {
+		t.Fatal("mark chunk not loaded on the owning shard")
+	}
+
+	// Brownout: most writes fail, everything is 20x slower.
+	remote.SetChaos(&blob.Chaos{WriteErrorRate: 0.6, ReadErrorRate: 0.6, LatencyFactor: 20})
+	if !c.MigrateBand(2, 1) {
+		t.Fatal("MigrateBand refused")
+	}
+	// Mid-brownout the flush is still fighting faults: the ownership flip
+	// must not have happened yet (delayed, not skipped).
+	loop.RunUntil(10*time.Second + 50*time.Millisecond)
+	if c.Epoch() != 0 {
+		t.Fatal("ownership flipped before the flush landed")
+	}
+	loop.RunUntil(2 * time.Minute)
+	remote.SetChaos(nil)
+	loop.RunUntil(3 * time.Minute)
+
+	if c.Epoch() == 0 {
+		t.Fatal("migration never completed after the brownout")
+	}
+	if got := c.Table().Owner(2); got != 1 {
+		t.Fatalf("band 2 owner = %d, want 1", got)
+	}
+	if p.Shard() != 1 {
+		t.Fatalf("resident player on shard %d, want 1", p.Shard())
+	}
+	if remote.FaultsInjected.Value() == 0 {
+		t.Fatal("brownout injected no faults; test proves nothing")
+	}
+	// The store holds the marked chunk: the new owner reads the modified
+	// state, not regenerated terrain.
+	var stored *world.Chunk
+	remote.Get(tcache.Key(mark.Chunk()), func(data []byte, err error) {
+		if err != nil {
+			t.Fatalf("marked chunk missing from store: %v", err)
+		}
+		ch, derr := world.DecodeChunk(data)
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		stored = ch
+	})
+	loop.RunUntil(4 * time.Minute)
+	if stored == nil {
+		t.Fatal("store read never completed")
+	}
+	lx, ly, lz := mark.X-mark.Chunk().Origin().X, mark.Y, mark.Z-mark.Chunk().Origin().Z
+	if stored.At(lx, ly, lz).ID != world.Stone {
+		t.Fatal("player modification lost in migration: flushed chunk lacks the mark")
+	}
+}
+
+func TestFailoverReadmitsEveryPlayer(t *testing.T) {
+	loop, remote, c := newStoreCluster(t, 13, 3, Config{})
+	// Players on every shard; shard 1's will be the victims.
+	var victims []*Player
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			p := c.ConnectAt(fmt.Sprintf("s%dp%d", i, j), nil, c.Home(i))
+			if i == 1 {
+				victims = append(victims, p)
+			}
+		}
+	}
+	c.Start()
+	loop.RunUntil(10 * time.Second)
+
+	if !c.FailShard(1) {
+		t.Fatal("FailShard refused")
+	}
+	if c.Alive(1) {
+		t.Fatal("shard 1 still alive after the kill")
+	}
+	loop.RunUntil(30 * time.Second)
+
+	if got := c.PlayerCount(); got != 12 {
+		t.Fatalf("players after failover = %d, want 12 (zero lost)", got)
+	}
+	if got := c.PlayersFailedOver.Value(); got != 4 {
+		t.Fatalf("players failed over = %d, want 4", got)
+	}
+	for _, p := range victims {
+		if p.Shard() == 1 {
+			t.Fatalf("victim %s still routed to the dead shard", p.Name)
+		}
+		if c.Session(p) == nil {
+			t.Fatalf("victim %s has no session after failover", p.Name)
+		}
+	}
+	// The dead shard owns nothing; survivors own its bands.
+	if c.Table().ShardOfBlock(c.Home(1)) == 1 {
+		t.Fatal("dead shard still owns its home band")
+	}
+
+	// Recovery rebuilds the shard and reverts its bands; the victims walk
+	// home through the ordinary scan.
+	if !c.RecoverShard(1) {
+		t.Fatal("RecoverShard refused")
+	}
+	loop.RunUntil(2 * time.Minute)
+	if !c.Alive(1) {
+		t.Fatal("shard 1 not alive after recovery")
+	}
+	// The rebuilt server inherited the crashed one's tick history, so
+	// whole-run series (windowed assertions, CSV reports) still cover the
+	// pre-crash era.
+	if got := len(c.Shard(1).TickSeries.ValuesBetween(0, 10*time.Second)); got == 0 {
+		t.Fatal("pre-crash tick history lost in the rebuild")
+	}
+	for _, p := range victims {
+		if p.Shard() != 1 {
+			t.Fatalf("victim %s did not return home after recovery (on shard %d)", p.Name, p.Shard())
+		}
+	}
+	if got := c.PlayerCount(); got != 12 {
+		t.Fatalf("players after recovery = %d, want 12", got)
+	}
+	_ = remote
+}
+
+func TestFailShardRefusesLastAlive(t *testing.T) {
+	loop, c := newTestCluster(t, 14, 2, Config{})
+	c.Start()
+	loop.RunUntil(time.Second)
+	if !c.FailShard(0) {
+		t.Fatal("first kill refused")
+	}
+	if c.FailShard(1) {
+		t.Fatal("killing the last alive shard must be refused")
+	}
+}
+
+func TestRebalanceControllerMovesHotBand(t *testing.T) {
+	loop, c := newTestCluster(t, 15, 2, Config{
+		Rebalance: RebalanceConfig{Enabled: true, Threshold: 1.1, Interval: 2 * time.Second},
+	})
+	// Shard 0 hosts two populated bands (0 and 2); shard 1 hosts band 1
+	// lightly. The controller should shed band 2 — not band 0, whose
+	// larger population would just move the hotspot.
+	for i := 0; i < 12; i++ {
+		c.ConnectAt(fmt.Sprintf("hot%d", i), nil, c.BandCenter(0))
+	}
+	for i := 0; i < 8; i++ {
+		c.ConnectAt(fmt.Sprintf("warm%d", i), nil, c.BandCenter(2))
+	}
+	for i := 0; i < 2; i++ {
+		c.ConnectAt(fmt.Sprintf("cold%d", i), nil, c.BandCenter(1))
+	}
+	c.Start()
+	loop.RunUntil(90 * time.Second)
+
+	if got := c.BandsMoved.Value(); got < 1 {
+		t.Fatalf("controller moved %d bands, want >= 1", got)
+	}
+	if got := c.Table().Owner(2); got != 1 {
+		t.Fatalf("band 2 owner = %d, want 1 (shed to the cold shard)", got)
+	}
+	if got := c.Table().Owner(0); got != 0 {
+		t.Fatalf("band 0 owner = %d: the controller moved the hotspot instead of shedding", got)
+	}
+	s0, s1 := c.Shard(0).PlayerCount(), c.Shard(1).PlayerCount()
+	if s0 != 12 || s1 != 10 {
+		t.Fatalf("post-rebalance split %d/%d, want 12/10", s0, s1)
+	}
+}
+
+// TestRebalanceDeterministicReplay runs the same seeded rebalancing
+// cluster twice and requires identical handoff and migration logs.
+func TestRebalanceDeterministicReplay(t *testing.T) {
+	run := func() ([]HandoffRecord, []MigrationRecord) {
+		loop, c := newTestCluster(t, 42, 2, Config{
+			Rebalance: RebalanceConfig{Enabled: true, Threshold: 1.1, Interval: 2 * time.Second},
+		})
+		for i := 0; i < 10; i++ {
+			c.ConnectAt(fmt.Sprintf("a%d", i), nil, c.BandCenter(0))
+		}
+		for i := 0; i < 6; i++ {
+			c.ConnectAt(fmt.Sprintf("b%d", i), nil, c.BandCenter(2))
+		}
+		c.ConnectAt("c0", nil, c.BandCenter(1))
+		c.Start()
+		loop.RunUntil(90 * time.Second)
+		return append([]HandoffRecord(nil), c.Log...), append([]MigrationRecord(nil), c.MigrationLog...)
+	}
+	h1, m1 := run()
+	h2, m2 := run()
+	if len(m1) == 0 {
+		t.Fatal("no migrations recorded; test proves nothing")
+	}
+	if len(h1) != len(h2) || len(m1) != len(m2) {
+		t.Fatalf("log lengths differ: handoffs %d/%d, migrations %d/%d", len(h1), len(h2), len(m1), len(m2))
+	}
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatalf("handoff[%d] differs: %+v vs %+v", i, h1[i], h2[i])
+		}
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatalf("migration[%d] differs: %+v vs %+v", i, m1[i], m2[i])
+		}
+	}
+}
+
+// chatOnce emits a single chat action on the first tick.
+func chatOnce() mve.Behavior {
+	sent := false
+	return mve.BehaviorFunc(func(_ *rand.Rand, _ *mve.Player, _ *mve.Server) []mve.Action {
+		if sent {
+			return nil
+		}
+		sent = true
+		return []mve.Action{{Kind: mve.ActionChat}}
+	})
+}
+
+// TestCrossShardChat is the regression for single-shard chat fan-out:
+// recipients on other shards must receive the message.
+func TestCrossShardChat(t *testing.T) {
+	loop, c := newTestCluster(t, 16, 2, Config{})
+	c.ConnectAt("speaker", chatOnce(), c.Home(0))
+	c.ConnectAt("listener", nil, c.Home(1))
+	c.Start()
+	loop.RunUntil(5 * time.Second)
+
+	total := c.Shard(0).ChatsDelivered.Value() + c.Shard(1).ChatsDelivered.Value()
+	if total != 2 {
+		t.Fatalf("chat deliveries = %d, want 2 (both shards' players)", total)
+	}
+	if got := c.Shard(1).ChatsDelivered.Value(); got != 1 {
+		t.Fatalf("foreign shard deliveries = %d, want 1", got)
+	}
+}

@@ -90,6 +90,17 @@ type Config struct {
 	// BandChunks is the region band width in chunk columns
 	// (0 → world.DefaultBandChunks). Only meaningful with Shards > 1.
 	BandChunks int
+	// Rebalance enables the cluster controller's live band rebalancing:
+	// when per-shard tick load drifts past RebalanceThreshold, band
+	// ownership migrates from the hottest to the coldest shard. Only
+	// meaningful with Shards > 1.
+	Rebalance bool
+	// RebalanceThreshold is the load_imbalance trigger
+	// (0 → cluster.DefaultRebalanceThreshold).
+	RebalanceThreshold float64
+	// RebalanceInterval is the controller check cadence
+	// (0 → cluster.DefaultRebalanceInterval).
+	RebalanceInterval time.Duration
 }
 
 // ShardComponents holds the per-shard component instances riding on the
@@ -229,6 +240,10 @@ func New(clock sim.Clock, cfg Config) *System {
 	}
 
 	part := world.Partition{Shards: shardCount, BandChunks: cfg.BandChunks}
+	// buildShard assembles shard i's components. Called once per shard at
+	// boot, and again by cluster.RecoverShard to build the replacement
+	// process after a shard failure — then the fresh components replace
+	// the crashed shard's entry in sys.Shards.
 	buildShard := func(i int, region world.Region) *mve.Server {
 		shard := &ShardComponents{}
 		srvCfg := mve.Config{
@@ -275,16 +290,29 @@ func New(clock sim.Clock, cfg Config) *System {
 			srvCfg.Store = cfg.WrapStore(srvCfg.Store)
 		}
 		shard.Server = mve.NewServer(clock, srvCfg)
-		sys.Shards = append(sys.Shards, shard)
+		if i < len(sys.Shards) {
+			sys.Shards[i] = shard // failover rebuild replaces in place
+		} else {
+			sys.Shards = append(sys.Shards, shard)
+		}
 		return shard.Server
 	}
 
 	if shardCount == 1 {
 		buildShard(0, world.Region{})
 	} else {
-		clCfg := cluster.Config{Shards: shardCount, BandChunks: cfg.BandChunks}
+		clCfg := cluster.Config{
+			Shards:     shardCount,
+			BandChunks: cfg.BandChunks,
+			Rebalance: cluster.RebalanceConfig{
+				Enabled:   cfg.Rebalance,
+				Threshold: cfg.RebalanceThreshold,
+				Interval:  cfg.RebalanceInterval,
+			},
+		}
 		if sys.Remote != nil {
 			clCfg.Transfer = &blobTransfer{remote: sys.Remote}
+			clCfg.TableStore = &blobTableStore{remote: sys.Remote}
 		}
 		sys.Cluster = cluster.New(clock, clCfg, buildShard)
 	}
@@ -315,6 +343,59 @@ func (t *blobTransfer) Load(name string, cb func(data []byte, ok bool)) {
 	t.remote.GetRetrying(rstore.PlayerKey(name), func(data []byte, err error) {
 		cb(data, err == nil)
 	})
+}
+
+// OwnershipKey is the blob-store key of the persisted ownership table.
+const OwnershipKey = "cluster/ownership"
+
+// blobTableStore persists the cluster's ownership table on the shared
+// remote store: every epoch change is written through with retries, so a
+// brownout delays but never loses an ownership decision, and a cluster
+// restarting over the same world resumes its ownership history.
+type blobTableStore struct {
+	remote *blob.Store
+}
+
+var _ cluster.TableStore = (*blobTableStore)(nil)
+
+func (t *blobTableStore) SaveTable(data []byte) {
+	t.remote.PutRetrying(OwnershipKey, data)
+}
+
+func (t *blobTableStore) LoadTable(cb func(data []byte, ok bool)) {
+	t.remote.GetRetrying(OwnershipKey, func(data []byte, err error) {
+		cb(data, err == nil)
+	})
+}
+
+// FailShard kills shard i: its cache flusher stops (a crashed process
+// flushes nothing — unflushed dirty chunks are the failure's data loss,
+// bounded by the flush interval), and the cluster crashes the loop,
+// reroutes the shard's bands, and re-admits its players from their last
+// snapshots. Reports whether the failover ran (refused on the last alive
+// shard or an unsharded system).
+func (sys *System) FailShard(i int) bool {
+	if sys.Cluster == nil || i < 0 || i >= len(sys.Shards) || !sys.Cluster.Alive(i) {
+		return false
+	}
+	if sys.Cluster.Table().AliveCount() <= 1 {
+		return false
+	}
+	if c := sys.Shards[i].Cache; c != nil {
+		c.StopFlusher()
+	}
+	return sys.Cluster.FailShard(i)
+}
+
+// RecoverShard rebuilds a failed shard over the persisted world: the
+// cluster's ShardBuilder (buildShard above) constructs fresh components,
+// replacing the crashed entry in sys.Shards, and the shard's bands revert
+// once the survivors' flushes land.
+func (sys *System) RecoverShard(i int) bool {
+	if sys.Cluster == nil {
+		return false
+	}
+	return sys.Cluster.RecoverShard(i)
 }
 
 // scAdapter adapts the speculative execution unit to mve.SCBackend.
@@ -377,6 +458,13 @@ func (u *uncachedStore) Load(pos world.ChunkPos, cb func(*world.Chunk, bool)) {
 
 func (u *uncachedStore) Store(c *world.Chunk) {
 	u.remote.PutRetrying(tcache.Key(c.Pos), c.Encode())
+}
+
+// StoreThen implements mve.SyncingChunkStore: done runs once data for
+// the chunk is durably stored — even if a concurrent unload-path write
+// superseded this one (ownership migrations gate the band flip on it).
+func (u *uncachedStore) StoreThen(c *world.Chunk, done func()) {
+	u.remote.PutDurablyThen(tcache.Key(c.Pos), c.Encode(), done)
 }
 
 // SavePlayer implements mve.PlayerStore.

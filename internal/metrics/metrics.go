@@ -201,6 +201,14 @@ func (ts *TimeSeries) Add(t, v time.Duration) {
 // Len returns the number of observations.
 func (ts *TimeSeries) Len() int { return len(ts.ts) }
 
+// Points returns copies of the observation times and values, in
+// observation order (the scenario CSV emitter exports them per shard).
+func (ts *TimeSeries) Points() (times, values []time.Duration) {
+	times = append([]time.Duration(nil), ts.ts...)
+	values = append([]time.Duration(nil), ts.vs...)
+	return times, values
+}
+
 // ValuesBetween returns the values observed in the inclusive time window
 // [from, to], in observation order (time-windowed scenario assertions).
 func (ts *TimeSeries) ValuesBetween(from, to time.Duration) []time.Duration {
@@ -251,6 +259,26 @@ func (ts *TimeSeries) Windows(width time.Duration) []WindowPoint {
 	}
 	flush()
 	return out
+}
+
+// ImbalanceRatio returns max/mean over per-shard load values — the
+// load_imbalance metric (1 = perfectly balanced). Empty or all-zero
+// input returns 1: a cluster doing nothing is balanced. Callers filter
+// out shards that should not count (dead, or empty in a window) before
+// calling; the cluster controller, the end-of-run report, and windowed
+// assertions all share this definition.
+func ImbalanceRatio(loads []float64) float64 {
+	var sum, max float64
+	for _, l := range loads {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	if len(loads) == 0 || sum == 0 {
+		return 1
+	}
+	return max / (sum / float64(len(loads)))
 }
 
 // Counter is a monotonically increasing event count.

@@ -27,6 +27,16 @@ type AvatarObserver interface {
 	ObserveAvatars(positions []world.BlockPos, viewDistance int)
 }
 
+// SyncingChunkStore is an optional ChunkStore extension whose writes
+// report completion. Ownership migrations gate the ownership flip on the
+// source shard's flush landing (FlushOwnedChunks), so a storage brownout
+// delays a migration but never loses chunk state.
+type SyncingChunkStore interface {
+	// StoreThen persists the chunk and calls done once the write has
+	// landed in backing storage (retrying through transient faults).
+	StoreThen(c *world.Chunk, done func())
+}
+
 // Config configures a Server.
 type Config struct {
 	Profile Profile
@@ -125,6 +135,11 @@ type Server struct {
 	tick    uint64
 	running bool
 	stopped bool
+
+	// chatRelay, when set, fans chat messages out beyond this server
+	// (cluster-wide delivery); it returns the number of recipients for
+	// cost accounting. Nil keeps the classic local fan-out.
+	chatRelay func(from *Player) int
 
 	// Metrics.
 	TickDurations  *metrics.Sample
@@ -246,6 +261,69 @@ func (s *Server) Start() {
 
 // Stop halts the game loop after the current tick.
 func (s *Server) Stop() { s.stopped = true }
+
+// Crash models the shard process dying mid-run: the loop halts and every
+// in-memory session is dropped — their state survives only as far as it
+// was persisted. A crashed server stays inert; shard failover builds a
+// replacement over the persisted world instead of restarting it
+// (cluster.RecoverShard).
+func (s *Server) Crash() {
+	s.stopped = true
+	s.players = make(map[PlayerID]*Player)
+	s.playerOrder = nil
+}
+
+// SetChatRelay installs a cluster-wide chat fan-out: chat actions deliver
+// through relay (which returns the recipient count) instead of to this
+// server's local players only.
+func (s *Server) SetChatRelay(relay func(from *Player) int) { s.chatRelay = relay }
+
+// FlushOwnedChunks persists every loaded chunk this server owns matching
+// pred (nil matches all), calling done once after every write has landed.
+// With a completion-reporting store (SyncingChunkStore) the writes retry
+// through fault windows before done fires — the guarantee an ownership
+// migration needs before flipping a band to a new owner. Stores without
+// completion reporting get their writes issued fire-and-forget and done
+// runs immediately.
+func (s *Server) FlushOwnedChunks(pred func(world.ChunkPos) bool, done func()) {
+	if done == nil {
+		done = func() {}
+	}
+	if s.store == nil {
+		done()
+		return
+	}
+	chunks := s.world.LoadedChunks()
+	// Deterministic write order: the store draws latency and fault
+	// outcomes from the clock RNG per operation.
+	sort.Slice(chunks, func(i, j int) bool {
+		if chunks[i].X != chunks[j].X {
+			return chunks[i].X < chunks[j].X
+		}
+		return chunks[i].Z < chunks[j].Z
+	})
+	syncStore, _ := s.store.(SyncingChunkStore)
+	pending := 1
+	finish := func() {
+		pending--
+		if pending == 0 {
+			done()
+		}
+	}
+	for _, cp := range chunks {
+		if !s.owned(cp) || (pred != nil && !pred(cp)) {
+			continue
+		}
+		c := s.world.Chunk(cp)
+		if syncStore != nil {
+			pending++
+			syncStore.StoreThen(c, finish)
+		} else {
+			s.store.Store(c)
+		}
+	}
+	finish()
+}
 
 // SpawnConstruct activates a simulated construct whose grid cell (0, 0)
 // maps to the anchor block position (cells extend along +X and +Z on the

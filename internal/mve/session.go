@@ -184,9 +184,15 @@ func (s *Server) processAction(p *Player, a Action) time.Duration {
 		}
 		s.world.SetBlockAt(a.Pos, b)
 	case ActionChat:
-		// Fan out to every connected player.
-		s.ChatsDelivered.Add(int64(len(s.players)))
-		cost += time.Duration(len(s.players)) * (s.cost.PerAction / 8)
+		// Fan out to every connected player — cluster-wide through the
+		// relay when one is installed (cross-shard chat), else locally.
+		n := len(s.players)
+		if s.chatRelay != nil {
+			n = s.chatRelay(p)
+		} else {
+			s.ChatsDelivered.Add(int64(n))
+		}
+		cost += time.Duration(n) * (s.cost.PerAction / 8)
 	case ActionSetInventory:
 		p.Inventory = a.Item
 	case ActionIdle:

@@ -47,12 +47,25 @@ type front struct{ sys *core.System }
 
 func (f front) sharded() bool { return f.sys.Cluster != nil }
 
-// connect joins a player; shard >= 0 places it in that shard's home band
-// (sharded systems only), -1 joins at world spawn.
-func (f front) connect(name string, b mve.Behavior, shard int) ref {
+// placement says where a player joins: a specific band's center, a
+// shard's home band, or world spawn.
+type placement struct {
+	shard int  // -1 = spawn (unless band is set)
+	band  *int // band center placement, finer-grained than shard
+}
+
+// atSpawn is the default placement.
+var atSpawn = placement{shard: -1}
+
+// connect joins a player at the placement (sharded systems only honour
+// shard/band placement; a single server always joins at spawn).
+func (f front) connect(name string, b mve.Behavior, pl placement) ref {
 	if cl := f.sys.Cluster; cl != nil {
-		if shard >= 0 {
-			return ref{cp: cl.ConnectAt(name, b, cl.Home(shard))}
+		if pl.band != nil {
+			return ref{cp: cl.ConnectAt(name, b, cl.BandCenter(*pl.band))}
+		}
+		if pl.shard >= 0 {
+			return ref{cp: cl.ConnectAt(name, b, cl.Home(pl.shard))}
 		}
 		return ref{cp: cl.Connect(name, b)}
 	}
@@ -223,6 +236,11 @@ func (r *Runner) build() {
 		StorageTier:  tierFor(spec.Backend.StorageTier),
 		Shards:       spec.Shards,
 	}
+	if rb := spec.Rebalance; rb != nil {
+		cfg.Rebalance = true
+		cfg.RebalanceThreshold = rb.Threshold
+		cfg.RebalanceInterval = rb.Interval.D()
+	}
 	if se := spec.Backend.SpecExec; se != nil {
 		sx := specexec.DefaultConfig()
 		if se.TickLead != nil {
@@ -271,7 +289,7 @@ func (r *Runner) runPrewrite(cfg core.Config) core.Config {
 		var members []ref
 		r.loop.At(g.JoinAt.D(), func() {
 			for i := 0; i < g.Count; i++ {
-				m := f.connect(fmt.Sprintf("pre%d-%d", gi, i), workload.ForName(g.Behavior), fleetShard(g))
+				m := f.connect(fmt.Sprintf("pre%d-%d", gi, i), workload.ForName(g.Behavior), fleetPlacement(g))
 				members = append(members, m)
 				refs = append(refs, m)
 			}
@@ -307,12 +325,15 @@ func (r *Runner) runPrewrite(cfg core.Config) core.Config {
 	return cfg
 }
 
-// fleetShard returns the placement shard of a fleet group (-1 = spawn).
-func fleetShard(g FleetGroup) int {
-	if g.Shard == nil {
-		return -1
+// fleetPlacement returns a fleet group's join placement.
+func fleetPlacement(g FleetGroup) placement {
+	if g.Band != nil {
+		return placement{shard: -1, band: g.Band}
 	}
-	return *g.Shard
+	if g.Shard == nil {
+		return atSpawn
+	}
+	return placement{shard: *g.Shard}
 }
 
 // placeConstructs activates count constructs of the given size on a grid
@@ -341,10 +362,10 @@ func (r *Runner) placeConstructs(count, blocks int) {
 	r.scZ += (count + perRow - 1) / perRow * pitchZ
 }
 
-// connect joins one player and tracks the concurrency peak. shard >= 0
-// places the player in that shard's home band.
-func (r *Runner) connect(name, behavior string, shard int) ref {
-	m := r.front.connect(name, workload.ForName(behavior), shard)
+// connect joins one player at the placement and tracks the concurrency
+// peak.
+func (r *Runner) connect(name, behavior string, pl placement) ref {
+	m := r.front.connect(name, workload.ForName(behavior), pl)
 	if n := r.front.count(); n > r.peak {
 		r.peak = n
 	}
@@ -361,7 +382,7 @@ func (r *Runner) schedule() {
 		var members []ref
 		r.at(g.JoinAt.D(), func() {
 			for i := 0; i < g.Count; i++ {
-				members = append(members, r.connect(fmt.Sprintf("fleet%d-%d", gi, i), g.Behavior, fleetShard(g)))
+				members = append(members, r.connect(fmt.Sprintf("fleet%d-%d", gi, i), g.Behavior, fleetPlacement(g)))
 			}
 			r.logf("fleet[%d]: %d %q players joined", gi, g.Count, g.Behavior)
 		})
@@ -408,19 +429,19 @@ func (r *Runner) pickBehavior(st *StressSpec) string {
 	return names[len(names)-1]
 }
 
-// botShard returns stress bot i's placement shard (-1 = spawn).
-func (r *Runner) botShard(i int, st *StressSpec) int {
+// botPlacement returns stress bot i's join placement.
+func (r *Runner) botPlacement(i int, st *StressSpec) placement {
 	if st.Placement != "spread" {
-		return -1
+		return atSpawn
 	}
-	return i % r.spec.Shards
+	return placement{shard: i % r.spec.Shards}
 }
 
 // runBot connects one stress bot (stable identity per index, so rejoins
 // resume persisted player data) and, under churn, schedules its session
 // end and eventual rejoin.
 func (r *Runner) runBot(i int, st *StressSpec) {
-	m := r.connect(fmt.Sprintf("bot-%d", i), r.pickBehavior(st), r.botShard(i, st))
+	m := r.connect(fmt.Sprintf("bot-%d", i), r.pickBehavior(st), r.botPlacement(i, st))
 	if st.Churn == nil {
 		return
 	}
@@ -440,9 +461,13 @@ func (r *Runner) fire(e Event) {
 		seq := r.crowdSeq
 		r.crowdSeq++
 		for i := 0; i < e.Count; i++ {
-			r.connect(fmt.Sprintf("crowd%d-%d", seq, i), e.Behavior, -1)
+			r.connect(fmt.Sprintf("crowd%d-%d", seq, i), e.Behavior, placement{shard: -1, band: e.Band})
 		}
-		r.logf("flash crowd: %d %q players joined", e.Count, e.Behavior)
+		if e.Band != nil {
+			r.logf("flash crowd: %d %q players joined at band %d", e.Count, e.Behavior, *e.Band)
+		} else {
+			r.logf("flash crowd: %d %q players joined", e.Count, e.Behavior)
+		}
 	case EvDisconnect:
 		victims := r.front.newest(e.Count)
 		for _, m := range victims {
@@ -517,6 +542,20 @@ func (r *Runner) fire(e Event) {
 	case EvFlipStorage:
 		r.flip.useLocal = e.Target == "local"
 		r.logf("storage backend flipped to %s", e.Target)
+	case EvShardFail:
+		shard := *e.Shard
+		if r.sys.FailShard(shard) {
+			r.logf("shard %d killed: bands rerouted, players re-admitting (epoch %d)", shard, r.sys.Cluster.Epoch())
+		} else {
+			r.logf("shard %d kill refused (already dead, or last alive shard)", shard)
+		}
+		if e.RecoverAt != 0 {
+			r.at(e.RecoverAt.D(), func() {
+				if r.sys.RecoverShard(shard) {
+					r.logf("shard %d recovering: rebuilding over the persisted world", shard)
+				}
+			})
+		}
 	}
 }
 
@@ -524,6 +563,7 @@ func (r *Runner) fire(e Event) {
 // On a sharded system the scalar fields hold sums across shards.
 type baseline struct {
 	actions, chunksApplied, chunksSent, resumed int64
+	chats                                       int64
 	discards                                    int64
 	scInv, scCold, scFaults                     int64
 	tgInv, tgCold, tgFaults                     int64
@@ -531,6 +571,8 @@ type baseline struct {
 	cacheHits, cacheMisses, prefetch            int64
 	reads, writes, storeFaults                  int64
 	handoffs                                    int64
+	rebalances, bandsMoved                      int64
+	failovers, playersFailedOver                int64
 	handoffsIn, handoffsOut                     []int64
 }
 
@@ -542,6 +584,7 @@ func (r *Runner) snapshotBaseline() {
 		b.chunksApplied += srv.ChunksApplied.Value()
 		b.chunksSent += srv.ChunksSent.Value()
 		b.resumed += srv.ConstructsResumed.Value()
+		b.chats += srv.ChatsDelivered.Value()
 		if m := sh.SpecExec; m != nil {
 			b.discards += m.Discards.Value()
 		}
@@ -576,6 +619,10 @@ func (r *Runner) snapshotBaseline() {
 	}
 	if cl := r.sys.Cluster; cl != nil {
 		b.handoffs = cl.Handoffs.Value()
+		b.rebalances = cl.Rebalances.Value()
+		b.bandsMoved = cl.BandsMoved.Value()
+		b.failovers = cl.Failovers.Value()
+		b.playersFailedOver = cl.PlayersFailedOver.Value()
 		for i := range r.sys.Shards {
 			b.handoffsIn = append(b.handoffsIn, cl.HandoffsIn[i].Value())
 			b.handoffsOut = append(b.handoffsOut, cl.HandoffsOut[i].Value())
@@ -623,6 +670,24 @@ func (r *Runner) windowTicks(from, to time.Duration) *metrics.Sample {
 		s.AddAll(sh.Server.TickSeries.ValuesBetween(r.t0+from, r.t0+to))
 	}
 	return s
+}
+
+// windowImbalance recomputes load_imbalance (max/mean of per-shard mean
+// tick duration) over the window [from, to]: the assertion hook showing
+// imbalance spiking after a hotspot event and decreasing once the
+// controller rebalanced. Shards with no ticks in the window (e.g. dead
+// during a failover) are excluded.
+func (r *Runner) windowImbalance(from, to time.Duration) float64 {
+	var loads []float64
+	for _, sh := range r.sys.Shards {
+		s := &metrics.Sample{}
+		s.AddAll(sh.Server.TickSeries.ValuesBetween(r.t0+from, r.t0+to))
+		if s.Len() == 0 {
+			continue
+		}
+		loads = append(loads, float64(s.Mean()))
+	}
+	return metrics.ImbalanceRatio(loads)
 }
 
 // tickMetric computes one tick metric over a sample (the shared math
@@ -681,7 +746,7 @@ func (r *Runner) collect() *Report {
 	vals["players_final"] = float64(r.front.count())
 	vals["players_peak"] = float64(r.peak)
 
-	var actions, chunksApplied, chunksSent, resumed, discards int64
+	var actions, chunksApplied, chunksSent, resumed, discards, chats int64
 	var cacheHits, cacheMisses, prefetch int64
 	var tgBackendFailures, constructs int
 	var efficiency []float64
@@ -692,6 +757,7 @@ func (r *Runner) collect() *Report {
 		chunksApplied += srv.ChunksApplied.Value()
 		chunksSent += srv.ChunksSent.Value()
 		resumed += srv.ConstructsResumed.Value()
+		chats += srv.ChatsDelivered.Value()
 		constructs += srv.SCs().Count()
 		if vm := srv.MinViewMargin(); viewMargin < 0 || vm < viewMargin {
 			viewMargin = vm
@@ -710,6 +776,7 @@ func (r *Runner) collect() *Report {
 		}
 	}
 	vals["actions"] = float64(actions - b.actions)
+	vals["chats_delivered"] = float64(chats - b.chats)
 	vals["chunks_applied"] = float64(chunksApplied - b.chunksApplied)
 	vals["chunks_sent"] = float64(chunksSent - b.chunksSent)
 	vals["view_margin"] = float64(viewMargin)
@@ -778,21 +845,18 @@ func (r *Runner) collect() *Report {
 		vals["handoffs"] = float64(cl.Handoffs.Value() - b.handoffs)
 		vals["handoff_mean_ms"] = msOf(cl.HandoffLatency.Mean())
 		vals["handoff_p99_ms"] = msOf(cl.HandoffLatency.Percentile(99))
+		vals["ownership_epoch"] = float64(cl.Epoch())
+		vals["rebalances"] = float64(cl.Rebalances.Value() - b.rebalances)
+		vals["bands_moved"] = float64(cl.BandsMoved.Value() - b.bandsMoved)
+		vals["failovers"] = float64(cl.Failovers.Value() - b.failovers)
+		vals["players_failed_over"] = float64(cl.PlayersFailedOver.Value() - b.playersFailedOver)
 		// Load imbalance: max over shards of mean tick duration, divided
 		// by the cross-shard mean (1 = perfectly balanced).
-		var sum, max float64
+		var loads []float64
 		for _, sh := range r.sys.Shards {
-			m := float64(sh.Server.TickDurations.Mean())
-			sum += m
-			if m > max {
-				max = m
-			}
+			loads = append(loads, float64(sh.Server.TickDurations.Mean()))
 		}
-		if sum > 0 {
-			vals["load_imbalance"] = max / (sum / float64(len(r.sys.Shards)))
-		} else {
-			vals["load_imbalance"] = 1
-		}
+		vals["load_imbalance"] = metrics.ImbalanceRatio(loads)
 		for i, sh := range r.sys.Shards {
 			srv := sh.Server
 			vals[fmt.Sprintf("shard%d_ticks_total", i)] = float64(srv.TickDurations.Len())
@@ -806,6 +870,14 @@ func (r *Runner) collect() *Report {
 	vals["cost_dollars"] = cost
 
 	rep := &Report{Name: spec.Name, Virtual: spec.Duration.D(), Pass: true}
+	for i, sh := range r.sys.Shards {
+		times, durs := sh.Server.TickSeries.Points()
+		series := ShardSeries{Shard: i, Ticks: make([]TickPoint, len(times))}
+		for j := range times {
+			series.Ticks[j] = TickPoint{At: times[j], Dur: durs[j]}
+		}
+		rep.Series = append(rep.Series, series)
+	}
 	for _, e := range metricOrder {
 		if v, ok := vals[e.Name]; ok {
 			rep.Metrics = append(rep.Metrics, Metric{Name: e.Name, Value: v})
@@ -826,7 +898,11 @@ func (r *Runner) collect() *Report {
 	for _, a := range spec.Assertions {
 		actual := vals[a.Metric]
 		if a.Windowed() {
-			actual = tickMetric(a.Metric, r.windowTicks(a.From.D(), a.To.D()))
+			if a.Metric == "load_imbalance" {
+				actual = r.windowImbalance(a.From.D(), a.To.D())
+			} else {
+				actual = tickMetric(a.Metric, r.windowTicks(a.From.D(), a.To.D()))
+			}
 		}
 		c := Check{Assertion: a, Actual: actual, Ok: a.holds(actual)}
 		if !c.Ok {

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -287,5 +288,175 @@ func TestWindowedAssertionCountsTicksInWindow(t *testing.T) {
 	}
 	if !rep.Pass {
 		t.Fatalf("windowed tick-count scenario failed:\n%s", rep.Render())
+	}
+}
+
+// runBundledTwice runs a bundled scenario twice and returns both text and
+// CSV renderings of each run, requiring both runs to pass.
+func runBundledTwice(t *testing.T, name string) (text1, text2, csv1, csv2 string) {
+	t.Helper()
+	render := func() (string, string) {
+		spec, err := LoadBundled(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Pass {
+			t.Fatalf("%s failed its assertions:\n%s", name, rep.Render())
+		}
+		return rep.Render(), rep.RenderCSV()
+	}
+	text1, csv1 = render()
+	text2, csv2 = render()
+	return text1, text2, csv1, csv2
+}
+
+// TestRebalanceScenarioDeterministicReplay: live rebalancing (controller
+// decisions, band flushes, follow-up handoffs) preserves byte-identical
+// replay, in both report formats.
+func TestRebalanceScenarioDeterministicReplay(t *testing.T) {
+	text1, text2, csv1, csv2 := runBundledTwice(t, "rebalance-hotspot")
+	if text1 != text2 {
+		t.Fatalf("rebalance replay diverged:\n--- first ---\n%s--- second ---\n%s", text1, text2)
+	}
+	if csv1 != csv2 {
+		t.Fatal("rebalance CSV replay diverged")
+	}
+}
+
+// TestFailoverScenarioDeterministicReplay: the bundled shard-failover
+// scenario passes (zero lost players) and replays byte-identically.
+func TestFailoverScenarioDeterministicReplay(t *testing.T) {
+	text1, text2, csv1, csv2 := runBundledTwice(t, "shard-failover")
+	if text1 != text2 {
+		t.Fatalf("failover replay diverged:\n--- first ---\n%s--- second ---\n%s", text1, text2)
+	}
+	if csv1 != csv2 {
+		t.Fatal("failover CSV replay diverged")
+	}
+}
+
+// TestShardFailInlineZeroLoss is the compact failover property check: a
+// kill without recovery still loses no players, and the survivors keep
+// the whole band space owned.
+func TestShardFailInlineZeroLoss(t *testing.T) {
+	spec, err := Parse([]byte(`{
+		"name": "shard-fail-inline",
+		"duration": "60s",
+		"warmup": "10s",
+		"shards": 2,
+		"backend": {"storage": true},
+		"fleet": [
+			{"count": 6, "behavior": "A", "shard": 0},
+			{"count": 6, "behavior": "A", "shard": 1}
+		],
+		"events": [
+			{"at": "25s", "kind": "shard_fail", "shard": 0}
+		],
+		"assertions": [
+			{"metric": "players_final", "op": ">=", "value": 12},
+			{"metric": "failovers", "op": ">=", "value": 1},
+			{"metric": "players_failed_over", "op": ">=", "value": 6},
+			{"metric": "shard1_players_final", "op": ">=", "value": 12}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("inline shard-fail scenario failed:\n%s", rep.Render())
+	}
+}
+
+// TestRenderCSVStructure pins the CSV emitter's shape: header, a scenario
+// row, one row per metric and assertion, and per-tick rows for every
+// shard.
+func TestRenderCSVStructure(t *testing.T) {
+	spec, err := Parse([]byte(`{
+		"name": "csv-inline",
+		"duration": "30s",
+		"warmup": "5s",
+		"shards": 2,
+		"fleet": [{"count": 2, "behavior": "idle"}],
+		"assertions": [{"metric": "players_final", "op": ">=", "value": 2}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := rep.RenderCSV()
+	lines := strings.Split(strings.TrimSuffix(csv, "\n"), "\n")
+	if lines[0] != "kind,shard,name,at_ms,value,ok" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	counts := map[string]int{}
+	shardsSeen := map[string]bool{}
+	for _, l := range lines[1:] {
+		f := strings.Split(l, ",")
+		if len(f) != 6 {
+			t.Fatalf("csv row has %d fields: %q", len(f), l)
+		}
+		counts[f[0]]++
+		if f[0] == "tick" {
+			shardsSeen[f[1]] = true
+		}
+	}
+	if counts["scenario"] != 1 {
+		t.Fatalf("scenario rows = %d, want 1", counts["scenario"])
+	}
+	if counts["metric"] != len(rep.Metrics) {
+		t.Fatalf("metric rows = %d, want %d", counts["metric"], len(rep.Metrics))
+	}
+	if counts["assert"] != len(rep.Checks) {
+		t.Fatalf("assert rows = %d, want %d", counts["assert"], len(rep.Checks))
+	}
+	// A 30s run at 20 Hz logs ≈600 ticks per shard.
+	if counts["tick"] < 1000 {
+		t.Fatalf("tick rows = %d, want >= 1000 across 2 shards", counts["tick"])
+	}
+	if !shardsSeen["0"] || !shardsSeen["1"] {
+		t.Fatalf("tick rows missing a shard: %v", shardsSeen)
+	}
+}
+
+// TestCrossShardChatScenario: chatty players on a sharded cluster deliver
+// to the whole cluster, not one shard — the cluster-wide count must reach
+// every player (> per-shard population could ever explain).
+func TestCrossShardChatScenario(t *testing.T) {
+	spec, err := Parse([]byte(`{
+		"name": "chat-inline",
+		"seed": 5,
+		"duration": "60s",
+		"warmup": "5s",
+		"shards": 4,
+		"fleet": [
+			{"count": 2, "behavior": "R", "shard": 0},
+			{"count": 10, "behavior": "idle", "shard": 1},
+			{"count": 10, "behavior": "idle", "shard": 2},
+			{"count": 10, "behavior": "idle", "shard": 3}
+		],
+		"assertions": [
+			{"metric": "chats_delivered", "op": ">=", "value": 32}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("cross-shard chat scenario failed:\n%s", rep.Render())
 	}
 }

@@ -38,6 +38,7 @@ var metricOrder = []struct {
 	{"players_final", needsNone},
 	{"players_peak", needsNone},
 	{"actions", needsNone},
+	{"chats_delivered", needsNone}, // chat deliveries (cluster-wide when sharded)
 	{"chunks_applied", needsNone},
 	{"chunks_sent", needsNone},
 	{"view_margin", needsNone}, // blocks of loaded terrain margin (Fig. 10 QoS)
@@ -65,7 +66,12 @@ var metricOrder = []struct {
 	{"handoff_mean_ms", needsCluster}, // mean handoff latency
 	{"handoff_p99_ms", needsCluster},  // p99 handoff latency
 	{"load_imbalance", needsCluster},  // max/mean per-shard mean tick duration
-	{"cost_dollars", needsNone},       // FaaS + storage billing over the whole run
+	{"ownership_epoch", needsCluster}, // ownership-table version (migrations + failovers)
+	{"rebalances", needsCluster},      // controller rebalance decisions
+	{"bands_moved", needsCluster},     // completed band-ownership migrations
+	{"failovers", needsCluster},       // shards failed over
+	{"players_failed_over", needsCluster},
+	{"cost_dollars", needsNone}, // FaaS + storage billing over the whole run
 }
 
 // shardMetricBases are the per-shard metrics a sharded report rolls up,
@@ -100,11 +106,15 @@ func parseShardMetric(name string) (shard int, base string, ok bool) {
 }
 
 // windowableMetrics are the assertions that support [from, to] windows:
-// everything recomputable from the per-tick time series.
+// everything recomputable from the per-tick time series. load_imbalance
+// recomputes per-shard means inside the window, so a spec can assert that
+// imbalance spiked after a hotspot event and decreased once the
+// controller rebalanced.
 var windowableMetrics = map[string]bool{
 	"ticks_total": true, "ticks_over_budget": true, "over_budget_frac": true,
 	"tick_p50_ms": true, "tick_p90_ms": true, "tick_p95_ms": true,
 	"tick_p99_ms": true, "tick_max_ms": true, "tick_mean_ms": true,
+	"load_imbalance": true,
 }
 
 // metricNeeds maps metric name → availability class, derived from
@@ -145,15 +155,30 @@ func (a Assertion) holds(actual float64) bool {
 	return false
 }
 
+// TickPoint is one tick observation: virtual time and tick duration.
+type TickPoint struct {
+	At, Dur time.Duration
+}
+
+// ShardSeries is one shard's per-tick series (warm-up included; the
+// timestamps let consumers window it themselves). The CSV emitter renders
+// it; the text report does not.
+type ShardSeries struct {
+	Shard int
+	Ticks []TickPoint
+}
+
 // Report is the outcome of one scenario run. Its rendering is a pure
 // function of the virtual-clock execution: two runs of the same spec
-// produce byte-identical reports.
+// produce byte-identical reports (text and CSV alike).
 type Report struct {
 	Name    string
 	Virtual time.Duration // virtual run length
 	Pass    bool
 	Metrics []Metric
 	Checks  []Check
+	// Series holds every shard's per-tick durations for the CSV emitter.
+	Series []ShardSeries
 }
 
 // fmtVal renders a metric value deterministically: integral values without

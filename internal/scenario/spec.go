@@ -125,6 +125,11 @@ type FleetGroup struct {
 	// Shard, if set, places the group inside that shard's home band
 	// instead of at world spawn (requires a sharded scenario).
 	Shard *int `json:"shard,omitempty"`
+	// Band, if set, places the group at that region band's center —
+	// finer-grained than Shard, e.g. to build a hotspot inside one
+	// specific band of a shard's territory (requires a sharded scenario;
+	// mutually exclusive with Shard).
+	Band *int `json:"band,omitempty"`
 }
 
 // ChurnSpec adds session churn to a stress fleet: bots play for an
@@ -155,6 +160,19 @@ type StressSpec struct {
 	Placement string `json:"placement,omitempty"`
 }
 
+// RebalanceSpec enables the cluster controller's live band rebalancing:
+// the controller watches per-shard tick load and migrates region-band
+// ownership from the hottest to the coldest shard (flushing the band's
+// chunks through the store first, then bumping the ownership epoch) when
+// the imbalance stays over the threshold.
+type RebalanceSpec struct {
+	// Threshold is the load_imbalance trigger (max/mean of per-shard tick
+	// load); 0 → 1.25. Must be >= 1 when set.
+	Threshold float64 `json:"threshold,omitempty"`
+	// Interval is the controller check cadence; 0 → 2s.
+	Interval Span `json:"interval,omitempty"`
+}
+
 // PrewriteSpec runs a write phase before the measured scenario: a
 // throwaway system over the same storage substrate explores (persisting
 // terrain and player records), is stopped and flushed, and then the
@@ -177,12 +195,13 @@ const (
 	EvStorageChaos   = "storage_chaos"    // storage brownout window
 	EvColdStartStorm = "cold_start_storm" // warm pools evicted repeatedly
 	EvFlipStorage    = "flip_storage"     // switch chunk store backend
+	EvShardFail      = "shard_fail"       // kill one shard's loop (failover)
 )
 
 // eventKinds lists the valid kinds for error messages.
 var eventKinds = []string{
 	EvFlashCrowd, EvDisconnect, EvSpawnSCs, EvFaasChaos,
-	EvStorageChaos, EvColdStartStorm, EvFlipStorage,
+	EvStorageChaos, EvColdStartStorm, EvFlipStorage, EvShardFail,
 }
 
 // Event is one timed intervention. Kind selects which of the optional
@@ -195,6 +214,16 @@ type Event struct {
 	Count    int    `json:"count,omitempty"`
 	Behavior string `json:"behavior,omitempty"` // flash_crowd; "" → "R"
 	Blocks   int    `json:"blocks,omitempty"`   // spawn_constructs; 0 → 250
+	// flash_crowd: land the crowd at this region band's center instead
+	// of at world spawn, building a hotspot inside one shard's territory
+	// (requires a sharded scenario).
+	Band *int `json:"band,omitempty"`
+
+	// shard_fail: which shard's loop to kill.
+	Shard *int `json:"shard,omitempty"`
+	// shard_fail: when to rebuild the shard over the persisted world
+	// (absolute scenario time, after at; 0 → the shard stays dead).
+	RecoverAt Span `json:"recover_at,omitempty"`
 
 	// faas_chaos, storage_chaos, cold_start_storm: window length.
 	Duration Span `json:"duration,omitempty"`
@@ -253,6 +282,9 @@ type Spec struct {
 	// one shared serverless substrate, with cross-shard player handoff.
 	// 0 or 1 → the classic single server.
 	Shards int `json:"shards,omitempty"`
+	// Rebalance, if set, enables the cluster controller's live band
+	// rebalancing (requires shards > 1).
+	Rebalance *RebalanceSpec `json:"rebalance,omitempty"`
 
 	World      WorldSpec        `json:"world,omitempty"`
 	Backend    BackendSpec      `json:"backend,omitempty"`
@@ -320,6 +352,14 @@ func (s *Spec) Validate() error {
 	}
 	if s.Shards < 0 || s.Shards > 64 {
 		return s.errf("shards must be in [0, 64] (got %d)", s.Shards)
+	}
+	if rb := s.Rebalance; rb != nil {
+		if s.Shards <= 1 {
+			return s.errf("rebalance requires shards > 1")
+		}
+		if rb.Threshold != 0 && rb.Threshold < 1 {
+			return s.errf("rebalance.threshold must be >= 1 (got %g)", rb.Threshold)
+		}
 	}
 
 	if err := s.validateWorld(); err != nil {
@@ -441,6 +481,14 @@ func (s *Spec) validateFleet(section string, fleet []FleetGroup, horizonName str
 			}
 			if *g.Shard < 0 || *g.Shard >= s.Shards {
 				return s.errf("%s[%d]: shard %d out of range [0, %d)", section, i, *g.Shard, s.Shards)
+			}
+		}
+		if g.Band != nil {
+			if g.Shard != nil {
+				return s.errf("%s[%d]: shard and band placement are mutually exclusive", section, i)
+			}
+			if s.Shards <= 1 {
+				return s.errf("%s[%d]: band placement requires shards > 1", section, i)
 			}
 		}
 	}
@@ -568,6 +616,9 @@ func (s *Spec) validateEvent(i int, e *Event) error {
 		if !workload.Known(e.Behavior) {
 			return s.errf("events[%d] %s: unknown behavior %q", i, e.Kind, e.Behavior)
 		}
+		if e.Band != nil && s.Shards <= 1 {
+			return s.errf("events[%d] %s: band placement requires shards > 1", i, e.Kind)
+		}
 	case EvDisconnect:
 		if e.Count <= 0 {
 			return s.errf("events[%d] %s: count must be positive", i, e.Kind)
@@ -634,6 +685,24 @@ func (s *Spec) validateEvent(i int, e *Event) error {
 		if e.Duration == 0 {
 			e.Duration = Span(30 * time.Second)
 		}
+	case EvShardFail:
+		if s.Shards <= 1 {
+			return s.errf("events[%d] %s: requires shards > 1", i, e.Kind)
+		}
+		if e.Shard == nil {
+			return s.errf("events[%d] %s: shard is required", i, e.Kind)
+		}
+		if *e.Shard < 0 || *e.Shard >= s.Shards {
+			return s.errf("events[%d] %s: shard %d out of range [0, %d)", i, e.Kind, *e.Shard, s.Shards)
+		}
+		if e.RecoverAt != 0 {
+			if e.RecoverAt <= e.At {
+				return s.errf("events[%d] %s: recover_at %s must be after at %s", i, e.Kind, e.RecoverAt, e.At)
+			}
+			if e.RecoverAt >= s.Duration {
+				return s.errf("events[%d] %s: recover_at %s is past the scenario duration %s and would never fire", i, e.Kind, e.RecoverAt, s.Duration)
+			}
+		}
 	case EvFlipStorage:
 		if !s.Backend.Storage {
 			return s.errf("events[%d] %s: requires backend.storage", i, e.Kind)
@@ -661,7 +730,7 @@ func (s *Spec) checkStrayEventFields(i int, e *Event) error {
 	c.At, c.Kind = 0, ""
 	switch e.Kind {
 	case EvFlashCrowd:
-		c.Count, c.Behavior = 0, ""
+		c.Count, c.Behavior, c.Band = 0, "", nil
 	case EvDisconnect:
 		c.Count = 0
 	case EvSpawnSCs:
@@ -675,6 +744,8 @@ func (s *Spec) checkStrayEventFields(i int, e *Event) error {
 		c.Duration = 0
 	case EvFlipStorage:
 		c.Target = ""
+	case EvShardFail:
+		c.Shard, c.RecoverAt = nil, 0
 	}
 	stray := ""
 	switch {
@@ -684,6 +755,12 @@ func (s *Spec) checkStrayEventFields(i int, e *Event) error {
 		stray = "behavior"
 	case c.Blocks != 0:
 		stray = "blocks"
+	case c.Band != nil:
+		stray = "band"
+	case c.Shard != nil:
+		stray = "shard"
+	case c.RecoverAt != 0:
+		stray = "recover_at"
 	case c.Duration != 0:
 		stray = "duration"
 	case c.FailureRate != 0:

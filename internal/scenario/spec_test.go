@@ -86,6 +86,20 @@ func TestParseRejectsInvalidSpecs(t *testing.T) {
 		{"window from after to", minimal(`"assertions": [{"metric": "tick_p99_ms", "op": "<", "value": 50, "from": "10s", "to": "5s"}]`), "from 10s must be before to 5s"},
 		{"window past duration", minimal(`"assertions": [{"metric": "tick_p99_ms", "op": "<", "value": 50, "from": "10s", "to": "5m"}]`), "past the scenario duration"},
 		{"window without to", minimal(`"assertions": [{"metric": "tick_p99_ms", "op": "<", "value": 50, "from": "10s"}]`), "window has from but no to"},
+		{"rebalance without shards", minimal(`"rebalance": {}`), "rebalance requires shards > 1"},
+		{"rebalance bad threshold", minimal(`"shards": 2, "rebalance": {"threshold": 0.5}`), "rebalance.threshold must be >= 1"},
+		{"fleet band without shards", minimal(`"fleet": [{"count": 1, "band": 2}]`), "band placement requires shards > 1"},
+		{"fleet band and shard", minimal(`"shards": 2, "fleet": [{"count": 1, "shard": 0, "band": 2}]`), "mutually exclusive"},
+		{"crowd band without shards", minimal(`"events": [{"at": "1s", "kind": "flash_crowd", "count": 1, "band": 0}]`), "band placement requires shards > 1"},
+		{"shard fail without shards", minimal(`"events": [{"at": "1s", "kind": "shard_fail", "shard": 0}]`), "requires shards > 1"},
+		{"shard fail without shard", minimal(`"shards": 2, "events": [{"at": "1s", "kind": "shard_fail"}]`), "shard is required"},
+		{"shard fail out of range", minimal(`"shards": 2, "events": [{"at": "1s", "kind": "shard_fail", "shard": 5}]`), "shard 5 out of range"},
+		{"shard fail recover before kill", minimal(`"shards": 2, "events": [{"at": "10s", "kind": "shard_fail", "shard": 0, "recover_at": "5s"}]`), "recover_at 5s must be after at 10s"},
+		{"shard fail recover past duration", minimal(`"shards": 2, "events": [{"at": "10s", "kind": "shard_fail", "shard": 0, "recover_at": "10m"}]`), "past the scenario duration"},
+		{"recover_at on wrong kind", minimal(`"events": [{"at": "1s", "kind": "disconnect", "count": 1, "recover_at": "5s"}]`), `field "recover_at" does not apply`},
+		{"shard on wrong kind", minimal(`"events": [{"at": "1s", "kind": "disconnect", "count": 1, "shard": 0}]`), `field "shard" does not apply`},
+		{"control metric without shards", minimal(`"assertions": [{"metric": "bands_moved", "op": ">", "value": 0}]`), "requires shards > 1"},
+		{"windowed imbalance without shards", minimal(`"assertions": [{"metric": "load_imbalance", "op": "<", "value": 2, "from": "1s", "to": "2s"}]`), "requires shards > 1"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -62,6 +62,15 @@ func (s *Store) Store(c *world.Chunk) {
 	s.cache.Put(c.Pos, c.Encode())
 }
 
+// StoreThen implements mve.SyncingChunkStore: the chunk is written
+// through to remote storage immediately (not on the periodic write-back),
+// and done runs once the write lands. Ownership migrations flush the
+// source shard's band through this path before flipping the band to its
+// new owner.
+func (s *Store) StoreThen(c *world.Chunk, done func()) {
+	s.cache.PutThen(c.Pos, c.Encode(), done)
+}
+
 // PlayerKey returns the storage key for a player record.
 func PlayerKey(name string) string { return "player/" + name }
 

@@ -197,6 +197,21 @@ func (c *Cache) Put(pos world.ChunkPos, data []byte) {
 	c.dirty[pos] = true
 }
 
+// PutThen stores the chunk locally and pushes it to remote storage
+// immediately — bypassing the periodic write-back — calling done once
+// data for the chunk is durably in remote storage (retrying through
+// fault windows; if a newer write for the chunk supersedes this one, done
+// transfers to it rather than firing early). Ownership migrations use it
+// to gate the ownership flip on the flush, so a brownout delays the
+// migration but never loses the chunk.
+func (c *Cache) PutThen(pos world.ChunkPos, data []byte, done func()) {
+	c.local[pos] = data
+	delete(c.absent, pos)
+	// This write supersedes any queued write-back of the same chunk.
+	delete(c.dirty, pos)
+	c.remote.PutDurablyThen(Key(pos), data, done)
+}
+
 // Contains reports whether pos is in the local cache.
 func (c *Cache) Contains(pos world.ChunkPos) bool {
 	_, ok := c.local[pos]

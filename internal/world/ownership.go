@@ -1,0 +1,232 @@
+// Dynamic region ownership: the control-plane state behind elastic
+// sharding. The static Partition freezes band → shard assignment into the
+// interleave computed at boot; an OwnershipTable turns that assignment
+// into runtime state — band → owning shard, versioned by an epoch
+// counter — so a cluster controller can migrate bands between shards
+// (live rebalancing) and reroute a failed shard's bands to survivors
+// (failover) without rebuilding servers. Shard regions hold a pointer to
+// the shared table (Region.Table), so ownership-gated chunk persistence
+// consults the live assignment on every lookup.
+
+package world
+
+import (
+	"encoding/binary"
+	"errors"
+	"sort"
+)
+
+// OwnershipTable maps region bands to owning shards at runtime. The
+// default assignment is the Partition interleave (floorMod(band, shards));
+// overrides record bands migrated away from their default owner, and dead
+// shards have their bands rerouted deterministically across the survivors.
+// Every ownership change bumps the epoch, so observers can detect that
+// routing state moved underneath them.
+//
+// The table is not safe for concurrent use; the virtual clock serialises
+// all access, like the rest of the simulation.
+type OwnershipTable struct {
+	part  Partition
+	epoch uint64
+	// overrides are bands migrated away from the default interleave.
+	overrides map[int]int
+	// dead marks shards whose loops were killed; their bands reroute to
+	// the surviving shards until they recover.
+	dead map[int]bool
+}
+
+// NewOwnershipTable returns a table over the given partition geometry with
+// the default interleaved assignment, every shard alive, at epoch 0.
+func NewOwnershipTable(shards, bandChunks int) *OwnershipTable {
+	return &OwnershipTable{
+		part:      Partition{Shards: shards, BandChunks: bandChunks},
+		overrides: make(map[int]int),
+		dead:      make(map[int]bool),
+	}
+}
+
+// Partition returns the table's static geometry (band width and shard
+// count); ownership itself lives in the table.
+func (t *OwnershipTable) Partition() Partition { return t.part }
+
+// Shards returns the shard count.
+func (t *OwnershipTable) Shards() int { return t.part.shards() }
+
+// Epoch returns the current ownership epoch: it increases on every
+// migration, failover, and recovery.
+func (t *OwnershipTable) Epoch() uint64 { return t.epoch }
+
+// Band returns the band index of a chunk column.
+func (t *OwnershipTable) Band(cp ChunkPos) int { return t.part.Band(cp) }
+
+// BandOfBlock returns the band index of a block position.
+func (t *OwnershipTable) BandOfBlock(b BlockPos) int { return t.part.Band(b.Chunk()) }
+
+// Owner returns the shard currently owning the band: the override if one
+// exists, else the default interleave — rerouted deterministically over
+// the surviving shards when the assigned owner is dead, so every observer
+// agrees on the reassignment without coordination.
+func (t *OwnershipTable) Owner(band int) int {
+	o, ok := t.overrides[band]
+	if !ok {
+		o = floorMod(band, t.part.shards())
+	}
+	if t.dead[o] {
+		alive := t.AliveShards()
+		if len(alive) > 0 {
+			o = alive[floorMod(band, len(alive))]
+		}
+	}
+	return o
+}
+
+// ShardOf returns the shard owning the chunk column.
+func (t *OwnershipTable) ShardOf(cp ChunkPos) int { return t.Owner(t.part.Band(cp)) }
+
+// ShardOfBlock returns the shard owning the block position.
+func (t *OwnershipTable) ShardOfBlock(b BlockPos) int { return t.ShardOf(b.Chunk()) }
+
+// SetOwner migrates a band to the given shard, bumping the epoch. It
+// refuses dead or out-of-range targets and is a no-op (no epoch bump) when
+// the band's effective owner already is the target.
+func (t *OwnershipTable) SetOwner(band, shard int) bool {
+	if shard < 0 || shard >= t.part.shards() || t.dead[shard] {
+		return false
+	}
+	if t.Owner(band) == shard {
+		return false
+	}
+	if floorMod(band, t.part.shards()) == shard {
+		// Back to its default owner: drop the override instead of pinning.
+		delete(t.overrides, band)
+	} else {
+		t.overrides[band] = shard
+	}
+	t.epoch++
+	return true
+}
+
+// SetDead marks a shard dead (its bands reroute to survivors) or alive
+// again (its bands revert), bumping the epoch on any change. Killing the
+// last alive shard is refused: ownership must always resolve somewhere.
+func (t *OwnershipTable) SetDead(shard int, dead bool) bool {
+	if shard < 0 || shard >= t.part.shards() || t.dead[shard] == dead {
+		return false
+	}
+	if dead && len(t.AliveShards()) <= 1 {
+		return false
+	}
+	if dead {
+		t.dead[shard] = true
+	} else {
+		delete(t.dead, shard)
+	}
+	t.epoch++
+	return true
+}
+
+// Alive reports whether the shard's loop is considered running.
+func (t *OwnershipTable) Alive(shard int) bool { return !t.dead[shard] }
+
+// AliveShards returns the alive shard indices in ascending order.
+func (t *OwnershipTable) AliveShards() []int {
+	out := make([]int, 0, t.part.shards())
+	for i := 0; i < t.part.shards(); i++ {
+		if !t.dead[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AliveCount returns the number of alive shards.
+func (t *OwnershipTable) AliveCount() int { return len(t.AliveShards()) }
+
+// BandOverride is one persisted deviation from the default interleave.
+type BandOverride struct {
+	Band, Owner int
+}
+
+// Overrides returns the migrated bands in ascending band order.
+func (t *OwnershipTable) Overrides() []BandOverride {
+	out := make([]BandOverride, 0, len(t.overrides))
+	for b, o := range t.overrides {
+		out = append(out, BandOverride{Band: b, Owner: o})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Band < out[j].Band })
+	return out
+}
+
+// View returns shard i's region backed by this live table: Contains
+// lookups follow every later migration and failover.
+func (t *OwnershipTable) View(i int) Region {
+	return Region{Part: t.part, Index: i, Table: t}
+}
+
+// ownershipMagic versions the encoding.
+const ownershipMagic = uint32(0x53_56_4f_54) // "SVOT"
+
+// Encode serialises the table (geometry, epoch, overrides) for blob-store
+// persistence. Liveness is runtime state, not configuration, and is not
+// encoded: a restarted cluster starts with every shard alive.
+func (t *OwnershipTable) Encode() []byte {
+	ov := t.Overrides()
+	out := make([]byte, 0, 24+12*len(ov))
+	out = binary.LittleEndian.AppendUint32(out, ownershipMagic)
+	out = binary.LittleEndian.AppendUint32(out, uint32(t.part.shards()))
+	out = binary.LittleEndian.AppendUint32(out, uint32(t.part.bandChunks()))
+	out = binary.LittleEndian.AppendUint64(out, t.epoch)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(ov)))
+	for _, e := range ov {
+		out = binary.LittleEndian.AppendUint32(out, uint32(int32(e.Band)))
+		out = binary.LittleEndian.AppendUint32(out, uint32(int32(e.Owner)))
+	}
+	return out
+}
+
+// errBadOwnershipTable reports a corrupt persisted ownership table.
+var errBadOwnershipTable = errors.New("world: bad ownership table")
+
+// DecodeOwnershipTable parses an encoded table.
+func DecodeOwnershipTable(data []byte) (*OwnershipTable, error) {
+	if len(data) < 24 || binary.LittleEndian.Uint32(data) != ownershipMagic {
+		return nil, errBadOwnershipTable
+	}
+	shards := int(binary.LittleEndian.Uint32(data[4:]))
+	bandChunks := int(binary.LittleEndian.Uint32(data[8:]))
+	t := NewOwnershipTable(shards, bandChunks)
+	t.epoch = binary.LittleEndian.Uint64(data[12:])
+	n := int(binary.LittleEndian.Uint32(data[20:]))
+	buf := data[24:]
+	if len(buf) < 8*n {
+		return nil, errBadOwnershipTable
+	}
+	for i := 0; i < n; i++ {
+		band := int(int32(binary.LittleEndian.Uint32(buf)))
+		owner := int(int32(binary.LittleEndian.Uint32(buf[4:])))
+		if owner < 0 || owner >= t.part.shards() {
+			return nil, errBadOwnershipTable
+		}
+		t.overrides[band] = owner
+		buf = buf[8:]
+	}
+	return t, nil
+}
+
+// Adopt merges a persisted table into this one: overrides and epoch carry
+// over when the geometry matches and the persisted epoch is newer (a
+// cluster restarting over an existing world resumes its ownership history
+// instead of resetting it). Liveness is never adopted. Reports whether
+// anything changed.
+func (t *OwnershipTable) Adopt(dec *OwnershipTable) bool {
+	if dec == nil || dec.part.shards() != t.part.shards() ||
+		dec.part.bandChunks() != t.part.bandChunks() || dec.epoch <= t.epoch {
+		return false
+	}
+	t.overrides = make(map[int]int, len(dec.overrides))
+	for b, o := range dec.overrides {
+		t.overrides[b] = o
+	}
+	t.epoch = dec.epoch
+	return true
+}

@@ -1,0 +1,143 @@
+package world
+
+import "testing"
+
+func TestOwnershipDefaultsMatchPartition(t *testing.T) {
+	tab := NewOwnershipTable(3, 4)
+	part := Partition{Shards: 3, BandChunks: 4}
+	for x := -40; x <= 40; x++ {
+		cp := ChunkPos{X: x}
+		if got, want := tab.ShardOf(cp), part.ShardOf(cp); got != want {
+			t.Fatalf("fresh table disagrees with partition at %v: %d vs %d", cp, got, want)
+		}
+	}
+	if tab.Epoch() != 0 {
+		t.Fatalf("fresh table epoch = %d, want 0", tab.Epoch())
+	}
+}
+
+func TestOwnershipSetOwnerBumpsEpoch(t *testing.T) {
+	tab := NewOwnershipTable(2, 4)
+	if !tab.SetOwner(2, 1) {
+		t.Fatal("SetOwner(2, 1) refused")
+	}
+	if tab.Epoch() != 1 {
+		t.Fatalf("epoch = %d after one migration, want 1", tab.Epoch())
+	}
+	if got := tab.Owner(2); got != 1 {
+		t.Fatalf("band 2 owner = %d, want 1", got)
+	}
+	// No-op: already owned by 1.
+	if tab.SetOwner(2, 1) {
+		t.Fatal("re-assigning to the current owner must be a no-op")
+	}
+	if tab.Epoch() != 1 {
+		t.Fatalf("no-op bumped the epoch to %d", tab.Epoch())
+	}
+	// Back to the default interleave drops the override.
+	if !tab.SetOwner(2, 0) {
+		t.Fatal("migrating back refused")
+	}
+	if len(tab.Overrides()) != 0 {
+		t.Fatalf("override not dropped on return to default: %v", tab.Overrides())
+	}
+	if tab.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", tab.Epoch())
+	}
+}
+
+func TestOwnershipDeadShardReroutesDeterministically(t *testing.T) {
+	tab := NewOwnershipTable(3, 4)
+	if !tab.SetDead(1, true) {
+		t.Fatal("SetDead refused")
+	}
+	for band := -20; band <= 20; band++ {
+		o := tab.Owner(band)
+		if o == 1 {
+			t.Fatalf("band %d still routed to the dead shard", band)
+		}
+		if o != tab.Owner(band) {
+			t.Fatalf("band %d reroute is unstable", band)
+		}
+	}
+	// Revival reverts the reroute exactly.
+	if !tab.SetDead(1, false) {
+		t.Fatal("revive refused")
+	}
+	part := Partition{Shards: 3, BandChunks: 4}
+	for x := -40; x <= 40; x++ {
+		cp := ChunkPos{X: x}
+		if got, want := tab.ShardOf(cp), part.ShardOf(cp); got != want {
+			t.Fatalf("post-revival ownership differs at %v: %d vs %d", cp, got, want)
+		}
+	}
+}
+
+func TestOwnershipRefusesKillingLastShard(t *testing.T) {
+	tab := NewOwnershipTable(2, 4)
+	if !tab.SetDead(0, true) {
+		t.Fatal("first kill refused")
+	}
+	if tab.SetDead(1, true) {
+		t.Fatal("killing the last alive shard must be refused")
+	}
+	if tab.SetOwner(3, 0) {
+		t.Fatal("migrating a band to a dead shard must be refused")
+	}
+}
+
+func TestOwnershipEncodeDecodeAdopt(t *testing.T) {
+	tab := NewOwnershipTable(4, 8)
+	tab.SetOwner(-3, 2)
+	tab.SetOwner(5, 0)
+	tab.SetDead(3, true) // liveness must not be encoded
+
+	dec, err := DecodeOwnershipTable(tab.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Epoch() != tab.Epoch() {
+		t.Fatalf("epoch: %d vs %d", dec.Epoch(), tab.Epoch())
+	}
+	if got, want := len(dec.Overrides()), len(tab.Overrides()); got != want {
+		t.Fatalf("overrides: %d vs %d", got, want)
+	}
+	if !dec.Alive(3) {
+		t.Fatal("liveness leaked through the encoding")
+	}
+	for _, ov := range tab.Overrides() {
+		if dec.Owner(ov.Band) != ov.Owner {
+			t.Fatalf("band %d owner: %d vs %d", ov.Band, dec.Owner(ov.Band), ov.Owner)
+		}
+	}
+
+	fresh := NewOwnershipTable(4, 8)
+	if !fresh.Adopt(dec) {
+		t.Fatal("Adopt refused a newer matching table")
+	}
+	if fresh.Owner(-3) != 2 || fresh.Epoch() != tab.Epoch() {
+		t.Fatal("Adopt did not carry the overrides/epoch")
+	}
+	// Mismatched geometry is never adopted.
+	other := NewOwnershipTable(2, 8)
+	if other.Adopt(dec) {
+		t.Fatal("Adopt accepted a table with different geometry")
+	}
+
+	if _, err := DecodeOwnershipTable([]byte("junk")); err == nil {
+		t.Fatal("junk decoded")
+	}
+}
+
+func TestRegionViewFollowsLiveTable(t *testing.T) {
+	tab := NewOwnershipTable(2, 4)
+	r0, r1 := tab.View(0), tab.View(1)
+	cp := ChunkPos{X: 9} // band 2, default owner shard 0
+	if !r0.Contains(cp) || r1.Contains(cp) {
+		t.Fatal("initial ownership wrong")
+	}
+	tab.SetOwner(2, 1)
+	if r0.Contains(cp) || !r1.Contains(cp) {
+		t.Fatal("region views did not follow the migration")
+	}
+}

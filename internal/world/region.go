@@ -59,9 +59,14 @@ func (p Partition) Region(i int) Region { return Region{Part: p, Index: i} }
 // Shard-aware fleet placement admits players here so a fresh cluster
 // starts with per-shard load instead of piling everyone onto the shard
 // that owns spawn.
-func (p Partition) HomeBlock(i int) BlockPos {
+func (p Partition) HomeBlock(i int) BlockPos { return p.BandCenter(i) }
+
+// BandCenter returns the block position at the center of a band (band-
+// targeted fleet placement, e.g. to build a hotspot inside one shard's
+// territory).
+func (p Partition) BandCenter(band int) BlockPos {
 	w := p.bandChunks() * ChunkSizeX
-	return BlockPos{X: i*w + w/2, Y: 0, Z: 0}
+	return BlockPos{X: band*w + w/2, Y: 0, Z: 0}
 }
 
 // Region is the set of chunk columns one shard owns. The zero value (the
@@ -70,10 +75,18 @@ func (p Partition) HomeBlock(i int) BlockPos {
 type Region struct {
 	Part  Partition
 	Index int
+	// Table, when non-nil, makes ownership dynamic: Contains consults the
+	// live band → shard assignment instead of the static interleave, so a
+	// migration or failover re-gates chunk persistence on every shard the
+	// moment the table's epoch advances, without rebuilding servers.
+	Table *OwnershipTable
 }
 
 // Contains reports whether the region owns the chunk column.
 func (r Region) Contains(cp ChunkPos) bool {
+	if r.Table != nil {
+		return r.Table.ShardOf(cp) == r.Index
+	}
 	return r.Part.ShardOf(cp) == r.Index
 }
 
@@ -81,7 +94,12 @@ func (r Region) Contains(cp ChunkPos) bool {
 func (r Region) ContainsBlock(b BlockPos) bool { return r.Contains(b.Chunk()) }
 
 // All reports whether the region covers the whole grid (single shard).
-func (r Region) All() bool { return r.Part.shards() == 1 }
+func (r Region) All() bool {
+	if r.Table != nil {
+		return r.Table.Shards() == 1
+	}
+	return r.Part.shards() == 1
+}
 
 // String implements fmt.Stringer.
 func (r Region) String() string {

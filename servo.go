@@ -87,6 +87,11 @@ type Config struct {
 	// (Connect, Disconnect, SpawnConstruct) route through the cluster
 	// automatically; Cluster() exposes the router for handoff metrics.
 	Shards int
+	// Rebalance enables the cluster controller's live band rebalancing:
+	// region-band ownership migrates from the hottest to the coldest
+	// shard when per-shard tick load drifts out of balance. Only
+	// meaningful with Shards > 1.
+	Rebalance bool
 	// RealTime runs the instance on the wall clock instead of virtual
 	// time. Run then blocks for real durations.
 	RealTime bool
@@ -174,6 +179,7 @@ func NewInstance(cfg Config) *Instance {
 		ServerlessTG: cfg.Servo.Terrain,
 		ServerlessRS: cfg.Servo.Storage,
 		Shards:       cfg.Shards,
+		Rebalance:    cfg.Rebalance,
 	})
 	if cl := inst.sys.Cluster; cl != nil {
 		cl.Start()
@@ -186,6 +192,27 @@ func NewInstance(cfg Config) *Instance {
 // Cluster exposes the cross-shard session router (nil unless the instance
 // was built with Shards > 1).
 func (i *Instance) Cluster() *cluster.Cluster { return i.sys.Cluster }
+
+// FailShard kills one shard's game loop: its bands reroute to the
+// surviving shards and its players are re-admitted from their last
+// snapshots (sharded instances only). Reports whether the failover ran.
+func (i *Instance) FailShard(shard int) bool {
+	if i.rtc != nil {
+		i.rtc.Lock()
+		defer i.rtc.Unlock()
+	}
+	return i.sys.FailShard(shard)
+}
+
+// RecoverShard rebuilds a failed shard over the persisted world and
+// returns its bands (sharded instances only).
+func (i *Instance) RecoverShard(shard int) bool {
+	if i.rtc != nil {
+		i.rtc.Lock()
+		defer i.rtc.Unlock()
+	}
+	return i.sys.RecoverShard(shard)
+}
 
 // clusterHandle finds the cluster handle behind a session: by pointer
 // first, and by name as a fallback for sessions that moved shards since
