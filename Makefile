@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet fmtcheck build test race validate sim bench benchsmoke clusterrace
+.PHONY: ci vet fmtcheck build test race validate sim bench benchsmoke clusterrace replaygate
 
-ci: vet fmtcheck build race clusterrace validate benchsmoke
+ci: vet fmtcheck build race clusterrace validate replaygate benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -21,18 +21,30 @@ build:
 test:
 	$(GO) test ./...
 
+# The raised timeout covers the scenario package's bundled-scenario
+# sweep, which is slow under the race detector.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # clusterrace re-runs the control-plane packages under the race detector
-# uncached: the rebalance/failover paths juggle closures across the
-# virtual clock and must stay data-race-free even as they grow.
+# uncached: the rebalance/failover paths (and the scenario engine that
+# drives them) juggle closures across the virtual clock and must stay
+# data-race-free even as they grow. -p 1 serialises the packages and the
+# timeout is raised: the scenario package's full bundled sweep is slow
+# under the race detector, and contention with the other raced packages
+# would push it past the default 10m per-package budget.
 clusterrace:
-	$(GO) test -race -count=1 ./internal/cluster/ ./internal/world/
+	$(GO) test -race -count=1 -p 1 -timeout 30m ./internal/cluster/ ./internal/world/ ./internal/scenario/
 
 # validate parses and validates every bundled scenario without running it.
 validate:
 	$(GO) run ./cmd/servo-sim validate all
+
+# replaygate runs every bundled scenario twice and fails on any report
+# byte difference: the determinism contract, enforced over the whole
+# suite rather than the sampled scenarios the unit tests replay.
+replaygate:
+	$(GO) run ./cmd/servo-sim replay all
 
 # sim executes every bundled scenario and fails on any assertion failure.
 sim:

@@ -10,11 +10,14 @@
 //	servo-sim run flash-crowd stress-fleet
 //	servo-sim run -v -seed 7 my-scenario.json
 //	servo-sim run -format csv rebalance-hotspot   # machine-readable report
+//	servo-sim run -topology grid:4x4 sharded-stress  # 2-D region tiles
+//	servo-sim replay all               # byte-identical replay gate
 //
-// Arguments to run/validate are bundled scenario names or paths to
-// scenario JSON files (anything containing a path separator or ending in
-// .json is treated as a file). run exits non-zero if any scenario fails
-// its assertions.
+// Arguments to run/validate/replay are bundled scenario names or paths
+// to scenario JSON files (anything containing a path separator or ending
+// in .json is treated as a file). run exits non-zero if any scenario
+// fails its assertions; replay runs every scenario twice and exits
+// non-zero on any report byte difference.
 package main
 
 import (
@@ -33,7 +36,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   servo-sim list
   servo-sim validate all | <name|file.json>...
-  servo-sim run [-v] [-seed N] [-shards N] [-format text|csv] all | <name|file.json>...`)
+  servo-sim run [-v] [-seed N] [-shards N] [-topology band|grid:XxZ] [-format text|csv] all | <name|file.json>...
+  servo-sim replay all | <name|file.json>...`)
 }
 
 func run(args []string) int {
@@ -48,6 +52,8 @@ func run(args []string) int {
 		return cmdValidate(args[1:])
 	case "run":
 		return cmdRun(args[1:])
+	case "replay":
+		return cmdReplay(args[1:])
 	case "-h", "--help", "help":
 		usage()
 		return 0
@@ -110,16 +116,41 @@ func cmdValidate(args []string) int {
 	return 0
 }
 
+// parseTopology turns a -topology value ("band", "grid:4x4") into a
+// scenario topology section.
+func parseTopology(arg string) (*scenario.TopologySpec, error) {
+	if arg == "band" {
+		return &scenario.TopologySpec{Kind: "band"}, nil
+	}
+	var tx, tz int
+	// The round-trip check rejects trailing garbage ("grid:4x4x8"),
+	// which Sscanf would otherwise silently ignore.
+	if n, err := fmt.Sscanf(arg, "grid:%dx%d", &tx, &tz); n == 2 && err == nil &&
+		fmt.Sprintf("grid:%dx%d", tx, tz) == arg {
+		return &scenario.TopologySpec{Kind: "grid", TilesX: tx, TilesZ: tz}, nil
+	}
+	return nil, fmt.Errorf(`-topology must be "band" or "grid:<X>x<Z>" (got %q)`, arg)
+}
+
 func cmdRun(args []string) int {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	verbose := fs.Bool("v", false, "log per-event progress to stderr")
 	seed := fs.Int64("seed", 0, "override every scenario's seed (0 = use the spec's)")
 	shards := fs.Int("shards", 0, "override every scenario's shard count (0 = use the spec's; >1 runs a region-sharded cluster)")
+	topology := fs.String("topology", "", `override every scenario's region topology: "band" or "grid:<X>x<Z>" (e.g. grid:4x4; requires a sharded scenario)`)
 	format := fs.String("format", "text", `report format: "text" or "csv" (csv covers summary metrics, assertions, and the per-tick series)`)
 	_ = fs.Parse(args)
 	if *format != "text" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "servo-sim: -format must be \"text\" or \"csv\" (got %q)\n", *format)
 		return 2
+	}
+	var topo *scenario.TopologySpec
+	if *topology != "" {
+		var err error
+		if topo, err = parseTopology(*topology); err != nil {
+			fmt.Fprintf(os.Stderr, "servo-sim: %v\n", err)
+			return 2
+		}
 	}
 	specs, err := resolve(fs.Args())
 	if err != nil {
@@ -141,6 +172,12 @@ func cmdRun(args []string) int {
 			// shard count (per-shard assertions, placement) surfaces a
 			// clear error instead of running nonsense.
 			spec.Shards = *shards
+		}
+		if topo != nil {
+			// Also re-validated inside Run: a band-placement spec forced
+			// onto a grid (or a grid forced onto one shard) errors out.
+			t := *topo
+			spec.Topology = &t
 		}
 		var log io.Writer
 		if *verbose {
@@ -169,5 +206,55 @@ func cmdRun(args []string) int {
 	if failed > 0 {
 		return 1
 	}
+	return 0
+}
+
+// cmdReplay is the determinism gate: every scenario runs twice and both
+// renderings (text and CSV, covering the full per-tick series) must be
+// byte-identical. Assertion failures are not replay failures — only a
+// divergent report is.
+func cmdReplay(args []string) int {
+	specs, err := resolve(args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "servo-sim: %v\n", err)
+		return 1
+	}
+	diverged := 0
+	for _, spec := range specs {
+		render := func() (string, error) {
+			rep, err := scenario.Run(spec, nil)
+			if err != nil {
+				return "", err
+			}
+			return rep.Render() + rep.RenderCSVRows(), nil
+		}
+		a, err := render()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "servo-sim: %v\n", err)
+			return 1
+		}
+		b, err := render()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "servo-sim: %v\n", err)
+			return 1
+		}
+		if a == b {
+			fmt.Printf("replay ok    %s (%d report bytes)\n", spec.Name, len(a))
+			continue
+		}
+		diverged++
+		fmt.Printf("replay DIFF  %s: two runs rendered %d vs %d bytes\n", spec.Name, len(a), len(b))
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				fmt.Printf("  first divergence at byte %d\n", i)
+				break
+			}
+		}
+	}
+	if diverged > 0 {
+		fmt.Printf("%d scenario(s) diverged\n", diverged)
+		return 1
+	}
+	fmt.Printf("%d scenario(s) replayed byte-identically\n", len(specs))
 	return 0
 }

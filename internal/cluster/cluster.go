@@ -1,18 +1,19 @@
 // Package cluster scales the MVE horizontally: a Cluster partitions chunk
-// space into contiguous region bands, runs one mve.Server per shard on
-// the shared virtual clock, and routes player sessions to the shard
-// owning their avatar's region. The serverless substrate — blob store,
+// space into region tiles (1-D X bands or 2-D grid tiles, see
+// world.Topology), runs one mve.Server per shard on the shared virtual
+// clock, and routes player sessions to the shard owning their avatar's
+// region. The serverless substrate — blob store,
 // FaaS platform, warm pools — is shared across shards (one
 // storage/compute layer, N game loops: the paper's architecture,
 // multiplied); internal/core owns that wiring through a ShardBuilder
 // callback, so this package depends only on mve and world.
 //
 // Region ownership is runtime state, not boot configuration: a shared
-// world.OwnershipTable (band → owning shard, versioned by an epoch
+// world.OwnershipTable (tile → owning shard, versioned by an epoch
 // counter, persisted through the storage substrate) backs every shard's
-// region view, and a controller loop (controller.go) migrates band
+// region view, and a controller loop (controller.go) migrates tile
 // ownership between shards when tick load drifts out of balance, and
-// fails a killed shard's bands and players over to the survivors.
+// fails a killed shard's tiles and players over to the survivors.
 //
 // Cross-shard handoff: a periodic scan detects avatars that crossed a
 // region boundary (with one scan of hysteresis against boundary
@@ -23,7 +24,7 @@
 // there. The wall between eviction and admission is the handoff latency,
 // recorded per transfer. Ownership migration and failover reuse the same
 // machinery: after an epoch change, resident players simply look foreign
-// to the scan and follow their band to its new owner.
+// to the scan and follow their tile to its new owner.
 package cluster
 
 import (
@@ -69,9 +70,9 @@ type TableStore interface {
 type Config struct {
 	// Shards is the number of region shards (required, >= 1).
 	Shards int
-	// BandChunks is the region band width in chunk columns
-	// (0 → world.DefaultBandChunks).
-	BandChunks int
+	// Topology is the region tiling (nil → the default band topology,
+	// world.BandTopology{}).
+	Topology world.Topology
 	// ScanInterval is the boundary-scan cadence (0 → DefaultScanInterval).
 	ScanInterval time.Duration
 	// Transfer persists handoff state; nil moves state in memory.
@@ -96,7 +97,7 @@ type Player struct {
 	behavior mve.Behavior
 	// pendingShard is the boundary-scan hysteresis state: a handoff
 	// starts only when two consecutive scans agree on the same foreign
-	// shard, so an avatar oscillating on a band edge does not thrash.
+	// shard, so an avatar oscillating on a tile edge does not thrash.
 	pendingShard int
 	// inflight marks a handoff in progress (the session is on no shard
 	// while its state crosses the storage substrate).
@@ -144,7 +145,7 @@ type HandoffRecord struct {
 type Cluster struct {
 	clock sim.Clock
 	cfg   Config
-	part  world.Partition
+	topo  world.Topology
 	// table is the live ownership state every shard's region view reads.
 	table *world.OwnershipTable
 	// build rebuilds a shard server after failover (RecoverShard).
@@ -166,8 +167,8 @@ type Cluster struct {
 	// hotStreak counts consecutive over-threshold controller checks (the
 	// rebalancer's two-check hysteresis, mirroring the handoff scan's).
 	hotStreak int
-	// migrating marks bands whose ownership flush is in flight.
-	migrating map[int]bool
+	// migrating marks tiles whose ownership flush is in flight.
+	migrating map[world.TileID]bool
 
 	// Handoff metrics.
 	Handoffs       metrics.Counter
@@ -179,7 +180,7 @@ type Cluster struct {
 
 	// Control-plane metrics.
 	Rebalances        metrics.Counter // controller rebalance decisions
-	BandsMoved        metrics.Counter // completed ownership migrations
+	TilesMoved        metrics.Counter // completed ownership migrations
 	Failovers         metrics.Counter // shards failed over
 	PlayersFailedOver metrics.Counter // sessions re-admitted after a shard kill
 	// MigrationLog records ownership changes in completion order (part of
@@ -194,8 +195,8 @@ func New(clock sim.Clock, cfg Config, build ShardBuilder) *Cluster {
 	if cfg.Shards < 1 {
 		cfg.Shards = 1
 	}
-	if cfg.BandChunks == 0 {
-		cfg.BandChunks = world.DefaultBandChunks
+	if cfg.Topology == nil {
+		cfg.Topology = world.BandTopology{}
 	}
 	if cfg.ScanInterval == 0 {
 		cfg.ScanInterval = DefaultScanInterval
@@ -204,13 +205,13 @@ func New(clock sim.Clock, cfg Config, build ShardBuilder) *Cluster {
 	c := &Cluster{
 		clock:          clock,
 		cfg:            cfg,
-		part:           world.Partition{Shards: cfg.Shards, BandChunks: cfg.BandChunks},
-		table:          world.NewOwnershipTable(cfg.Shards, cfg.BandChunks),
+		topo:           cfg.Topology,
+		table:          world.NewOwnershipTable(cfg.Shards, cfg.Topology),
 		build:          build,
 		transfer:       cfg.Transfer,
 		tableStore:     cfg.TableStore,
 		reb:            cfg.Rebalance,
-		migrating:      make(map[int]bool),
+		migrating:      make(map[world.TileID]bool),
 		players:        make(map[PlayerID]*Player),
 		HandoffLatency: metrics.NewSample(4096),
 		HandoffsIn:     make([]metrics.Counter, cfg.Shards),
@@ -225,9 +226,9 @@ func New(clock sim.Clock, cfg Config, build ShardBuilder) *Cluster {
 	return c
 }
 
-// Partition returns the cluster's region geometry (band width, shard
-// count). Ownership itself lives in the Table.
-func (c *Cluster) Partition() world.Partition { return c.part }
+// Topology returns the cluster's region tiling. Ownership itself lives
+// in the Table.
+func (c *Cluster) Topology() world.Topology { return c.topo }
 
 // Table returns the live ownership table.
 func (c *Cluster) Table() *world.OwnershipTable { return c.table }
@@ -238,8 +239,9 @@ func (c *Cluster) Epoch() uint64 { return c.table.Epoch() }
 // Alive reports whether shard i's loop is running.
 func (c *Cluster) Alive(i int) bool { return c.table.Alive(i) }
 
-// BandCenter returns the block position at the center of a band.
-func (c *Cluster) BandCenter(band int) world.BlockPos { return c.part.BandCenter(band) }
+// TileCenter returns the block position at the center of a tile's
+// canonical rectangle (tile-targeted fleet placement).
+func (c *Cluster) TileCenter(t world.TileID) world.BlockPos { return c.topo.Center(t) }
 
 // relayChat fans one chat message out across every live shard (cross-
 // shard chat): each shard counts its local deliveries and the total is
@@ -335,24 +337,29 @@ func (c *Cluster) ConnectAt(name string, b mve.Behavior, pos world.BlockPos) *Pl
 	return p
 }
 
-// Home returns a spawn position inside shard i's region (see
-// world.Partition.HomeBlock).
-func (c *Cluster) Home(i int) world.BlockPos { return c.part.HomeBlock(i) }
+// Home returns a spawn position inside shard i's default territory (see
+// world.HomeTile).
+func (c *Cluster) Home(i int) world.BlockPos {
+	return c.topo.Center(world.HomeTile(c.topo, c.cfg.Shards, i))
+}
 
-// Disconnect removes a session wherever it currently lives. A disconnect
-// racing an in-flight handoff is honoured when the transfer completes:
-// the moved state is persisted rather than admitted, so nothing is lost.
-func (c *Cluster) Disconnect(id PlayerID) {
+// Disconnect removes a session wherever it currently lives, reporting
+// whether the handle was known (false for a repeated disconnect). A
+// disconnect racing an in-flight handoff is honoured when the transfer
+// completes: the moved state is persisted rather than admitted, so
+// nothing is lost.
+func (c *Cluster) Disconnect(id PlayerID) bool {
 	p, ok := c.players[id]
 	if !ok {
-		return
+		return false
 	}
 	if p.inflight {
 		p.closed = true
-		return
+		return true
 	}
 	c.shards[p.shard].Disconnect(p.pid)
 	c.drop(id)
+	return true
 }
 
 // drop removes the handle from the routing tables.
@@ -411,7 +418,7 @@ func (c *Cluster) SpawnOwnedConstruct(con *sc.Construct, anchor world.BlockPos, 
 
 // scan walks every session in join order and starts handoffs for avatars
 // that settled in a foreign region (two consecutive scans agreeing, the
-// hysteresis against band-edge oscillation).
+// hysteresis against tile-edge oscillation).
 func (c *Cluster) scan() {
 	if c.stopped {
 		return
@@ -426,9 +433,9 @@ func (c *Cluster) scan() {
 			continue
 		}
 		p.lastPos = sess.Pos()
-		// The live table, not the boot partition: after a migration or
-		// failover bumped the epoch, residents of a moved band look
-		// foreign here and follow their band to its new owner through the
+		// The live table, not the boot assignment: after a migration or
+		// failover bumped the epoch, residents of a moved tile look
+		// foreign here and follow their tile to its new owner through the
 		// ordinary handoff machinery.
 		want := c.table.ShardOfBlock(sess.Pos())
 		if want == p.shard {

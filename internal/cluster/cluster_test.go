@@ -15,12 +15,15 @@ import (
 )
 
 // newTestCluster builds a cluster of plain (no serverless backends)
-// servers on a fresh loop. BandChunks 4 → 64-block bands.
+// servers on a fresh loop. Tile side 4 chunks → 64-block band tiles
+// (the default band topology) unless cfg.Topology picks another tiling.
 func newTestCluster(t *testing.T, seed int64, shards int, cfg Config) (*sim.Loop, *Cluster) {
 	t.Helper()
 	loop := sim.NewLoop(seed)
 	cfg.Shards = shards
-	cfg.BandChunks = 4
+	if cfg.Topology == nil {
+		cfg.Topology = world.BandTopology{BandChunks: 4}
+	}
 	c := New(loop, cfg, func(i int, region world.Region) *mve.Server {
 		return mve.NewServer(loop, mve.Config{
 			WorldType:    "flat",
@@ -202,7 +205,7 @@ func (t *retryingTransfer) Load(name string, cb func([]byte, bool)) {
 func TestHandoffThroughStoreSurvivesBrownout(t *testing.T) {
 	loop := sim.NewLoop(4)
 	remote := blob.NewStore(loop, blob.TierPremium)
-	cfg := Config{Transfer: &retryingTransfer{remote: remote}, Shards: 2, BandChunks: 4}
+	cfg := Config{Transfer: &retryingTransfer{remote: remote}, Shards: 2, Topology: world.BandTopology{BandChunks: 4}}
 	c := New(loop, cfg, func(i int, region world.Region) *mve.Server {
 		return mve.NewServer(loop, mve.Config{WorldType: "flat", ViewDistance: 32, Region: region})
 	})
@@ -240,7 +243,7 @@ func TestHandoffThroughStoreSurvivesBrownout(t *testing.T) {
 func TestDisconnectDuringHandoffDoesNotCrash(t *testing.T) {
 	loop := sim.NewLoop(5)
 	remote := blob.NewStore(loop, blob.TierStandard)
-	cfg := Config{Transfer: &retryingTransfer{remote: remote}, Shards: 2, BandChunks: 4}
+	cfg := Config{Transfer: &retryingTransfer{remote: remote}, Shards: 2, Topology: world.BandTopology{BandChunks: 4}}
 	c := New(loop, cfg, func(i int, region world.Region) *mve.Server {
 		return mve.NewServer(loop, mve.Config{WorldType: "flat", ViewDistance: 32, Region: region})
 	})

@@ -1,15 +1,15 @@
 // The cluster control plane: a controller loop that watches per-shard
-// tick load, migrates band ownership between shards when the load
+// tick load, migrates tile ownership between shards when the load
 // imbalance drifts past a threshold (live rebalancing), and fails a
-// killed shard's bands and players over to the survivors.
+// killed shard's tiles and players over to the survivors.
 //
 // A migration is two-phase. First the source shard flushes its copy of
-// the band's chunks through the storage substrate with completion
+// the tile's chunks through the storage substrate with completion
 // reporting (mve.FlushOwnedChunks + SyncingChunkStore), so a brownout
 // delays the flush but cannot lose chunk state; only once every write
-// has landed does the ownership table flip the band to its new owner
+// has landed does the ownership table flip the tile to its new owner
 // (epoch bump, persisted through the TableStore). Resident players then
-// follow their band through the ordinary boundary-scan handoff — two-scan
+// follow their tile through the ordinary boundary-scan handoff — two-scan
 // hysteresis, retrying storage writes — because the scan consults the
 // live table and now sees them on foreign terrain.
 
@@ -27,7 +27,7 @@ import (
 const (
 	// DefaultRebalanceThreshold is the load_imbalance (max over shards of
 	// mean tick duration, divided by the cross-shard mean) above which the
-	// controller migrates a band.
+	// controller migrates a tile.
 	DefaultRebalanceThreshold = 1.25
 	// DefaultRebalanceInterval is the controller check cadence.
 	DefaultRebalanceInterval = 2 * time.Second
@@ -63,7 +63,7 @@ func (r RebalanceConfig) withDefaults() RebalanceConfig {
 // the handoff Log, the sequence is part of the deterministic replay
 // surface: same seed, same records.
 type MigrationRecord struct {
-	Band     int
+	Tile     world.TileID
 	From, To int
 	Epoch    uint64
 	// Reason is "rebalance", "failover", or "recover".
@@ -74,7 +74,7 @@ type MigrationRecord struct {
 }
 
 // controllerTick is one controller check: measure per-shard tick load
-// over the last interval, and migrate one band from the hottest to the
+// over the last interval, and migrate one tile from the hottest to the
 // coldest shard once the imbalance has stayed over threshold for
 // rebalanceStreak consecutive checks.
 func (c *Cluster) controllerTick() {
@@ -95,9 +95,9 @@ func (c *Cluster) controllerTick() {
 		return
 	}
 	c.hotStreak = 0
-	if band, ok := c.pickBand(hot, cold); ok {
+	if tile, ok := c.pickTile(hot, cold); ok {
 		c.Rebalances.Inc()
-		c.migrateBand(band, cold, "rebalance")
+		c.migrateTile(tile, cold, "rebalance")
 	}
 }
 
@@ -137,14 +137,16 @@ func (c *Cluster) loadImbalance() (imb float64, hot, cold int) {
 	return metrics.ImbalanceRatio(loads), hot, cold
 }
 
-// pickBand chooses which of the hot shard's bands to migrate to the cold
-// shard: resident player count is the per-band load proxy, and the band
-// minimising the post-move maximum of the two shards wins — with strict
-// improvement required, so a single dominant hotspot band is never
-// ping-ponged between shards.
-func (c *Cluster) pickBand(hot, cold int) (int, bool) {
-	counts := make(map[int]int)
-	var bands []int
+// pickTile chooses which of the hot shard's tiles to migrate to the cold
+// shard: resident player count is the per-tile load proxy over the 2-D
+// load map, and the tile minimising the post-move maximum of the two
+// shards wins — with strict improvement required, so a single dominant
+// hotspot tile is never ping-ponged between shards. Ties break toward
+// the lower space-filling index, keeping the controller deterministic
+// (and, on bands, identical to the PR 3 lowest-band rule).
+func (c *Cluster) pickTile(hot, cold int) (world.TileID, bool) {
+	counts := make(map[world.TileID]int)
+	var tiles []world.TileID
 	hotPlayers, coldPlayers := 0, 0
 	for _, id := range c.order {
 		p := c.players[id]
@@ -155,68 +157,74 @@ func (c *Cluster) pickBand(hot, cold int) (int, bool) {
 		if sess == nil {
 			continue
 		}
-		band := c.table.BandOfBlock(sess.Pos())
+		tile := c.table.TileOfBlock(sess.Pos())
 		switch p.shard {
 		case hot:
 			hotPlayers++
-			if c.table.Owner(band) == hot {
-				if counts[band] == 0 {
-					bands = append(bands, band)
+			if c.table.Owner(tile) == hot {
+				if counts[tile] == 0 {
+					tiles = append(tiles, tile)
 				}
-				counts[band]++
+				counts[tile]++
 			}
 		case cold:
 			coldPlayers++
 		}
 	}
-	best, bestMax := 0, hotPlayers
+	var best world.TileID
+	bestMax := hotPlayers
 	if coldPlayers > bestMax {
 		bestMax = coldPlayers
 	}
 	cur := bestMax
 	found := false
-	for _, band := range bands {
-		n := counts[band]
+	for _, tile := range tiles {
+		n := counts[tile]
 		m := hotPlayers - n
 		if coldPlayers+n > m {
 			m = coldPlayers + n
 		}
-		if m < bestMax || (m == bestMax && found && band < best) {
-			best, bestMax, found = band, m, true
+		if m < bestMax || (m == bestMax && found && c.topo.Index(tile) < c.topo.Index(best)) {
+			best, bestMax, found = tile, m, true
 		}
 	}
 	if !found || bestMax >= cur {
-		return 0, false
+		return world.TileID{}, false
 	}
 	return best, true
 }
 
-// MigrateBand migrates ownership of a band to dst: flush the source
+// MigrateTile migrates ownership of a tile to dst: flush the source
 // shard's chunk copies with completion reporting, then flip the table
 // (epoch bump, persisted). Resident players follow through the boundary
 // scan. Reports whether a migration was started.
-func (c *Cluster) MigrateBand(band, dst int) bool { return c.migrateBand(band, dst, "manual") }
+func (c *Cluster) MigrateTile(tile world.TileID, dst int) bool {
+	return c.migrateTile(tile, dst, "manual")
+}
 
-func (c *Cluster) migrateBand(band, dst int, reason string) bool {
-	src := c.table.Owner(band)
-	if src == dst || !c.table.Alive(dst) || c.migrating[band] {
+func (c *Cluster) migrateTile(tile world.TileID, dst int, reason string) bool {
+	// Canonical form: the flush predicate and the in-flight set compare
+	// against TileOf output, which an aliased caller reference would miss.
+	tile = c.table.Canon(tile)
+	src := c.table.Owner(tile)
+	if src == dst || !c.table.Alive(dst) || c.migrating[tile] {
 		return false
 	}
-	c.migrating[band] = true
+	c.migrating[tile] = true
 	start := c.clock.Now()
-	pred := func(cp world.ChunkPos) bool { return c.table.Band(cp) == band }
+	pred := func(cp world.ChunkPos) bool { return c.table.TileOf(cp) == tile }
 	c.shards[src].FlushOwnedChunks(pred, func() {
-		delete(c.migrating, band)
+		delete(c.migrating, tile)
 		if c.stopped || !c.table.Alive(dst) {
 			return // the cluster stopped or dst died while we flushed
 		}
-		if !c.table.SetOwner(band, dst) {
+		if !c.table.SetOwner(tile, dst) {
 			return
 		}
 		c.persistTable()
-		c.BandsMoved.Inc()
+		c.TilesMoved.Inc()
 		c.MigrationLog = append(c.MigrationLog, MigrationRecord{
-			Band: band, From: src, To: dst,
+			Tile: tile, From: src, To: dst,
 			Epoch: c.table.Epoch(), Reason: reason,
 			Latency: c.clock.Now() - start,
 		})
@@ -225,7 +233,7 @@ func (c *Cluster) migrateBand(band, dst int, reason string) bool {
 }
 
 // FailShard kills shard i: its loop crashes (every in-memory session is
-// gone), its bands reroute deterministically to the survivors (epoch
+// gone), its tiles reroute deterministically to the survivors (epoch
 // bump), and its players are re-admitted from their last persisted
 // snapshots — falling back to the last scan-observed position for players
 // that were never persisted, so a failover loses no player. Owned-
@@ -247,7 +255,7 @@ func (c *Cluster) FailShard(i int) bool {
 	c.persistTable()
 	c.Failovers.Inc()
 	c.MigrationLog = append(c.MigrationLog, MigrationRecord{
-		Band: 0, From: i, To: -1, Epoch: c.table.Epoch(), Reason: "failover",
+		From: i, To: -1, Epoch: c.table.Epoch(), Reason: "failover",
 	})
 	for _, p := range victims {
 		c.readmit(p)
@@ -301,7 +309,7 @@ func (c *Cluster) readmit(p *Player) {
 // RecoverShard replaces a failed shard: every survivor flushes the chunks
 // it owns (so the store holds the interim owners' state), a fresh server
 // is built over the persisted world through the ShardBuilder, and the
-// shard is marked alive again — reverting its bands (epoch bump), after
+// shard is marked alive again — reverting its tiles (epoch bump), after
 // which resident players walk home through the boundary scan. Reports
 // whether a recovery was started.
 func (c *Cluster) RecoverShard(i int) bool {
@@ -326,7 +334,7 @@ func (c *Cluster) RecoverShard(i int) bool {
 		c.table.SetDead(i, false)
 		c.persistTable()
 		c.MigrationLog = append(c.MigrationLog, MigrationRecord{
-			Band: 0, From: -1, To: i, Epoch: c.table.Epoch(), Reason: "recover",
+			From: -1, To: i, Epoch: c.table.Epoch(), Reason: "recover",
 		})
 		if c.running {
 			c.shards[i].Start()

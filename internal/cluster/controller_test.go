@@ -47,13 +47,16 @@ func (u *blobChunkStore) StoreThen(c *world.Chunk, done func()) {
 }
 
 // newStoreCluster builds a store-backed cluster (chunk persistence +
-// handoff transfer over one blob store), BandChunks 4 → 64-block bands.
+// handoff transfer over one blob store), 64-block band tiles unless
+// cfg.Topology picks another tiling.
 func newStoreCluster(t *testing.T, seed int64, shards int, cfg Config) (*sim.Loop, *blob.Store, *Cluster) {
 	t.Helper()
 	loop := sim.NewLoop(seed)
 	remote := blob.NewStore(loop, blob.TierPremium)
 	cfg.Shards = shards
-	cfg.BandChunks = 4
+	if cfg.Topology == nil {
+		cfg.Topology = world.BandTopology{BandChunks: 4}
+	}
 	if cfg.Transfer == nil {
 		cfg.Transfer = &retryingTransfer{remote: remote}
 	}
@@ -71,7 +74,7 @@ func newStoreCluster(t *testing.T, seed int64, shards int, cfg Config) (*sim.Loo
 func TestMigrateBandMovesOwnershipAndPlayers(t *testing.T) {
 	loop, c := newTestCluster(t, 11, 2, Config{})
 	// Band 2 (x in [128,192)) is shard 0's by the default interleave.
-	home := c.BandCenter(2)
+	home := c.TileCenter(world.TileID{X: 2})
 	var ps []*Player
 	for i := 0; i < 3; i++ {
 		ps = append(ps, c.ConnectAt(fmt.Sprintf("m%d", i), nil, home))
@@ -83,26 +86,26 @@ func TestMigrateBandMovesOwnershipAndPlayers(t *testing.T) {
 	}
 	c.Start()
 	loop.RunUntil(5 * time.Second)
-	if !c.MigrateBand(2, 1) {
-		t.Fatal("MigrateBand refused")
+	if !c.MigrateTile(world.TileID{X: 2}, 1) {
+		t.Fatal("MigrateTile refused")
 	}
 	loop.RunUntil(30 * time.Second)
 
 	if got := c.Epoch(); got != 1 {
 		t.Fatalf("epoch = %d after one migration, want 1", got)
 	}
-	if got := c.Table().Owner(2); got != 1 {
-		t.Fatalf("band 2 owner = %d, want 1", got)
+	if got := c.Table().Owner(world.TileID{X: 2}); got != 1 {
+		t.Fatalf("tile 2 owner = %d, want 1", got)
 	}
 	for _, p := range ps {
 		if p.Shard() != 1 {
 			t.Fatalf("player %s still on shard %d after migration", p.Name, p.Shard())
 		}
 	}
-	if got := c.BandsMoved.Value(); got != 1 {
-		t.Fatalf("bands moved = %d, want 1", got)
+	if got := c.TilesMoved.Value(); got != 1 {
+		t.Fatalf("tiles moved = %d, want 1", got)
 	}
-	if len(c.MigrationLog) != 1 || c.MigrationLog[0].Band != 2 || c.MigrationLog[0].To != 1 {
+	if len(c.MigrationLog) != 1 || c.MigrationLog[0].Tile != (world.TileID{X: 2}) || c.MigrationLog[0].To != 1 {
 		t.Fatalf("migration log wrong: %+v", c.MigrationLog)
 	}
 }
@@ -114,7 +117,7 @@ func TestMigrateBandMovesOwnershipAndPlayers(t *testing.T) {
 // new owner reads the modified state, never a regenerated one.
 func TestMigrationBrownoutDelaysButNeverLoses(t *testing.T) {
 	loop, remote, c := newStoreCluster(t, 12, 2, Config{})
-	home := c.BandCenter(2)
+	home := c.TileCenter(world.TileID{X: 2})
 	p := c.ConnectAt("sculptor", nil, home)
 	c.Start()
 	loop.RunUntil(10 * time.Second) // band 2 terrain loads around the player
@@ -127,8 +130,8 @@ func TestMigrationBrownoutDelaysButNeverLoses(t *testing.T) {
 
 	// Brownout: most writes fail, everything is 20x slower.
 	remote.SetChaos(&blob.Chaos{WriteErrorRate: 0.6, ReadErrorRate: 0.6, LatencyFactor: 20})
-	if !c.MigrateBand(2, 1) {
-		t.Fatal("MigrateBand refused")
+	if !c.MigrateTile(world.TileID{X: 2}, 1) {
+		t.Fatal("MigrateTile refused")
 	}
 	// Mid-brownout the flush is still fighting faults: the ownership flip
 	// must not have happened yet (delayed, not skipped).
@@ -143,8 +146,8 @@ func TestMigrationBrownoutDelaysButNeverLoses(t *testing.T) {
 	if c.Epoch() == 0 {
 		t.Fatal("migration never completed after the brownout")
 	}
-	if got := c.Table().Owner(2); got != 1 {
-		t.Fatalf("band 2 owner = %d, want 1", got)
+	if got := c.Table().Owner(world.TileID{X: 2}); got != 1 {
+		t.Fatalf("tile 2 owner = %d, want 1", got)
 	}
 	if p.Shard() != 1 {
 		t.Fatalf("resident player on shard %d, want 1", p.Shard())
@@ -263,25 +266,25 @@ func TestRebalanceControllerMovesHotBand(t *testing.T) {
 	// lightly. The controller should shed band 2 — not band 0, whose
 	// larger population would just move the hotspot.
 	for i := 0; i < 12; i++ {
-		c.ConnectAt(fmt.Sprintf("hot%d", i), nil, c.BandCenter(0))
+		c.ConnectAt(fmt.Sprintf("hot%d", i), nil, c.TileCenter(world.TileID{X: 0}))
 	}
 	for i := 0; i < 8; i++ {
-		c.ConnectAt(fmt.Sprintf("warm%d", i), nil, c.BandCenter(2))
+		c.ConnectAt(fmt.Sprintf("warm%d", i), nil, c.TileCenter(world.TileID{X: 2}))
 	}
 	for i := 0; i < 2; i++ {
-		c.ConnectAt(fmt.Sprintf("cold%d", i), nil, c.BandCenter(1))
+		c.ConnectAt(fmt.Sprintf("cold%d", i), nil, c.TileCenter(world.TileID{X: 1}))
 	}
 	c.Start()
 	loop.RunUntil(90 * time.Second)
 
-	if got := c.BandsMoved.Value(); got < 1 {
-		t.Fatalf("controller moved %d bands, want >= 1", got)
+	if got := c.TilesMoved.Value(); got < 1 {
+		t.Fatalf("controller moved %d tiles, want >= 1", got)
 	}
-	if got := c.Table().Owner(2); got != 1 {
-		t.Fatalf("band 2 owner = %d, want 1 (shed to the cold shard)", got)
+	if got := c.Table().Owner(world.TileID{X: 2}); got != 1 {
+		t.Fatalf("tile 2 owner = %d, want 1 (shed to the cold shard)", got)
 	}
-	if got := c.Table().Owner(0); got != 0 {
-		t.Fatalf("band 0 owner = %d: the controller moved the hotspot instead of shedding", got)
+	if got := c.Table().Owner(world.TileID{X: 0}); got != 0 {
+		t.Fatalf("tile 0 owner = %d: the controller moved the hotspot instead of shedding", got)
 	}
 	s0, s1 := c.Shard(0).PlayerCount(), c.Shard(1).PlayerCount()
 	if s0 != 12 || s1 != 10 {
@@ -297,12 +300,12 @@ func TestRebalanceDeterministicReplay(t *testing.T) {
 			Rebalance: RebalanceConfig{Enabled: true, Threshold: 1.1, Interval: 2 * time.Second},
 		})
 		for i := 0; i < 10; i++ {
-			c.ConnectAt(fmt.Sprintf("a%d", i), nil, c.BandCenter(0))
+			c.ConnectAt(fmt.Sprintf("a%d", i), nil, c.TileCenter(world.TileID{X: 0}))
 		}
 		for i := 0; i < 6; i++ {
-			c.ConnectAt(fmt.Sprintf("b%d", i), nil, c.BandCenter(2))
+			c.ConnectAt(fmt.Sprintf("b%d", i), nil, c.TileCenter(world.TileID{X: 2}))
 		}
-		c.ConnectAt("c0", nil, c.BandCenter(1))
+		c.ConnectAt("c0", nil, c.TileCenter(world.TileID{X: 1}))
 		c.Start()
 		loop.RunUntil(90 * time.Second)
 		return append([]HandoffRecord(nil), c.Log...), append([]MigrationRecord(nil), c.MigrationLog...)
@@ -324,6 +327,54 @@ func TestRebalanceDeterministicReplay(t *testing.T) {
 		if m1[i] != m2[i] {
 			t.Fatalf("migration[%d] differs: %+v vs %+v", i, m1[i], m2[i])
 		}
+	}
+}
+
+// TestGridRebalanceSplitsZAxisCrowd is the tentpole property of the tile
+// rekey: under a 2-D grid topology, a crowd spread along the Z axis
+// spans several tiles (and shards) — where the 1-D band topology would
+// have fused the whole column into one band on one shard — and the
+// controller sheds tiles from the hot row-shards to the cold ones.
+func TestGridRebalanceSplitsZAxisCrowd(t *testing.T) {
+	topo := world.GridTopology{TilesX: 4, TilesZ: 4, TileChunks: 4}
+	loop, c := newTestCluster(t, 21, 4, Config{
+		Topology:  topo,
+		Rebalance: RebalanceConfig{Enabled: true, Threshold: 1.1, Interval: 2 * time.Second},
+	})
+	// Balanced baseline: 5 players in each shard's home tile.
+	for s := 0; s < 4; s++ {
+		for j := 0; j < 5; j++ {
+			c.ConnectAt(fmt.Sprintf("base%d-%d", s, j), nil, c.Home(s))
+		}
+	}
+	// A Z-axis crowd along column x=0: tiles (0,0) and (0,1).
+	tileA, tileB := world.TileID{X: 0, Z: 0}, world.TileID{X: 0, Z: 1}
+	if c.Table().Owner(tileA) == c.Table().Owner(tileB) {
+		t.Fatalf("Z-separated tiles %v and %v share a shard; the grid is not splitting Z", tileA, tileB)
+	}
+	for j := 0; j < 15; j++ {
+		c.ConnectAt(fmt.Sprintf("crowdA%d", j), nil, c.TileCenter(tileA))
+		c.ConnectAt(fmt.Sprintf("crowdB%d", j), nil, c.TileCenter(tileB))
+	}
+	c.Start()
+	loop.RunUntil(2 * time.Minute)
+
+	if got := c.TilesMoved.Value(); got < 2 {
+		t.Fatalf("controller moved %d tiles, want >= 2 (one per hot row)", got)
+	}
+	// The crowd tiles themselves must not have moved (shedding them would
+	// just relocate the hotspot); the light home tiles did.
+	if got := c.Table().Owner(tileA); got != 0 {
+		t.Errorf("crowd tile %v moved to shard %d: hotspot relocated instead of shed", tileA, got)
+	}
+	max := 0
+	for i := 0; i < 4; i++ {
+		if n := c.Shard(i).PlayerCount(); n > max {
+			max = n
+		}
+	}
+	if max >= 20 {
+		t.Fatalf("hottest shard still hosts %d of 50 players; no load left the hot rows", max)
 	}
 }
 

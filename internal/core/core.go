@@ -87,11 +87,17 @@ type Config struct {
 	// warm pools, one blob store), with cross-shard player handoff
 	// (internal/cluster). 0 or 1 builds the classic single server.
 	Shards int
-	// BandChunks is the region band width in chunk columns
-	// (0 → world.DefaultBandChunks). Only meaningful with Shards > 1.
+	// Topology is the region tiling the cluster splits over its shards:
+	// nil → 1-D X bands of BandChunks columns (the compatibility
+	// default); a world.GridTopology cuts chunk space along both axes.
+	// Only meaningful with Shards > 1.
+	Topology world.Topology
+	// BandChunks is the band width in chunk columns for the default band
+	// topology (0 → world.DefaultBandChunks). Ignored when Topology is
+	// set. Only meaningful with Shards > 1.
 	BandChunks int
-	// Rebalance enables the cluster controller's live band rebalancing:
-	// when per-shard tick load drifts past RebalanceThreshold, band
+	// Rebalance enables the cluster controller's live tile rebalancing:
+	// when per-shard tick load drifts past RebalanceThreshold, tile
 	// ownership migrates from the hottest to the coldest shard. Only
 	// meaningful with Shards > 1.
 	Rebalance bool
@@ -239,7 +245,10 @@ func New(clock sim.Clock, cfg Config) *System {
 		}
 	}
 
-	part := world.Partition{Shards: shardCount, BandChunks: cfg.BandChunks}
+	topo := cfg.Topology
+	if topo == nil {
+		topo = world.BandTopology{BandChunks: cfg.BandChunks}
+	}
 	// buildShard assembles shard i's components. Called once per shard at
 	// boot, and again by cluster.RecoverShard to build the replacement
 	// process after a shard failure — then the fresh components replace
@@ -256,10 +265,12 @@ func New(clock sim.Clock, cfg Config) *System {
 			Region:       region,
 		}
 		if shardCount > 1 {
-			// Boot both spawn and the shard's own home band, so
-			// shard-aware fleet placement does not open with a
+			// Boot both spawn and the center of the shard's own home tile
+			// (the middle of its space-filling run on finite topologies),
+			// so shard-aware fleet placement does not open with a
 			// generation storm.
-			srvCfg.BootCenters = []world.BlockPos{{}, part.HomeBlock(i)}
+			home := topo.Center(world.HomeTile(topo, shardCount, i))
+			srvCfg.BootCenters = []world.BlockPos{{}, home}
 		}
 		if cfg.ServerlessSC {
 			shard.SpecExec = specexec.NewManager(sys.Platform, SCFunctionName, spec)
@@ -302,8 +313,8 @@ func New(clock sim.Clock, cfg Config) *System {
 		buildShard(0, world.Region{})
 	} else {
 		clCfg := cluster.Config{
-			Shards:     shardCount,
-			BandChunks: cfg.BandChunks,
+			Shards:   shardCount,
+			Topology: topo,
 			Rebalance: cluster.RebalanceConfig{
 				Enabled:   cfg.Rebalance,
 				Threshold: cfg.RebalanceThreshold,
@@ -371,7 +382,7 @@ func (t *blobTableStore) LoadTable(cb func(data []byte, ok bool)) {
 // FailShard kills shard i: its cache flusher stops (a crashed process
 // flushes nothing — unflushed dirty chunks are the failure's data loss,
 // bounded by the flush interval), and the cluster crashes the loop,
-// reroutes the shard's bands, and re-admits its players from their last
+// reroutes the shard's tiles, and re-admits its players from their last
 // snapshots. Reports whether the failover ran (refused on the last alive
 // shard or an unsharded system).
 func (sys *System) FailShard(i int) bool {
@@ -389,7 +400,7 @@ func (sys *System) FailShard(i int) bool {
 
 // RecoverShard rebuilds a failed shard over the persisted world: the
 // cluster's ShardBuilder (buildShard above) constructs fresh components,
-// replacing the crashed entry in sys.Shards, and the shard's bands revert
+// replacing the crashed entry in sys.Shards, and the shard's tiles revert
 // once the survivors' flushes land.
 func (sys *System) RecoverShard(i int) bool {
 	if sys.Cluster == nil {
@@ -462,7 +473,7 @@ func (u *uncachedStore) Store(c *world.Chunk) {
 
 // StoreThen implements mve.SyncingChunkStore: done runs once data for
 // the chunk is durably stored — even if a concurrent unload-path write
-// superseded this one (ownership migrations gate the band flip on it).
+// superseded this one (ownership migrations gate the tile flip on it).
 func (u *uncachedStore) StoreThen(c *world.Chunk, done func()) {
 	u.remote.PutDurablyThen(tcache.Key(c.Pos), c.Encode(), done)
 }

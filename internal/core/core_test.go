@@ -262,6 +262,61 @@ func TestShardedAssemblySharesSubstrate(t *testing.T) {
 	}
 }
 
+// TestGridShardedAssembly checks the grid-topology wiring: contiguous
+// default territories along the space-filling order, home tiles booted
+// per shard, and a cross-shard handoff along the Z axis — the direction
+// a band topology cannot split at all.
+func TestGridShardedAssembly(t *testing.T) {
+	loop := sim.NewLoop(17)
+	topo := world.GridTopology{TilesX: 4, TilesZ: 4, TileChunks: 4}
+	// No store: boot generation is synchronous, so the home-tile boot
+	// centers are observable before the loop runs.
+	sys := New(loop, Config{
+		WorldType:    "flat",
+		ViewDistance: 32,
+		Shards:       4,
+		Topology:     topo,
+	})
+	if got := sys.Cluster.Topology().Spec(); got != topo.Spec() {
+		t.Fatalf("cluster topology = %+v, want %+v", got, topo.Spec())
+	}
+	// Each shard's home tile center is loaded at boot (the space-filling
+	// initial placement): the server can host a player there immediately.
+	for i := 0; i < 4; i++ {
+		home := sys.Cluster.Home(i)
+		if !sys.Shards[i].Server.World().Loaded(home.Chunk()) {
+			t.Fatalf("shard %d's home tile %v not booted", i, home)
+		}
+		if got := sys.Cluster.Table().ShardOfBlock(home); got != i {
+			t.Fatalf("shard %d's home block owned by %d", i, got)
+		}
+	}
+	// A player walking along +Z crosses tile rows and hands off between
+	// shards.
+	p := sys.Cluster.ConnectAt("zwalker", walkDown(200, 8), world.BlockPos{X: 32, Y: 0, Z: 32})
+	from := p.Shard()
+	sys.Cluster.Start()
+	loop.RunUntil(60 * time.Second)
+	if sys.Cluster.Handoffs.Value() == 0 {
+		t.Fatal("no handoff for a Z-axis walk on a grid topology")
+	}
+	if p.Shard() == from {
+		t.Fatalf("player still on shard %d after walking out of its tile row", from)
+	}
+}
+
+// walkDown issues one move order toward +Z.
+func walkDown(z, speed float64) mve.Behavior {
+	issued := false
+	return mve.BehaviorFunc(func(_ *rand.Rand, p *mve.Player, _ *mve.Server) []mve.Action {
+		if issued {
+			return nil
+		}
+		issued = true
+		return []mve.Action{mve.MoveTo(p.X, z, speed)}
+	})
+}
+
 // walkRight issues one move order toward +X.
 func walkRight(x, speed float64) mve.Behavior {
 	issued := false

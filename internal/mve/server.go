@@ -282,7 +282,7 @@ func (s *Server) SetChatRelay(relay func(from *Player) int) { s.chatRelay = rela
 // pred (nil matches all), calling done once after every write has landed.
 // With a completion-reporting store (SyncingChunkStore) the writes retry
 // through fault windows before done fires — the guarantee an ownership
-// migration needs before flipping a band to a new owner. Stores without
+// migration needs before flipping a tile to a new owner. Stores without
 // completion reporting get their writes issued fire-and-forget and done
 // runs immediately.
 func (s *Server) FlushOwnedChunks(pred func(world.ChunkPos) bool, done func()) {

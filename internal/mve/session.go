@@ -41,14 +41,16 @@ func (s *Server) ConnectAt(name string, b Behavior, x, z float64) *Player {
 }
 
 // Disconnect removes a player session, persisting its player data when a
-// store is configured.
-func (s *Server) Disconnect(id PlayerID) {
+// store is configured. It reports whether the session existed (false for
+// a repeated disconnect or a stale id).
+func (s *Server) Disconnect(id PlayerID) bool {
 	p, ok := s.players[id]
 	if !ok {
-		return
+		return false
 	}
 	s.savePlayerData(p)
 	s.removeSession(id)
+	return true
 }
 
 // removeSession drops the session from the routing tables.

@@ -108,20 +108,21 @@ func TestSnapshotCodecRoundTrip(t *testing.T) {
 // chunks its region owns, while still generating ghost chunks on demand.
 func TestRegionGatedPersistence(t *testing.T) {
 	loop := sim.NewLoop(3)
-	part := world.Partition{Shards: 2, BandChunks: 4}
+	topo := world.BandTopology{BandChunks: 4}
+	region := world.StaticRegion(topo, 2, 0)
 	store := &recordingStore{stored: map[world.ChunkPos]bool{}}
 	s := NewServer(loop, Config{
 		WorldType:    "flat",
 		ViewDistance: 64,
-		Region:       part.Region(0),
+		Region:       region,
 		Store:        store,
 	})
 	s.Connect("p", nil)
 	s.Start()
 	loop.RunUntil(10 * 1e9) // 10s: boot requests resolve, terrain persists
 	for cp := range store.stored {
-		if part.ShardOf(cp) != 0 {
-			t.Errorf("persisted unowned chunk %v (owner shard %d)", cp, part.ShardOf(cp))
+		if !region.Contains(cp) {
+			t.Errorf("persisted unowned chunk %v (owner shard %d)", cp, world.DefaultOwner(topo, 2, topo.TileOf(cp)))
 		}
 	}
 	if len(store.stored) == 0 {

@@ -27,7 +27,9 @@ import (
 type Instance interface {
 	Server() *mve.Server
 	ConnectBehavior(name string, b mve.Behavior) *mve.Player
-	Disconnect(p *mve.Player)
+	// Disconnect reports whether a session was actually removed; rtserve
+	// tears the connection down either way.
+	Disconnect(p *mve.Player) bool
 	Locked(fn func())
 }
 

@@ -47,22 +47,22 @@ type front struct{ sys *core.System }
 
 func (f front) sharded() bool { return f.sys.Cluster != nil }
 
-// placement says where a player joins: a specific band's center, a
-// shard's home band, or world spawn.
+// placement says where a player joins: a specific tile's center, a
+// shard's home tile, or world spawn.
 type placement struct {
-	shard int  // -1 = spawn (unless band is set)
-	band  *int // band center placement, finer-grained than shard
+	shard int           // -1 = spawn (unless tile is set)
+	tile  *world.TileID // tile center placement, finer-grained than shard
 }
 
 // atSpawn is the default placement.
 var atSpawn = placement{shard: -1}
 
 // connect joins a player at the placement (sharded systems only honour
-// shard/band placement; a single server always joins at spawn).
+// shard/tile placement; a single server always joins at spawn).
 func (f front) connect(name string, b mve.Behavior, pl placement) ref {
 	if cl := f.sys.Cluster; cl != nil {
-		if pl.band != nil {
-			return ref{cp: cl.ConnectAt(name, b, cl.BandCenter(*pl.band))}
+		if pl.tile != nil {
+			return ref{cp: cl.ConnectAt(name, b, cl.TileCenter(*pl.tile))}
 		}
 		if pl.shard >= 0 {
 			return ref{cp: cl.ConnectAt(name, b, cl.Home(pl.shard))}
@@ -148,6 +148,10 @@ type Runner struct {
 	// lengths), seeded from the spec so they replay deterministically and
 	// stay independent of the simulation clock's random stream.
 	hrng *rand.Rand
+	// viewSeries samples the system-wide minimum view margin once per
+	// second, feeding windowed view_margin assertions (nil unless one
+	// exists: the scan over every player's view range is not free).
+	viewSeries *metrics.TimeSeries
 
 	scZ      int // next free Z band for construct placement
 	crowdSeq int // flash-crowd naming sequence
@@ -236,6 +240,17 @@ func (r *Runner) build() {
 		StorageTier:  tierFor(spec.Backend.StorageTier),
 		Shards:       spec.Shards,
 	}
+	if tp := spec.Topology; tp != nil {
+		built, err := (world.TopologySpec{
+			Kind:       tp.Kind,
+			TileChunks: tp.TileChunks,
+			TilesX:     tp.TilesX,
+			TilesZ:     tp.TilesZ,
+		}).Build()
+		if err == nil { // Validate has already vetted the geometry
+			cfg.Topology = built
+		}
+	}
 	if rb := spec.Rebalance; rb != nil {
 		cfg.Rebalance = true
 		cfg.RebalanceThreshold = rb.Threshold
@@ -271,6 +286,43 @@ func (r *Runner) build() {
 		r.placeConstructs(g.Count, g.Blocks)
 	}
 	r.front.start()
+	for _, a := range spec.Assertions {
+		if a.Metric == "view_margin" && a.Windowed() {
+			r.viewSeries = &metrics.TimeSeries{}
+			r.loop.After(time.Second, r.sampleViewMargin)
+			break
+		}
+	}
+}
+
+// sampleViewMargin records the distance from the closest player to the
+// nearest missing terrain (minimum across shards), once per second: the
+// series behind windowed view_margin assertions — the Fig. 10 QoS
+// signal, observable over time instead of only at the end of the run.
+func (r *Runner) sampleViewMargin() {
+	margin := -1
+	for _, sh := range r.sys.Shards {
+		if vm := sh.Server.MinViewMargin(); margin < 0 || vm < margin {
+			margin = vm
+		}
+	}
+	r.viewSeries.Add(r.loop.Now(), time.Duration(margin))
+	if r.loop.Now() < r.t0+r.spec.Duration.D() {
+		r.loop.After(time.Second, r.sampleViewMargin)
+	}
+}
+
+// windowViewMargin returns the minimum sampled view margin inside the
+// window [from, to] (the QoS floor over the window), or -1 when nothing
+// was sampled there.
+func (r *Runner) windowViewMargin(from, to time.Duration) float64 {
+	min := -1.0
+	for _, v := range r.viewSeries.ValuesBetween(r.t0+from, r.t0+to) {
+		if min < 0 || float64(v) < min {
+			min = float64(v)
+		}
+	}
+	return min
 }
 
 // runPrewrite executes the write phase: a throwaway system over a fresh
@@ -325,10 +377,14 @@ func (r *Runner) runPrewrite(cfg core.Config) core.Config {
 	return cfg
 }
 
-// fleetPlacement returns a fleet group's join placement.
+// fleetPlacement returns a fleet group's join placement. A legacy band
+// reference b is the band-topology tile [b, 0] (the z=0 row).
 func fleetPlacement(g FleetGroup) placement {
+	if g.Tile != nil {
+		return placement{shard: -1, tile: &world.TileID{X: g.Tile[0], Z: g.Tile[1]}}
+	}
 	if g.Band != nil {
-		return placement{shard: -1, band: g.Band}
+		return placement{shard: -1, tile: &world.TileID{X: *g.Band}}
 	}
 	if g.Shard == nil {
 		return atSpawn
@@ -460,11 +516,17 @@ func (r *Runner) fire(e Event) {
 	case EvFlashCrowd:
 		seq := r.crowdSeq
 		r.crowdSeq++
-		for i := 0; i < e.Count; i++ {
-			r.connect(fmt.Sprintf("crowd%d-%d", seq, i), e.Behavior, placement{shard: -1, band: e.Band})
+		var tile *world.TileID
+		if e.Tile != nil {
+			tile = &world.TileID{X: e.Tile[0], Z: e.Tile[1]}
+		} else if e.Band != nil {
+			tile = &world.TileID{X: *e.Band}
 		}
-		if e.Band != nil {
-			r.logf("flash crowd: %d %q players joined at band %d", e.Count, e.Behavior, *e.Band)
+		for i := 0; i < e.Count; i++ {
+			r.connect(fmt.Sprintf("crowd%d-%d", seq, i), e.Behavior, placement{shard: -1, tile: tile})
+		}
+		if tile != nil {
+			r.logf("flash crowd: %d %q players joined at %v", e.Count, e.Behavior, *tile)
 		} else {
 			r.logf("flash crowd: %d %q players joined", e.Count, e.Behavior)
 		}
@@ -545,7 +607,7 @@ func (r *Runner) fire(e Event) {
 	case EvShardFail:
 		shard := *e.Shard
 		if r.sys.FailShard(shard) {
-			r.logf("shard %d killed: bands rerouted, players re-admitting (epoch %d)", shard, r.sys.Cluster.Epoch())
+			r.logf("shard %d killed: tiles rerouted, players re-admitting (epoch %d)", shard, r.sys.Cluster.Epoch())
 		} else {
 			r.logf("shard %d kill refused (already dead, or last alive shard)", shard)
 		}
@@ -571,7 +633,7 @@ type baseline struct {
 	cacheHits, cacheMisses, prefetch            int64
 	reads, writes, storeFaults                  int64
 	handoffs                                    int64
-	rebalances, bandsMoved                      int64
+	rebalances, tilesMoved                      int64
 	failovers, playersFailedOver                int64
 	handoffsIn, handoffsOut                     []int64
 }
@@ -620,7 +682,7 @@ func (r *Runner) snapshotBaseline() {
 	if cl := r.sys.Cluster; cl != nil {
 		b.handoffs = cl.Handoffs.Value()
 		b.rebalances = cl.Rebalances.Value()
-		b.bandsMoved = cl.BandsMoved.Value()
+		b.tilesMoved = cl.TilesMoved.Value()
 		b.failovers = cl.Failovers.Value()
 		b.playersFailedOver = cl.PlayersFailedOver.Value()
 		for i := range r.sys.Shards {
@@ -847,7 +909,8 @@ func (r *Runner) collect() *Report {
 		vals["handoff_p99_ms"] = msOf(cl.HandoffLatency.Percentile(99))
 		vals["ownership_epoch"] = float64(cl.Epoch())
 		vals["rebalances"] = float64(cl.Rebalances.Value() - b.rebalances)
-		vals["bands_moved"] = float64(cl.BandsMoved.Value() - b.bandsMoved)
+		vals["tiles_moved"] = float64(cl.TilesMoved.Value() - b.tilesMoved)
+		vals["bands_moved"] = vals["tiles_moved"] // PR 3 band-era alias
 		vals["failovers"] = float64(cl.Failovers.Value() - b.failovers)
 		vals["players_failed_over"] = float64(cl.PlayersFailedOver.Value() - b.playersFailedOver)
 		// Load imbalance: max over shards of mean tick duration, divided
@@ -898,9 +961,12 @@ func (r *Runner) collect() *Report {
 	for _, a := range spec.Assertions {
 		actual := vals[a.Metric]
 		if a.Windowed() {
-			if a.Metric == "load_imbalance" {
+			switch a.Metric {
+			case "load_imbalance":
 				actual = r.windowImbalance(a.From.D(), a.To.D())
-			} else {
+			case "view_margin":
+				actual = r.windowViewMargin(a.From.D(), a.To.D())
+			default:
 				actual = tickMetric(a.Metric, r.windowTicks(a.From.D(), a.To.D()))
 			}
 		}

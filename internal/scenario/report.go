@@ -68,7 +68,8 @@ var metricOrder = []struct {
 	{"load_imbalance", needsCluster},  // max/mean per-shard mean tick duration
 	{"ownership_epoch", needsCluster}, // ownership-table version (migrations + failovers)
 	{"rebalances", needsCluster},      // controller rebalance decisions
-	{"bands_moved", needsCluster},     // completed band-ownership migrations
+	{"tiles_moved", needsCluster},     // completed tile-ownership migrations
+	{"bands_moved", needsCluster},     // legacy alias of tiles_moved (PR 3 band-era name)
 	{"failovers", needsCluster},       // shards failed over
 	{"players_failed_over", needsCluster},
 	{"cost_dollars", needsNone}, // FaaS + storage billing over the whole run
@@ -106,15 +107,17 @@ func parseShardMetric(name string) (shard int, base string, ok bool) {
 }
 
 // windowableMetrics are the assertions that support [from, to] windows:
-// everything recomputable from the per-tick time series. load_imbalance
-// recomputes per-shard means inside the window, so a spec can assert that
-// imbalance spiked after a hotspot event and decreased once the
-// controller rebalanced.
+// everything recomputable from a per-tick or sampled time series.
+// load_imbalance recomputes per-shard means inside the window, so a spec
+// can assert that imbalance spiked after a hotspot event and decreased
+// once the controller rebalanced. view_margin takes the minimum of a
+// once-per-second sample of the distance to the closest missing terrain
+// (the Fig. 10 QoS floor over the window).
 var windowableMetrics = map[string]bool{
 	"ticks_total": true, "ticks_over_budget": true, "over_budget_frac": true,
 	"tick_p50_ms": true, "tick_p90_ms": true, "tick_p95_ms": true,
 	"tick_p99_ms": true, "tick_max_ms": true, "tick_mean_ms": true,
-	"load_imbalance": true,
+	"load_imbalance": true, "view_margin": true,
 }
 
 // metricNeeds maps metric name → availability class, derived from

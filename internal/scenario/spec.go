@@ -8,7 +8,9 @@
 // YAML dependency) with five sections:
 //
 //   - world/backend: which system to assemble (profile, world type, and
-//     the L/S serverless component toggles of the paper's Table I);
+//     the L/S serverless component toggles of the paper's Table I),
+//     plus shards/topology for a region-sharded cluster (1-D bands or
+//     2-D grid tiles);
 //   - fleet: groups of players with Table I behaviors joining and leaving
 //     at fixed times;
 //   - stress: a seeded random fleet of bot players with weighted behavior
@@ -110,6 +112,22 @@ type ConstructGroup struct {
 	Blocks int `json:"blocks,omitempty"`
 }
 
+// TopologySpec selects the region tiling of a sharded cluster.
+type TopologySpec struct {
+	// Kind is "band" (1-D X bands, the compatibility default) or "grid"
+	// (TilesX×TilesZ rectangular tiles repeating across the plane).
+	Kind string `json:"kind,omitempty"`
+	// TilesX and TilesZ are the grid dimensions (grid kind only;
+	// required, in [1, 64]).
+	TilesX int `json:"tiles_x,omitempty"`
+	TilesZ int `json:"tiles_z,omitempty"`
+	// TileChunks is the tile side (band width) in chunk columns; 0 → 8.
+	TileChunks int `json:"tile_chunks,omitempty"`
+}
+
+// Grid reports whether the topology is a 2-D grid.
+func (t *TopologySpec) Grid() bool { return t != nil && t.Kind == "grid" }
+
 // FleetGroup is a group of players joining (and optionally leaving) at
 // fixed times.
 type FleetGroup struct {
@@ -122,13 +140,17 @@ type FleetGroup struct {
 	// LeaveAt, if set, is when the group disconnects; must be after
 	// JoinAt. 0 → stay until the end.
 	LeaveAt Span `json:"leave_at,omitempty"`
-	// Shard, if set, places the group inside that shard's home band
+	// Shard, if set, places the group inside that shard's home tile
 	// instead of at world spawn (requires a sharded scenario).
 	Shard *int `json:"shard,omitempty"`
-	// Band, if set, places the group at that region band's center —
+	// Tile, if set, places the group at that region tile's center —
 	// finer-grained than Shard, e.g. to build a hotspot inside one
-	// specific band of a shard's territory (requires a sharded scenario;
+	// specific tile of a shard's territory (requires a sharded scenario;
 	// mutually exclusive with Shard).
+	Tile *[2]int `json:"tile,omitempty"`
+	// Band is the legacy 1-D spelling of Tile: band b is tile [b, 0]
+	// under the band topology (band kind only; mutually exclusive with
+	// Shard and Tile).
 	Band *int `json:"band,omitempty"`
 }
 
@@ -160,9 +182,9 @@ type StressSpec struct {
 	Placement string `json:"placement,omitempty"`
 }
 
-// RebalanceSpec enables the cluster controller's live band rebalancing:
-// the controller watches per-shard tick load and migrates region-band
-// ownership from the hottest to the coldest shard (flushing the band's
+// RebalanceSpec enables the cluster controller's live tile rebalancing:
+// the controller watches per-shard tick load and migrates region-tile
+// ownership from the hottest to the coldest shard (flushing the tile's
 // chunks through the store first, then bumping the ownership epoch) when
 // the imbalance stays over the threshold.
 type RebalanceSpec struct {
@@ -214,9 +236,12 @@ type Event struct {
 	Count    int    `json:"count,omitempty"`
 	Behavior string `json:"behavior,omitempty"` // flash_crowd; "" → "R"
 	Blocks   int    `json:"blocks,omitempty"`   // spawn_constructs; 0 → 250
-	// flash_crowd: land the crowd at this region band's center instead
+	// flash_crowd: land the crowd at this region tile's center instead
 	// of at world spawn, building a hotspot inside one shard's territory
 	// (requires a sharded scenario).
+	Tile *[2]int `json:"tile,omitempty"`
+	// flash_crowd: the legacy 1-D spelling of Tile — band b is tile
+	// [b, 0] under the band topology (band kind only).
 	Band *int `json:"band,omitempty"`
 
 	// shard_fail: which shard's loop to kill.
@@ -282,7 +307,10 @@ type Spec struct {
 	// one shared serverless substrate, with cross-shard player handoff.
 	// 0 or 1 → the classic single server.
 	Shards int `json:"shards,omitempty"`
-	// Rebalance, if set, enables the cluster controller's live band
+	// Topology selects the region tiling of a sharded cluster: 1-D X
+	// bands (the default) or a 2-D grid (requires shards > 1).
+	Topology *TopologySpec `json:"topology,omitempty"`
+	// Rebalance, if set, enables the cluster controller's live tile
 	// rebalancing (requires shards > 1).
 	Rebalance *RebalanceSpec `json:"rebalance,omitempty"`
 
@@ -353,6 +381,9 @@ func (s *Spec) Validate() error {
 	if s.Shards < 0 || s.Shards > 64 {
 		return s.errf("shards must be in [0, 64] (got %d)", s.Shards)
 	}
+	if err := s.validateTopology(); err != nil {
+		return err
+	}
 	if rb := s.Rebalance; rb != nil {
 		if s.Shards <= 1 {
 			return s.errf("rebalance requires shards > 1")
@@ -396,6 +427,69 @@ func (s *Spec) Validate() error {
 		if err := s.validateAssertion(i, a); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+func (s *Spec) validateTopology() error {
+	tp := s.Topology
+	if tp == nil {
+		return nil
+	}
+	if s.Shards <= 1 {
+		return s.errf("topology requires shards > 1")
+	}
+	switch tp.Kind {
+	case "":
+		tp.Kind = "band"
+	case "band", "grid":
+	default:
+		return s.errf(`topology.kind must be "band" or "grid" (got %q)`, tp.Kind)
+	}
+	if tp.TileChunks < 0 || tp.TileChunks > 64 {
+		return s.errf("topology.tile_chunks must be in [0, 64] (got %d)", tp.TileChunks)
+	}
+	if tp.Kind == "band" {
+		if tp.TilesX != 0 || tp.TilesZ != 0 {
+			return s.errf("topology.tiles_x/tiles_z only apply to the grid kind")
+		}
+		return nil
+	}
+	if tp.TilesX < 1 || tp.TilesX > 64 || tp.TilesZ < 1 || tp.TilesZ > 64 {
+		return s.errf("grid topology needs tiles_x and tiles_z in [1, 64] (got %dx%d)", tp.TilesX, tp.TilesZ)
+	}
+	if s.Shards > tp.TilesX*tp.TilesZ {
+		return s.errf("%d shards over a %dx%d grid: more shards than tiles", s.Shards, tp.TilesX, tp.TilesZ)
+	}
+	return nil
+}
+
+// validateTileRef checks one tile placement (fleet group or flash crowd)
+// against the scenario topology.
+func (s *Spec) validateTileRef(ctx string, tile [2]int) error {
+	if s.Shards <= 1 {
+		return s.errf("%s: tile placement requires shards > 1", ctx)
+	}
+	if s.Topology.Grid() {
+		if tile[0] < 0 || tile[0] >= s.Topology.TilesX || tile[1] < 0 || tile[1] >= s.Topology.TilesZ {
+			return s.errf("%s: tile [%d,%d] outside the %dx%d grid", ctx, tile[0], tile[1], s.Topology.TilesX, s.Topology.TilesZ)
+		}
+		return nil
+	}
+	if tile[1] != 0 {
+		return s.errf("%s: band-topology tiles lie on z=0 (got [%d,%d])", ctx, tile[0], tile[1])
+	}
+	return nil
+}
+
+// validateBandRef checks one legacy band placement: band b is tile
+// [b, 0], a band-topology concept.
+func (s *Spec) validateBandRef(ctx string) error {
+	if s.Shards <= 1 {
+		return s.errf("%s: band placement requires shards > 1", ctx)
+	}
+	if s.Topology.Grid() {
+		return s.errf("%s: band placement is a band-topology concept; use tile with a grid topology", ctx)
 	}
 	return nil
 }
@@ -483,12 +577,23 @@ func (s *Spec) validateFleet(section string, fleet []FleetGroup, horizonName str
 				return s.errf("%s[%d]: shard %d out of range [0, %d)", section, i, *g.Shard, s.Shards)
 			}
 		}
-		if g.Band != nil {
-			if g.Shard != nil {
-				return s.errf("%s[%d]: shard and band placement are mutually exclusive", section, i)
+		placements := 0
+		for _, set := range []bool{g.Shard != nil, g.Tile != nil, g.Band != nil} {
+			if set {
+				placements++
 			}
-			if s.Shards <= 1 {
-				return s.errf("%s[%d]: band placement requires shards > 1", section, i)
+		}
+		if placements > 1 {
+			return s.errf("%s[%d]: shard, tile, and band placement are mutually exclusive", section, i)
+		}
+		if g.Tile != nil {
+			if err := s.validateTileRef(fmt.Sprintf("%s[%d]", section, i), *g.Tile); err != nil {
+				return err
+			}
+		}
+		if g.Band != nil {
+			if err := s.validateBandRef(fmt.Sprintf("%s[%d]", section, i)); err != nil {
+				return err
 			}
 		}
 	}
@@ -616,8 +721,18 @@ func (s *Spec) validateEvent(i int, e *Event) error {
 		if !workload.Known(e.Behavior) {
 			return s.errf("events[%d] %s: unknown behavior %q", i, e.Kind, e.Behavior)
 		}
-		if e.Band != nil && s.Shards <= 1 {
-			return s.errf("events[%d] %s: band placement requires shards > 1", i, e.Kind)
+		if e.Tile != nil && e.Band != nil {
+			return s.errf("events[%d] %s: tile and band placement are mutually exclusive", i, e.Kind)
+		}
+		if e.Tile != nil {
+			if err := s.validateTileRef(fmt.Sprintf("events[%d] %s", i, e.Kind), *e.Tile); err != nil {
+				return err
+			}
+		}
+		if e.Band != nil {
+			if err := s.validateBandRef(fmt.Sprintf("events[%d] %s", i, e.Kind)); err != nil {
+				return err
+			}
 		}
 	case EvDisconnect:
 		if e.Count <= 0 {
@@ -730,7 +845,7 @@ func (s *Spec) checkStrayEventFields(i int, e *Event) error {
 	c.At, c.Kind = 0, ""
 	switch e.Kind {
 	case EvFlashCrowd:
-		c.Count, c.Behavior, c.Band = 0, "", nil
+		c.Count, c.Behavior, c.Tile, c.Band = 0, "", nil, nil
 	case EvDisconnect:
 		c.Count = 0
 	case EvSpawnSCs:
@@ -755,6 +870,8 @@ func (s *Spec) checkStrayEventFields(i int, e *Event) error {
 		stray = "behavior"
 	case c.Blocks != 0:
 		stray = "blocks"
+	case c.Tile != nil:
+		stray = "tile"
 	case c.Band != nil:
 		stray = "band"
 	case c.Shard != nil:
@@ -799,7 +916,7 @@ func (s *Spec) validateAssertion(i int, a Assertion) error {
 	}
 	if a.From != 0 || a.To != 0 {
 		if !windowableMetrics[a.Metric] {
-			return s.errf("assertions[%d]: metric %q does not support [from, to] windows (tick metrics only)", i, a.Metric)
+			return s.errf("assertions[%d]: metric %q does not support [from, to] windows (tick metrics, load_imbalance, and view_margin only)", i, a.Metric)
 		}
 		if a.To == 0 {
 			return s.errf("assertions[%d]: window has from but no to", i)

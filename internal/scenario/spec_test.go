@@ -99,7 +99,25 @@ func TestParseRejectsInvalidSpecs(t *testing.T) {
 		{"recover_at on wrong kind", minimal(`"events": [{"at": "1s", "kind": "disconnect", "count": 1, "recover_at": "5s"}]`), `field "recover_at" does not apply`},
 		{"shard on wrong kind", minimal(`"events": [{"at": "1s", "kind": "disconnect", "count": 1, "shard": 0}]`), `field "shard" does not apply`},
 		{"control metric without shards", minimal(`"assertions": [{"metric": "bands_moved", "op": ">", "value": 0}]`), "requires shards > 1"},
+		{"tiles metric without shards", minimal(`"assertions": [{"metric": "tiles_moved", "op": ">", "value": 0}]`), "requires shards > 1"},
 		{"windowed imbalance without shards", minimal(`"assertions": [{"metric": "load_imbalance", "op": "<", "value": 2, "from": "1s", "to": "2s"}]`), "requires shards > 1"},
+		{"topology without shards", minimal(`"topology": {"kind": "grid", "tiles_x": 2, "tiles_z": 2}`), "topology requires shards > 1"},
+		{"topology bad kind", minimal(`"shards": 2, "topology": {"kind": "hex"}`), `topology.kind must be "band" or "grid"`},
+		{"grid without dimensions", minimal(`"shards": 2, "topology": {"kind": "grid"}`), "grid topology needs tiles_x and tiles_z"},
+		{"grid dimensions too large", minimal(`"shards": 2, "topology": {"kind": "grid", "tiles_x": 100, "tiles_z": 2}`), "grid topology needs tiles_x and tiles_z in [1, 64]"},
+		{"band with grid dimensions", minimal(`"shards": 2, "topology": {"tiles_x": 2}`), "only apply to the grid kind"},
+		{"bad tile chunks", minimal(`"shards": 2, "topology": {"tile_chunks": 100}`), "tile_chunks must be in [0, 64]"},
+		{"more shards than tiles", minimal(`"shards": 8, "topology": {"kind": "grid", "tiles_x": 2, "tiles_z": 2}`), "more shards than tiles"},
+		{"fleet tile without shards", minimal(`"fleet": [{"count": 1, "tile": [0, 0]}]`), "tile placement requires shards > 1"},
+		{"fleet tile and shard", minimal(`"shards": 2, "fleet": [{"count": 1, "shard": 0, "tile": [0, 0]}]`), "mutually exclusive"},
+		{"fleet tile and band", minimal(`"shards": 2, "fleet": [{"count": 1, "band": 1, "tile": [0, 0]}]`), "mutually exclusive"},
+		{"fleet tile off grid", minimal(`"shards": 2, "topology": {"kind": "grid", "tiles_x": 2, "tiles_z": 2}, "fleet": [{"count": 1, "tile": [2, 0]}]`), "outside the 2x2 grid"},
+		{"fleet band tile off axis", minimal(`"shards": 2, "fleet": [{"count": 1, "tile": [0, 3]}]`), "band-topology tiles lie on z=0"},
+		{"fleet band on grid", minimal(`"shards": 2, "topology": {"kind": "grid", "tiles_x": 2, "tiles_z": 2}, "fleet": [{"count": 1, "band": 0}]`), "band placement is a band-topology concept"},
+		{"crowd tile off grid", minimal(`"shards": 2, "topology": {"kind": "grid", "tiles_x": 2, "tiles_z": 2}, "events": [{"at": "1s", "kind": "flash_crowd", "count": 1, "tile": [0, 5]}]`), "outside the 2x2 grid"},
+		{"crowd tile and band", minimal(`"shards": 2, "events": [{"at": "1s", "kind": "flash_crowd", "count": 1, "tile": [0, 0], "band": 1}]`), "mutually exclusive"},
+		{"tile on wrong kind", minimal(`"events": [{"at": "1s", "kind": "disconnect", "count": 1, "tile": [0, 0]}]`), `field "tile" does not apply`},
+		{"windowed view_margin bad window", minimal(`"assertions": [{"metric": "view_margin", "op": ">", "value": 0, "from": "10s", "to": "5s"}]`), "from 10s must be before to 5s"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -198,6 +216,16 @@ func TestFunctionTargetedWindowsMayOverlapPlatformWindows(t *testing.T) {
 }
 
 func TestShardedSpecAccepted(t *testing.T) {
+	if _, err := Parse([]byte(minimal(`"shards": 3,
+		"topology": {"kind": "grid", "tiles_x": 4, "tiles_z": 4},
+		"fleet": [{"count": 2, "tile": [3, 2]}],
+		"events": [{"at": "1s", "kind": "flash_crowd", "count": 1, "tile": [0, 3]}],
+		"assertions": [
+			{"metric": "tiles_moved", "op": ">=", "value": 0},
+			{"metric": "view_margin", "op": ">", "value": 0, "from": "1s", "to": "10s"}
+		]`))); err != nil {
+		t.Fatalf("grid topology spec rejected: %v", err)
+	}
 	spec, err := Parse([]byte(minimal(`"shards": 4,
 		"backend": {"storage": true},
 		"fleet": [{"count": 2, "shard": 3}],

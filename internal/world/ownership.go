@@ -1,12 +1,12 @@
 // Dynamic region ownership: the control-plane state behind elastic
-// sharding. The static Partition freezes band → shard assignment into the
-// interleave computed at boot; an OwnershipTable turns that assignment
-// into runtime state — band → owning shard, versioned by an epoch
-// counter — so a cluster controller can migrate bands between shards
-// (live rebalancing) and reroute a failed shard's bands to survivors
-// (failover) without rebuilding servers. Shard regions hold a pointer to
-// the shared table (Region.Table), so ownership-gated chunk persistence
-// consults the live assignment on every lookup.
+// sharding. A static topology assignment freezes tile → shard ownership
+// into the split computed at boot; an OwnershipTable turns that
+// assignment into runtime state — tile → owning shard, versioned by an
+// epoch counter — so a cluster controller can migrate tiles between
+// shards (live rebalancing) and reroute a failed shard's tiles to
+// survivors (failover) without rebuilding servers. Shard regions hold a
+// pointer to the shared table (Region.Table), so ownership-gated chunk
+// persistence consults the live assignment on every lookup.
 
 package world
 
@@ -16,101 +16,122 @@ import (
 	"sort"
 )
 
-// OwnershipTable maps region bands to owning shards at runtime. The
-// default assignment is the Partition interleave (floorMod(band, shards));
-// overrides record bands migrated away from their default owner, and dead
-// shards have their bands rerouted deterministically across the survivors.
+// OwnershipTable maps region tiles to owning shards at runtime. The
+// default assignment is DefaultOwner over the topology (the band
+// interleave, or a grid's contiguous space-filling runs); overrides
+// record tiles migrated away from their default owner, and dead shards
+// have their tiles rerouted deterministically across the survivors.
 // Every ownership change bumps the epoch, so observers can detect that
 // routing state moved underneath them.
 //
 // The table is not safe for concurrent use; the virtual clock serialises
 // all access, like the rest of the simulation.
 type OwnershipTable struct {
-	part  Partition
-	epoch uint64
-	// overrides are bands migrated away from the default interleave.
-	overrides map[int]int
-	// dead marks shards whose loops were killed; their bands reroute to
+	topo   Topology
+	shards int
+	epoch  uint64
+	// overrides are tiles migrated away from the default assignment.
+	overrides map[TileID]int
+	// dead marks shards whose loops were killed; their tiles reroute to
 	// the surviving shards until they recover.
 	dead map[int]bool
 }
 
-// NewOwnershipTable returns a table over the given partition geometry with
-// the default interleaved assignment, every shard alive, at epoch 0.
-func NewOwnershipTable(shards, bandChunks int) *OwnershipTable {
+// NewOwnershipTable returns a table splitting topo over the given shard
+// count with the default assignment, every shard alive, at epoch 0. A
+// nil topo means the default band topology.
+func NewOwnershipTable(shards int, topo Topology) *OwnershipTable {
+	if shards < 1 {
+		shards = 1
+	}
+	if topo == nil {
+		topo = BandTopology{}
+	}
 	return &OwnershipTable{
-		part:      Partition{Shards: shards, BandChunks: bandChunks},
-		overrides: make(map[int]int),
+		topo:      topo,
+		shards:    shards,
+		overrides: make(map[TileID]int),
 		dead:      make(map[int]bool),
 	}
 }
 
-// Partition returns the table's static geometry (band width and shard
-// count); ownership itself lives in the table.
-func (t *OwnershipTable) Partition() Partition { return t.part }
+// Topology returns the table's static tiling; ownership itself lives in
+// the table.
+func (t *OwnershipTable) Topology() Topology { return t.topo }
 
 // Shards returns the shard count.
-func (t *OwnershipTable) Shards() int { return t.part.shards() }
+func (t *OwnershipTable) Shards() int { return t.shards }
 
 // Epoch returns the current ownership epoch: it increases on every
 // migration, failover, and recovery.
 func (t *OwnershipTable) Epoch() uint64 { return t.epoch }
 
-// Band returns the band index of a chunk column.
-func (t *OwnershipTable) Band(cp ChunkPos) int { return t.part.Band(cp) }
+// TileOf returns the tile containing the chunk column.
+func (t *OwnershipTable) TileOf(cp ChunkPos) TileID { return t.topo.TileOf(cp) }
 
-// BandOfBlock returns the band index of a block position.
-func (t *OwnershipTable) BandOfBlock(b BlockPos) int { return t.part.Band(b.Chunk()) }
+// Canon returns the canonical spelling of a tile reference: the one
+// TileOf produces. On a grid, out-of-range coordinates wrap onto the
+// tile torus; on bands, the Z coordinate collapses to 0. Owner and
+// SetOwner canonicalise through this, so a caller-supplied alias can
+// never create a phantom override the routing lookups would miss.
+func (t *OwnershipTable) Canon(tile TileID) TileID {
+	return t.topo.TileAt(t.topo.Index(tile))
+}
 
-// Owner returns the shard currently owning the band: the override if one
-// exists, else the default interleave — rerouted deterministically over
-// the surviving shards when the assigned owner is dead, so every observer
-// agrees on the reassignment without coordination.
-func (t *OwnershipTable) Owner(band int) int {
-	o, ok := t.overrides[band]
+// TileOfBlock returns the tile containing the block position.
+func (t *OwnershipTable) TileOfBlock(b BlockPos) TileID { return t.topo.TileOf(b.Chunk()) }
+
+// Owner returns the shard currently owning the tile: the override if one
+// exists, else the topology default — rerouted deterministically over
+// the surviving shards when the assigned owner is dead, so every
+// observer agrees on the reassignment without coordination.
+func (t *OwnershipTable) Owner(tile TileID) int {
+	tile = t.Canon(tile)
+	o, ok := t.overrides[tile]
 	if !ok {
-		o = floorMod(band, t.part.shards())
+		o = DefaultOwner(t.topo, t.shards, tile)
 	}
 	if t.dead[o] {
 		alive := t.AliveShards()
 		if len(alive) > 0 {
-			o = alive[floorMod(band, len(alive))]
+			o = alive[floorMod(t.topo.Index(tile), len(alive))]
 		}
 	}
 	return o
 }
 
 // ShardOf returns the shard owning the chunk column.
-func (t *OwnershipTable) ShardOf(cp ChunkPos) int { return t.Owner(t.part.Band(cp)) }
+func (t *OwnershipTable) ShardOf(cp ChunkPos) int { return t.Owner(t.topo.TileOf(cp)) }
 
 // ShardOfBlock returns the shard owning the block position.
 func (t *OwnershipTable) ShardOfBlock(b BlockPos) int { return t.ShardOf(b.Chunk()) }
 
-// SetOwner migrates a band to the given shard, bumping the epoch. It
-// refuses dead or out-of-range targets and is a no-op (no epoch bump) when
-// the band's effective owner already is the target.
-func (t *OwnershipTable) SetOwner(band, shard int) bool {
-	if shard < 0 || shard >= t.part.shards() || t.dead[shard] {
+// SetOwner migrates a tile to the given shard, bumping the epoch. It
+// refuses dead or out-of-range targets and is a no-op (no epoch bump)
+// when the tile's effective owner already is the target.
+func (t *OwnershipTable) SetOwner(tile TileID, shard int) bool {
+	tile = t.Canon(tile)
+	if shard < 0 || shard >= t.shards || t.dead[shard] {
 		return false
 	}
-	if t.Owner(band) == shard {
+	if t.Owner(tile) == shard {
 		return false
 	}
-	if floorMod(band, t.part.shards()) == shard {
+	if DefaultOwner(t.topo, t.shards, tile) == shard {
 		// Back to its default owner: drop the override instead of pinning.
-		delete(t.overrides, band)
+		delete(t.overrides, tile)
 	} else {
-		t.overrides[band] = shard
+		t.overrides[tile] = shard
 	}
 	t.epoch++
 	return true
 }
 
-// SetDead marks a shard dead (its bands reroute to survivors) or alive
-// again (its bands revert), bumping the epoch on any change. Killing the
+// SetDead marks a shard dead (its tiles reroute to survivors) or alive
+// again (its tiles revert), bumping the epoch on any change. Killing the
 // last alive shard is refused: ownership must always resolve somewhere.
 func (t *OwnershipTable) SetDead(shard int, dead bool) bool {
-	if shard < 0 || shard >= t.part.shards() || t.dead[shard] == dead {
+	if shard < 0 || shard >= t.shards || t.dead[shard] == dead {
 		return false
 	}
 	if dead && len(t.AliveShards()) <= 1 {
@@ -130,8 +151,8 @@ func (t *OwnershipTable) Alive(shard int) bool { return !t.dead[shard] }
 
 // AliveShards returns the alive shard indices in ascending order.
 func (t *OwnershipTable) AliveShards() []int {
-	out := make([]int, 0, t.part.shards())
-	for i := 0; i < t.part.shards(); i++ {
+	out := make([]int, 0, t.shards)
+	for i := 0; i < t.shards; i++ {
 		if !t.dead[i] {
 			out = append(out, i)
 		}
@@ -142,43 +163,70 @@ func (t *OwnershipTable) AliveShards() []int {
 // AliveCount returns the number of alive shards.
 func (t *OwnershipTable) AliveCount() int { return len(t.AliveShards()) }
 
-// BandOverride is one persisted deviation from the default interleave.
-type BandOverride struct {
-	Band, Owner int
+// TileOverride is one persisted deviation from the default assignment.
+type TileOverride struct {
+	Tile  TileID
+	Owner int
 }
 
-// Overrides returns the migrated bands in ascending band order.
-func (t *OwnershipTable) Overrides() []BandOverride {
-	out := make([]BandOverride, 0, len(t.overrides))
-	for b, o := range t.overrides {
-		out = append(out, BandOverride{Band: b, Owner: o})
+// Overrides returns the migrated tiles in ascending (Z, X) order.
+func (t *OwnershipTable) Overrides() []TileOverride {
+	out := make([]TileOverride, 0, len(t.overrides))
+	for tile, o := range t.overrides {
+		out = append(out, TileOverride{Tile: tile, Owner: o})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Band < out[j].Band })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tile.Z != out[j].Tile.Z {
+			return out[i].Tile.Z < out[j].Tile.Z
+		}
+		return out[i].Tile.X < out[j].Tile.X
+	})
 	return out
 }
 
 // View returns shard i's region backed by this live table: Contains
 // lookups follow every later migration and failover.
 func (t *OwnershipTable) View(i int) Region {
-	return Region{Part: t.part, Index: i, Table: t}
+	return Region{Topo: t.topo, Shards: t.shards, Index: i, Table: t}
 }
 
-// ownershipMagic versions the encoding.
-const ownershipMagic = uint32(0x53_56_4f_54) // "SVOT"
+// Encoding magics, versioning the layout. ownershipMagicV1 is the PR 3
+// band-only layout, still decoded so a cluster restarting over a world
+// persisted before the tile rekey resumes its ownership history.
+const (
+	ownershipMagicV1 = uint32(0x53_56_4f_54) // "SVOT"
+	ownershipMagicV2 = uint32(0x53_56_4f_32) // "SVO2"
+)
 
-// Encode serialises the table (geometry, epoch, overrides) for blob-store
-// persistence. Liveness is runtime state, not configuration, and is not
-// encoded: a restarted cluster starts with every shard alive.
+// topology kinds on the wire.
+const (
+	wireKindBand = uint32(0)
+	wireKindGrid = uint32(1)
+)
+
+// Encode serialises the table (topology geometry, shard count, epoch,
+// overrides) for blob-store persistence. Liveness is runtime state, not
+// configuration, and is not encoded: a restarted cluster starts with
+// every shard alive.
 func (t *OwnershipTable) Encode() []byte {
 	ov := t.Overrides()
-	out := make([]byte, 0, 24+12*len(ov))
-	out = binary.LittleEndian.AppendUint32(out, ownershipMagic)
-	out = binary.LittleEndian.AppendUint32(out, uint32(t.part.shards()))
-	out = binary.LittleEndian.AppendUint32(out, uint32(t.part.bandChunks()))
+	spec := t.topo.Spec()
+	kind := wireKindBand
+	if spec.Kind == "grid" {
+		kind = wireKindGrid
+	}
+	out := make([]byte, 0, 36+12*len(ov))
+	out = binary.LittleEndian.AppendUint32(out, ownershipMagicV2)
+	out = binary.LittleEndian.AppendUint32(out, uint32(t.shards))
+	out = binary.LittleEndian.AppendUint32(out, kind)
+	out = binary.LittleEndian.AppendUint32(out, uint32(spec.TileChunks))
+	out = binary.LittleEndian.AppendUint32(out, uint32(spec.TilesX))
+	out = binary.LittleEndian.AppendUint32(out, uint32(spec.TilesZ))
 	out = binary.LittleEndian.AppendUint64(out, t.epoch)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(ov)))
 	for _, e := range ov {
-		out = binary.LittleEndian.AppendUint32(out, uint32(int32(e.Band)))
+		out = binary.LittleEndian.AppendUint32(out, uint32(int32(e.Tile.X)))
+		out = binary.LittleEndian.AppendUint32(out, uint32(int32(e.Tile.Z)))
 		out = binary.LittleEndian.AppendUint32(out, uint32(int32(e.Owner)))
 	}
 	return out
@@ -187,14 +235,30 @@ func (t *OwnershipTable) Encode() []byte {
 // errBadOwnershipTable reports a corrupt persisted ownership table.
 var errBadOwnershipTable = errors.New("world: bad ownership table")
 
-// DecodeOwnershipTable parses an encoded table.
+// DecodeOwnershipTable parses an encoded table (current or PR 3 legacy
+// layout).
 func DecodeOwnershipTable(data []byte) (*OwnershipTable, error) {
-	if len(data) < 24 || binary.LittleEndian.Uint32(data) != ownershipMagic {
+	if len(data) < 4 {
+		return nil, errBadOwnershipTable
+	}
+	switch binary.LittleEndian.Uint32(data) {
+	case ownershipMagicV1:
+		return decodeOwnershipV1(data)
+	case ownershipMagicV2:
+		return decodeOwnershipV2(data)
+	}
+	return nil, errBadOwnershipTable
+}
+
+// decodeOwnershipV1 parses the PR 3 band-only layout: shards, band
+// width, epoch, (band, owner) overrides.
+func decodeOwnershipV1(data []byte) (*OwnershipTable, error) {
+	if len(data) < 24 {
 		return nil, errBadOwnershipTable
 	}
 	shards := int(binary.LittleEndian.Uint32(data[4:]))
 	bandChunks := int(binary.LittleEndian.Uint32(data[8:]))
-	t := NewOwnershipTable(shards, bandChunks)
+	t := NewOwnershipTable(shards, BandTopology{BandChunks: bandChunks})
 	t.epoch = binary.LittleEndian.Uint64(data[12:])
 	n := int(binary.LittleEndian.Uint32(data[20:]))
 	buf := data[24:]
@@ -204,28 +268,72 @@ func DecodeOwnershipTable(data []byte) (*OwnershipTable, error) {
 	for i := 0; i < n; i++ {
 		band := int(int32(binary.LittleEndian.Uint32(buf)))
 		owner := int(int32(binary.LittleEndian.Uint32(buf[4:])))
-		if owner < 0 || owner >= t.part.shards() {
+		if owner < 0 || owner >= t.shards {
 			return nil, errBadOwnershipTable
 		}
-		t.overrides[band] = owner
+		t.overrides[TileID{X: band}] = owner
 		buf = buf[8:]
 	}
 	return t, nil
 }
 
-// Adopt merges a persisted table into this one: overrides and epoch carry
-// over when the geometry matches and the persisted epoch is newer (a
-// cluster restarting over an existing world resumes its ownership history
-// instead of resetting it). Liveness is never adopted. Reports whether
-// anything changed.
+func decodeOwnershipV2(data []byte) (*OwnershipTable, error) {
+	if len(data) < 36 {
+		return nil, errBadOwnershipTable
+	}
+	shards := int(binary.LittleEndian.Uint32(data[4:]))
+	spec := TopologySpec{
+		TileChunks: int(binary.LittleEndian.Uint32(data[12:])),
+		TilesX:     int(binary.LittleEndian.Uint32(data[16:])),
+		TilesZ:     int(binary.LittleEndian.Uint32(data[20:])),
+	}
+	switch binary.LittleEndian.Uint32(data[8:]) {
+	case wireKindBand:
+		spec.Kind = "band"
+	case wireKindGrid:
+		spec.Kind = "grid"
+	default:
+		return nil, errBadOwnershipTable
+	}
+	topo, err := spec.Build()
+	if err != nil {
+		return nil, errBadOwnershipTable
+	}
+	t := NewOwnershipTable(shards, topo)
+	t.epoch = binary.LittleEndian.Uint64(data[24:])
+	n := int(binary.LittleEndian.Uint32(data[32:]))
+	buf := data[36:]
+	if len(buf) < 12*n {
+		return nil, errBadOwnershipTable
+	}
+	for i := 0; i < n; i++ {
+		tile := TileID{
+			X: int(int32(binary.LittleEndian.Uint32(buf))),
+			Z: int(int32(binary.LittleEndian.Uint32(buf[4:]))),
+		}
+		owner := int(int32(binary.LittleEndian.Uint32(buf[8:])))
+		if owner < 0 || owner >= t.shards {
+			return nil, errBadOwnershipTable
+		}
+		t.overrides[tile] = owner
+		buf = buf[12:]
+	}
+	return t, nil
+}
+
+// Adopt merges a persisted table into this one: overrides and epoch
+// carry over when the geometry (topology spec and shard count) matches
+// and the persisted epoch is newer (a cluster restarting over an
+// existing world resumes its ownership history instead of resetting it).
+// Liveness is never adopted. Reports whether anything changed.
 func (t *OwnershipTable) Adopt(dec *OwnershipTable) bool {
-	if dec == nil || dec.part.shards() != t.part.shards() ||
-		dec.part.bandChunks() != t.part.bandChunks() || dec.epoch <= t.epoch {
+	if dec == nil || dec.shards != t.shards ||
+		dec.topo.Spec() != t.topo.Spec() || dec.epoch <= t.epoch {
 		return false
 	}
-	t.overrides = make(map[int]int, len(dec.overrides))
-	for b, o := range dec.overrides {
-		t.overrides[b] = o
+	t.overrides = make(map[TileID]int, len(dec.overrides))
+	for tile, o := range dec.overrides {
+		t.overrides[tile] = o
 	}
 	t.epoch = dec.epoch
 	return true

@@ -1,41 +1,51 @@
 package world
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+)
 
-func TestOwnershipDefaultsMatchPartition(t *testing.T) {
-	tab := NewOwnershipTable(3, 4)
-	part := Partition{Shards: 3, BandChunks: 4}
-	for x := -40; x <= 40; x++ {
-		cp := ChunkPos{X: x}
-		if got, want := tab.ShardOf(cp), part.ShardOf(cp); got != want {
-			t.Fatalf("fresh table disagrees with partition at %v: %d vs %d", cp, got, want)
+func TestOwnershipDefaultsMatchTopology(t *testing.T) {
+	for _, topo := range []Topology{
+		BandTopology{BandChunks: 4},
+		GridTopology{TilesX: 4, TilesZ: 4, TileChunks: 4},
+	} {
+		tab := NewOwnershipTable(3, topo)
+		for x := -40; x <= 40; x += 3 {
+			for z := -40; z <= 40; z += 5 {
+				cp := ChunkPos{X: x, Z: z}
+				if got, want := tab.ShardOf(cp), DefaultOwner(topo, 3, topo.TileOf(cp)); got != want {
+					t.Fatalf("%v: fresh table disagrees with topology at %v: %d vs %d", topo, cp, got, want)
+				}
+			}
 		}
-	}
-	if tab.Epoch() != 0 {
-		t.Fatalf("fresh table epoch = %d, want 0", tab.Epoch())
+		if tab.Epoch() != 0 {
+			t.Fatalf("fresh table epoch = %d, want 0", tab.Epoch())
+		}
 	}
 }
 
 func TestOwnershipSetOwnerBumpsEpoch(t *testing.T) {
-	tab := NewOwnershipTable(2, 4)
-	if !tab.SetOwner(2, 1) {
-		t.Fatal("SetOwner(2, 1) refused")
+	tab := NewOwnershipTable(2, BandTopology{BandChunks: 4})
+	tile := TileID{X: 2}
+	if !tab.SetOwner(tile, 1) {
+		t.Fatal("SetOwner(tile 2, 1) refused")
 	}
 	if tab.Epoch() != 1 {
 		t.Fatalf("epoch = %d after one migration, want 1", tab.Epoch())
 	}
-	if got := tab.Owner(2); got != 1 {
-		t.Fatalf("band 2 owner = %d, want 1", got)
+	if got := tab.Owner(tile); got != 1 {
+		t.Fatalf("tile 2 owner = %d, want 1", got)
 	}
 	// No-op: already owned by 1.
-	if tab.SetOwner(2, 1) {
+	if tab.SetOwner(tile, 1) {
 		t.Fatal("re-assigning to the current owner must be a no-op")
 	}
 	if tab.Epoch() != 1 {
 		t.Fatalf("no-op bumped the epoch to %d", tab.Epoch())
 	}
-	// Back to the default interleave drops the override.
-	if !tab.SetOwner(2, 0) {
+	// Back to the default assignment drops the override.
+	if !tab.SetOwner(tile, 0) {
 		t.Fatal("migrating back refused")
 	}
 	if len(tab.Overrides()) != 0 {
@@ -46,97 +56,272 @@ func TestOwnershipSetOwnerBumpsEpoch(t *testing.T) {
 	}
 }
 
+// TestOwnershipDeadShardReroutesDeterministically pins the failover
+// reassignment across topologies: every tile of a dead shard resolves to
+// some survivor, identically on every evaluation (no hidden state), and
+// revival reverts the reroute exactly.
 func TestOwnershipDeadShardReroutesDeterministically(t *testing.T) {
-	tab := NewOwnershipTable(3, 4)
-	if !tab.SetDead(1, true) {
-		t.Fatal("SetDead refused")
+	topos := []Topology{
+		BandTopology{BandChunks: 4},
+		GridTopology{TilesX: 4, TilesZ: 4, TileChunks: 4},
+		GridTopology{TilesX: 3, TilesZ: 5, TileChunks: 2},
 	}
-	for band := -20; band <= 20; band++ {
-		o := tab.Owner(band)
-		if o == 1 {
-			t.Fatalf("band %d still routed to the dead shard", band)
+	for _, topo := range topos {
+		tab := NewOwnershipTable(3, topo)
+		if !tab.SetDead(1, true) {
+			t.Fatalf("%v: SetDead refused", topo)
 		}
-		if o != tab.Owner(band) {
-			t.Fatalf("band %d reroute is unstable", band)
+		// A second table with the same kill must agree on every tile: the
+		// reroute is a pure function of (topology, liveness), so every
+		// shard resolves ownership identically without coordination.
+		tab2 := NewOwnershipTable(3, topo)
+		tab2.SetDead(1, true)
+		probe := func(tile TileID) {
+			o := tab.Owner(tile)
+			if o == 1 {
+				t.Fatalf("%v: tile %v still routed to the dead shard", topo, tile)
+			}
+			if o != tab.Owner(tile) || o != tab2.Owner(tile) {
+				t.Fatalf("%v: tile %v reroute is unstable", topo, tile)
+			}
 		}
-	}
-	// Revival reverts the reroute exactly.
-	if !tab.SetDead(1, false) {
-		t.Fatal("revive refused")
-	}
-	part := Partition{Shards: 3, BandChunks: 4}
-	for x := -40; x <= 40; x++ {
-		cp := ChunkPos{X: x}
-		if got, want := tab.ShardOf(cp), part.ShardOf(cp); got != want {
-			t.Fatalf("post-revival ownership differs at %v: %d vs %d", cp, got, want)
+		if n := topo.Tiles(); n > 0 {
+			for i := 0; i < n; i++ {
+				probe(topo.TileAt(i))
+			}
+		} else {
+			for b := -20; b <= 20; b++ {
+				probe(TileID{X: b})
+			}
+		}
+		// Revival reverts the reroute exactly.
+		if !tab.SetDead(1, false) {
+			t.Fatalf("%v: revive refused", topo)
+		}
+		for x := -40; x <= 40; x += 3 {
+			cp := ChunkPos{X: x, Z: -x}
+			if got, want := tab.ShardOf(cp), DefaultOwner(topo, 3, topo.TileOf(cp)); got != want {
+				t.Fatalf("%v: post-revival ownership differs at %v: %d vs %d", topo, cp, got, want)
+			}
 		}
 	}
 }
 
+// TestOwnershipCanonicalisesTileAliases is the phantom-override
+// regression: a caller-supplied out-of-range grid tile (or an off-axis
+// band tile) must resolve to the same override slot the routing lookups
+// key on, never to a shadow entry that bumps the epoch without changing
+// any chunk's owner.
+func TestOwnershipCanonicalisesTileAliases(t *testing.T) {
+	tab := NewOwnershipTable(4, GridTopology{TilesX: 4, TilesZ: 4, TileChunks: 4})
+	alias := TileID{X: 5, Z: -4} // canonical form: (1, 0)
+	if got := tab.Canon(alias); got != (TileID{X: 1, Z: 0}) {
+		t.Fatalf("Canon(%v) = %v, want tile(1,0)", alias, got)
+	}
+	if !tab.SetOwner(alias, 3) {
+		t.Fatal("SetOwner via alias refused")
+	}
+	// The migration is visible through the canonical key and through the
+	// chunk lookup, not parked under a phantom entry.
+	if got := tab.Owner(TileID{X: 1, Z: 0}); got != 3 {
+		t.Fatalf("canonical tile owner = %d, want 3", got)
+	}
+	if got := tab.ShardOf(ChunkPos{X: 5, Z: 1}); got != 3 { // chunk in tile (1,0)
+		t.Fatalf("chunk in the migrated tile routed to %d, want 3", got)
+	}
+	if ov := tab.Overrides(); len(ov) != 1 || ov[0].Tile != (TileID{X: 1, Z: 0}) {
+		t.Fatalf("override stored under a non-canonical key: %v", ov)
+	}
+	// Re-assigning through another alias of the same tile is a no-op.
+	if tab.SetOwner(TileID{X: -3, Z: 4}, 3) {
+		t.Fatal("aliased re-assignment must be a no-op")
+	}
+	// Bands collapse the Z coordinate.
+	band := NewOwnershipTable(2, BandTopology{BandChunks: 4})
+	band.SetOwner(TileID{X: 2, Z: 7}, 1)
+	if got := band.Owner(TileID{X: 2}); got != 1 {
+		t.Fatalf("band tile owner = %d, want 1", got)
+	}
+}
+
 func TestOwnershipRefusesKillingLastShard(t *testing.T) {
-	tab := NewOwnershipTable(2, 4)
+	tab := NewOwnershipTable(2, nil)
 	if !tab.SetDead(0, true) {
 		t.Fatal("first kill refused")
 	}
 	if tab.SetDead(1, true) {
 		t.Fatal("killing the last alive shard must be refused")
 	}
-	if tab.SetOwner(3, 0) {
-		t.Fatal("migrating a band to a dead shard must be refused")
+	if tab.SetOwner(TileID{X: 3}, 0) {
+		t.Fatal("migrating a tile to a dead shard must be refused")
 	}
 }
 
-func TestOwnershipEncodeDecodeAdopt(t *testing.T) {
-	tab := NewOwnershipTable(4, 8)
-	tab.SetOwner(-3, 2)
-	tab.SetOwner(5, 0)
-	tab.SetDead(3, true) // liveness must not be encoded
+// TestOwnershipEncodeDecodeRoundTripProperty drives random topologies,
+// migrations, and kills through the codec: every decoded table must
+// reproduce the source's epoch, overrides, and per-tile owners exactly,
+// and liveness must never survive the encoding.
+func TestOwnershipEncodeDecodeRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		var topo Topology
+		if rng.Intn(2) == 0 {
+			topo = BandTopology{BandChunks: 1 + rng.Intn(12)}
+		} else {
+			topo = GridTopology{
+				TilesX:     1 + rng.Intn(6),
+				TilesZ:     1 + rng.Intn(6),
+				TileChunks: 1 + rng.Intn(8),
+			}
+		}
+		shards := 2 + rng.Intn(5)
+		tab := NewOwnershipTable(shards, topo)
+		randomTile := func() TileID {
+			if n := topo.Tiles(); n > 0 {
+				return topo.TileAt(rng.Intn(n))
+			}
+			return TileID{X: rng.Intn(41) - 20}
+		}
+		for i := rng.Intn(10); i > 0; i-- {
+			tab.SetOwner(randomTile(), rng.Intn(shards))
+		}
+		if rng.Intn(3) == 0 {
+			tab.SetDead(rng.Intn(shards), true) // must not be encoded
+		}
 
-	dec, err := DecodeOwnershipTable(tab.Encode())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if dec.Epoch() != tab.Epoch() {
-		t.Fatalf("epoch: %d vs %d", dec.Epoch(), tab.Epoch())
-	}
-	if got, want := len(dec.Overrides()), len(tab.Overrides()); got != want {
-		t.Fatalf("overrides: %d vs %d", got, want)
-	}
-	if !dec.Alive(3) {
-		t.Fatal("liveness leaked through the encoding")
-	}
-	for _, ov := range tab.Overrides() {
-		if dec.Owner(ov.Band) != ov.Owner {
-			t.Fatalf("band %d owner: %d vs %d", ov.Band, dec.Owner(ov.Band), ov.Owner)
+		dec, err := DecodeOwnershipTable(tab.Encode())
+		if err != nil {
+			t.Fatalf("trial %d (%v): %v", trial, topo, err)
+		}
+		if dec.Epoch() != tab.Epoch() || dec.Shards() != tab.Shards() {
+			t.Fatalf("trial %d: epoch/shards changed: %d/%d vs %d/%d",
+				trial, dec.Epoch(), dec.Shards(), tab.Epoch(), tab.Shards())
+		}
+		if dec.Topology().Spec() != topo.Spec() {
+			t.Fatalf("trial %d: topology changed: %+v vs %+v", trial, dec.Topology().Spec(), topo.Spec())
+		}
+		if got, want := len(dec.Overrides()), len(tab.Overrides()); got != want {
+			t.Fatalf("trial %d: override count %d vs %d", trial, got, want)
+		}
+		for s := 0; s < shards; s++ {
+			if !dec.Alive(s) {
+				t.Fatalf("trial %d: liveness leaked through the encoding", trial)
+			}
+		}
+		// Owners agree tile by tile — compare with liveness cleared on the
+		// source, since the reroute is runtime state.
+		for s := 0; s < shards; s++ {
+			tab.SetDead(s, false)
+		}
+		for probe := 0; probe < 32; probe++ {
+			tile := randomTile()
+			if dec.Owner(tile) != tab.Owner(tile) {
+				t.Fatalf("trial %d: tile %v owner %d vs %d", trial, tile, dec.Owner(tile), tab.Owner(tile))
+			}
 		}
 	}
-
-	fresh := NewOwnershipTable(4, 8)
-	if !fresh.Adopt(dec) {
-		t.Fatal("Adopt refused a newer matching table")
-	}
-	if fresh.Owner(-3) != 2 || fresh.Epoch() != tab.Epoch() {
-		t.Fatal("Adopt did not carry the overrides/epoch")
-	}
-	// Mismatched geometry is never adopted.
-	other := NewOwnershipTable(2, 8)
-	if other.Adopt(dec) {
-		t.Fatal("Adopt accepted a table with different geometry")
-	}
-
 	if _, err := DecodeOwnershipTable([]byte("junk")); err == nil {
 		t.Fatal("junk decoded")
 	}
 }
 
+// TestOwnershipAdoptEpochSkew pins the restart contract: a persisted
+// table is adopted only when strictly newer and geometrically identical,
+// so a stale or foreign snapshot can never roll live ownership back.
+func TestOwnershipAdoptEpochSkew(t *testing.T) {
+	topo := GridTopology{TilesX: 4, TilesZ: 4}
+	old := NewOwnershipTable(4, topo)
+	old.SetOwner(TileID{X: 1, Z: 0}, 3) // epoch 1
+
+	live := NewOwnershipTable(4, topo)
+	live.SetOwner(TileID{X: 2, Z: 2}, 0)
+	live.SetOwner(TileID{X: 2, Z: 2}, 1) // epoch 2: ahead of the snapshot
+
+	if live.Adopt(old) {
+		t.Fatal("Adopt accepted a stale (older-epoch) table")
+	}
+	if live.Owner(TileID{X: 1, Z: 0}) == 3 {
+		t.Fatal("stale adoption leaked an override")
+	}
+	// Equal epochs are also refused (no change to adopt).
+	same, _ := DecodeOwnershipTable(live.Encode())
+	if live.Adopt(same) {
+		t.Fatal("Adopt accepted an equal-epoch table")
+	}
+	// A strictly newer snapshot wins and replaces the override set.
+	newer := NewOwnershipTable(4, topo)
+	for i := 0; i < 3; i++ {
+		newer.SetOwner(TileID{X: 3, Z: 3}, i) // epoch 3
+	}
+	if !live.Adopt(newer) {
+		t.Fatal("Adopt refused a newer matching table")
+	}
+	if live.Epoch() != newer.Epoch() || live.Owner(TileID{X: 3, Z: 3}) != 2 {
+		t.Fatal("Adopt did not carry the newer overrides/epoch")
+	}
+	if live.Owner(TileID{X: 2, Z: 2}) == 1 {
+		t.Fatal("Adopt kept a replaced override")
+	}
+	// Mismatched geometry is never adopted, whatever the epoch.
+	foreign := NewOwnershipTable(4, GridTopology{TilesX: 2, TilesZ: 8})
+	for i := 0; i < 8; i++ {
+		foreign.SetOwner(TileID{X: 0, Z: i%2 + 1}, i%4)
+	}
+	if live.Adopt(foreign) {
+		t.Fatal("Adopt accepted a table with different geometry")
+	}
+	bandTab := NewOwnershipTable(4, nil)
+	bandTab.epoch = 99
+	if live.Adopt(bandTab) {
+		t.Fatal("Adopt accepted a table with a different topology kind")
+	}
+}
+
+func TestOwnershipDecodeLegacyBandLayout(t *testing.T) {
+	// A PR 3 cluster persisted band tables under the "SVOT" magic; a
+	// restarted band cluster must still resume that history.
+	legacy := NewOwnershipTable(4, BandTopology{BandChunks: 8})
+	legacy.SetOwner(TileID{X: -3}, 2)
+	legacy.SetOwner(TileID{X: 5}, 0)
+	dec, err := DecodeOwnershipTable(encodeLegacyV1(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Epoch() != legacy.Epoch() || dec.Owner(TileID{X: -3}) != 2 || dec.Owner(TileID{X: 5}) != 0 {
+		t.Fatal("legacy decode lost state")
+	}
+	live := NewOwnershipTable(4, BandTopology{BandChunks: 8})
+	if !live.Adopt(dec) {
+		t.Fatal("a live band table refused the legacy snapshot")
+	}
+}
+
+// encodeLegacyV1 renders the PR 3 wire layout for the legacy-decode test.
+func encodeLegacyV1(t *OwnershipTable) []byte {
+	ov := t.Overrides()
+	out := make([]byte, 0, 24+8*len(ov))
+	le := func(v uint32) { out = append(out, byte(v), byte(v>>8), byte(v>>16), byte(v>>24)) }
+	le(ownershipMagicV1)
+	le(uint32(t.Shards()))
+	le(uint32(t.Topology().Spec().TileChunks))
+	le(uint32(t.Epoch()))
+	le(uint32(t.Epoch() >> 32))
+	le(uint32(len(ov)))
+	for _, e := range ov {
+		le(uint32(int32(e.Tile.X)))
+		le(uint32(int32(e.Owner)))
+	}
+	return out
+}
+
 func TestRegionViewFollowsLiveTable(t *testing.T) {
-	tab := NewOwnershipTable(2, 4)
+	tab := NewOwnershipTable(2, BandTopology{BandChunks: 4})
 	r0, r1 := tab.View(0), tab.View(1)
-	cp := ChunkPos{X: 9} // band 2, default owner shard 0
+	cp := ChunkPos{X: 9} // tile 2, default owner shard 0
 	if !r0.Contains(cp) || r1.Contains(cp) {
 		t.Fatal("initial ownership wrong")
 	}
-	tab.SetOwner(2, 1)
+	tab.SetOwner(TileID{X: 2}, 1)
 	if r0.Contains(cp) || !r1.Contains(cp) {
 		t.Fatal("region views did not follow the migration")
 	}

@@ -2,81 +2,25 @@ package world
 
 import "fmt"
 
-// DefaultBandChunks is the default width of one region band in chunk
-// columns (128 blocks): wide enough that bounded-area players rarely leave
-// their band, narrow enough that a handful of bands cover the spawn
-// neighbourhood of a small cluster.
+// DefaultBandChunks is the default tile side (band width) in chunk
+// columns (128 blocks): wide enough that bounded-area players rarely
+// leave their tile, narrow enough that a handful of tiles cover the
+// spawn neighbourhood of a small cluster.
 const DefaultBandChunks = 8
 
-// Partition maps the infinite chunk grid onto N shards. The grid is cut
-// into contiguous bands of BandChunks chunk columns along the X axis, and
-// band b is owned by shard floorMod(b, Shards): a trivial chunk-space hash
-// that keeps each band contiguous (players cross shard boundaries only at
-// band edges) while interleaving bands so every shard owns terrain near
-// spawn.
-//
-// The zero value is the trivial partition: one shard owning everything.
-type Partition struct {
-	// Shards is the number of shards; values < 1 mean 1.
-	Shards int
-	// BandChunks is the band width in chunk columns; values < 1 mean
-	// DefaultBandChunks.
-	BandChunks int
-}
-
-// shards returns the effective shard count.
-func (p Partition) shards() int {
-	if p.Shards < 1 {
-		return 1
-	}
-	return p.Shards
-}
-
-// bandChunks returns the effective band width.
-func (p Partition) bandChunks() int {
-	if p.BandChunks < 1 {
-		return DefaultBandChunks
-	}
-	return p.BandChunks
-}
-
-// Band returns the band index of a chunk column.
-func (p Partition) Band(cp ChunkPos) int { return floorDiv(cp.X, p.bandChunks()) }
-
-// ShardOf returns the shard owning the chunk column.
-func (p Partition) ShardOf(cp ChunkPos) int {
-	return floorMod(p.Band(cp), p.shards())
-}
-
-// ShardOfBlock returns the shard owning the block position.
-func (p Partition) ShardOfBlock(b BlockPos) int { return p.ShardOf(b.Chunk()) }
-
-// Region returns shard i's region.
-func (p Partition) Region(i int) Region { return Region{Part: p, Index: i} }
-
-// HomeBlock returns a block position inside shard i's region close to
-// spawn: the center of band i (the shard's nearest band to the origin).
-// Shard-aware fleet placement admits players here so a fresh cluster
-// starts with per-shard load instead of piling everyone onto the shard
-// that owns spawn.
-func (p Partition) HomeBlock(i int) BlockPos { return p.BandCenter(i) }
-
-// BandCenter returns the block position at the center of a band (band-
-// targeted fleet placement, e.g. to build a hotspot inside one shard's
-// territory).
-func (p Partition) BandCenter(band int) BlockPos {
-	w := p.bandChunks() * ChunkSizeX
-	return BlockPos{X: band*w + w/2, Y: 0, Z: 0}
-}
-
-// Region is the set of chunk columns one shard owns. The zero value (the
-// zero Partition's shard 0) contains every chunk, which is what an
-// unsharded server uses.
+// Region is the set of chunk columns one shard owns under a topology.
+// The zero value contains every chunk, which is what an unsharded
+// server uses.
 type Region struct {
-	Part  Partition
+	// Topo is the tiling; nil means the trivial one-tile topology.
+	Topo Topology
+	// Shards is the shard count the static assignment splits tiles over;
+	// values < 2 make the region own everything (single shard).
+	Shards int
+	// Index is the owning shard this region describes.
 	Index int
 	// Table, when non-nil, makes ownership dynamic: Contains consults the
-	// live band → shard assignment instead of the static interleave, so a
+	// live tile → shard assignment instead of the static default, so a
 	// migration or failover re-gates chunk persistence on every shard the
 	// moment the table's epoch advances, without rebuilding servers.
 	Table *OwnershipTable
@@ -87,7 +31,10 @@ func (r Region) Contains(cp ChunkPos) bool {
 	if r.Table != nil {
 		return r.Table.ShardOf(cp) == r.Index
 	}
-	return r.Part.ShardOf(cp) == r.Index
+	if r.Shards < 2 || r.Topo == nil {
+		return r.Index == 0
+	}
+	return DefaultOwner(r.Topo, r.Shards, r.Topo.TileOf(cp)) == r.Index
 }
 
 // ContainsBlock reports whether the region owns the block position.
@@ -98,7 +45,7 @@ func (r Region) All() bool {
 	if r.Table != nil {
 		return r.Table.Shards() == 1
 	}
-	return r.Part.shards() == 1
+	return r.Shards < 2 || r.Topo == nil
 }
 
 // String implements fmt.Stringer.
@@ -106,5 +53,17 @@ func (r Region) String() string {
 	if r.All() {
 		return "region(all)"
 	}
-	return fmt.Sprintf("region(%d/%d, band=%d chunks)", r.Index, r.Part.shards(), r.Part.bandChunks())
+	shards := r.Shards
+	topo := r.Topo
+	if r.Table != nil {
+		shards = r.Table.Shards()
+		topo = r.Table.Topology()
+	}
+	return fmt.Sprintf("region(%d/%d, %v)", r.Index, shards, topo)
+}
+
+// StaticRegion returns shard i's region under the topology's default
+// assignment (no ownership table: boot-time sharding, frozen).
+func StaticRegion(topo Topology, shards, i int) Region {
+	return Region{Topo: topo, Shards: shards, Index: i}
 }

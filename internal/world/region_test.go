@@ -2,7 +2,7 @@ package world
 
 import "testing"
 
-func TestPartitionZeroValueOwnsEverything(t *testing.T) {
+func TestRegionZeroValueOwnsEverything(t *testing.T) {
 	r := Region{}
 	for _, cp := range []ChunkPos{{0, 0}, {-1000, 3}, {999, -999}} {
 		if !r.Contains(cp) {
@@ -14,60 +14,49 @@ func TestPartitionZeroValueOwnsEverything(t *testing.T) {
 	}
 }
 
-func TestPartitionBands(t *testing.T) {
-	p := Partition{Shards: 4, BandChunks: 8}
-	// Band 0 covers chunks [0, 8): shard 0. Band 1: shard 1. Band -1
-	// (chunks [-8, 0)): shard 3.
-	cases := []struct {
-		cp   ChunkPos
-		want int
-	}{
-		{ChunkPos{0, 0}, 0},
-		{ChunkPos{7, 50}, 0},
-		{ChunkPos{8, 0}, 1},
-		{ChunkPos{16, 0}, 2},
-		{ChunkPos{24, 0}, 3},
-		{ChunkPos{32, 0}, 0},
-		{ChunkPos{-1, 0}, 3},
-		{ChunkPos{-8, 0}, 3},
-		{ChunkPos{-9, 0}, 2},
+func TestStaticRegionsDisjointAndComplete(t *testing.T) {
+	topos := []Topology{
+		BandTopology{BandChunks: 4},
+		GridTopology{TilesX: 3, TilesZ: 2, TileChunks: 4},
 	}
-	for _, c := range cases {
-		if got := p.ShardOf(c.cp); got != c.want {
-			t.Errorf("ShardOf(%v) = %d, want %d", c.cp, got, c.want)
+	for _, topo := range topos {
+		shards := 3
+		for x := -40; x <= 40; x += 3 {
+			for z := -40; z <= 40; z += 3 {
+				cp := ChunkPos{X: x, Z: z}
+				owners := 0
+				for i := 0; i < shards; i++ {
+					if StaticRegion(topo, shards, i).Contains(cp) {
+						owners++
+					}
+				}
+				if owners != 1 {
+					t.Fatalf("%v: chunk %v owned by %d shards, want exactly 1", topo, cp, owners)
+				}
+			}
 		}
 	}
-	// Z never matters: bands run along X only.
+}
+
+func TestBandRegionIgnoresZ(t *testing.T) {
+	topo := BandTopology{BandChunks: 8}
+	r := StaticRegion(topo, 4, 1)
 	for z := -100; z <= 100; z += 50 {
-		if got := p.ShardOf(ChunkPos{X: 9, Z: z}); got != 1 {
-			t.Errorf("ShardOf(9,%d) = %d, want 1", z, got)
+		if !r.Contains(ChunkPos{X: 9, Z: z}) {
+			t.Errorf("band region must own chunk (9,%d) regardless of Z", z)
 		}
 	}
 }
 
-func TestPartitionRegionsDisjointAndComplete(t *testing.T) {
-	p := Partition{Shards: 3, BandChunks: 4}
-	for x := -40; x <= 40; x++ {
-		owners := 0
-		for i := 0; i < p.Shards; i++ {
-			if p.Region(i).Contains(ChunkPos{X: x, Z: 7}) {
-				owners++
-			}
-		}
-		if owners != 1 {
-			t.Fatalf("chunk x=%d owned by %d shards, want exactly 1", x, owners)
-		}
+func TestGridRegionSplitsZAxis(t *testing.T) {
+	// The motivating case for the tile rekey: a column of chunks spread
+	// along Z must NOT all land on one shard under a grid topology.
+	topo := GridTopology{TilesX: 4, TilesZ: 4, TileChunks: 4}
+	owners := make(map[int]bool)
+	for cz := 0; cz < 16; cz++ {
+		owners[DefaultOwner(topo, 4, topo.TileOf(ChunkPos{X: 0, Z: cz}))] = true
 	}
-}
-
-func TestHomeBlockInOwnRegion(t *testing.T) {
-	for _, shards := range []int{1, 2, 4, 7} {
-		p := Partition{Shards: shards, BandChunks: 8}
-		for i := 0; i < shards; i++ {
-			home := p.HomeBlock(i)
-			if got := p.ShardOfBlock(home); got != i {
-				t.Errorf("shards=%d: HomeBlock(%d)=%v maps to shard %d", shards, i, home, got)
-			}
-		}
+	if len(owners) < 2 {
+		t.Fatalf("a Z-axis chunk column maps to %d shard(s), want several", len(owners))
 	}
 }

@@ -1,0 +1,217 @@
+package world
+
+import "testing"
+
+func TestBandTopologyMatchesLegacyBands(t *testing.T) {
+	topo := BandTopology{BandChunks: 8}
+	// Band 0 covers chunks [0, 8); band -1 covers [-8, 0).
+	cases := []struct {
+		cp   ChunkPos
+		want TileID
+	}{
+		{ChunkPos{0, 0}, TileID{X: 0}},
+		{ChunkPos{7, 50}, TileID{X: 0}},
+		{ChunkPos{8, 0}, TileID{X: 1}},
+		{ChunkPos{-1, 0}, TileID{X: -1}},
+		{ChunkPos{-8, 0}, TileID{X: -1}},
+		{ChunkPos{-9, 0}, TileID{X: -2}},
+	}
+	for _, c := range cases {
+		if got := topo.TileOf(c.cp); got != c.want {
+			t.Errorf("TileOf(%v) = %v, want %v", c.cp, got, c.want)
+		}
+	}
+	// Z never matters: bands run along X only.
+	for z := -100; z <= 100; z += 50 {
+		if got := topo.TileOf(ChunkPos{X: 9, Z: z}); got != (TileID{X: 1}) {
+			t.Errorf("TileOf(9,%d) = %v, want tile(1,0)", z, got)
+		}
+	}
+	if topo.Tiles() != 0 {
+		t.Errorf("band topology must be unbounded, Tiles() = %d", topo.Tiles())
+	}
+	// PR 3's BandCenter: band 2 of 8-chunk bands centers at x = 2*128+64.
+	if got := topo.Center(TileID{X: 2}); got != (BlockPos{X: 320}) {
+		t.Errorf("Center(band 2) = %v, want (320,0,0)", got)
+	}
+	for i := -5; i <= 5; i++ {
+		tile := TileID{X: i}
+		if topo.Index(tile) != i || topo.TileAt(i) != tile {
+			t.Errorf("band Index/TileAt not inverse at %d", i)
+		}
+		if got := topo.TileOf(topo.Center(tile).Chunk()); got != tile {
+			t.Errorf("Center(%v) lies in %v", tile, got)
+		}
+	}
+	if n := topo.Neighbors(TileID{X: 3}); len(n) != 2 || n[0] != (TileID{X: 2}) || n[1] != (TileID{X: 4}) {
+		t.Errorf("band Neighbors(3) = %v", n)
+	}
+}
+
+func TestGridTopologyTilingCompleteAndWrapped(t *testing.T) {
+	topo := GridTopology{TilesX: 4, TilesZ: 3, TileChunks: 4}
+	span := 4 // chunks per tile side
+	for cx := -40; cx <= 40; cx++ {
+		for cz := -40; cz <= 40; cz++ {
+			tile := topo.TileOf(ChunkPos{X: cx, Z: cz})
+			if tile.X < 0 || tile.X >= 4 || tile.Z < 0 || tile.Z >= 3 {
+				t.Fatalf("TileOf(%d,%d) = %v outside the grid", cx, cz, tile)
+			}
+			// Periodicity: shifting by a full grid span changes nothing.
+			wrapped := topo.TileOf(ChunkPos{X: cx + 4*span, Z: cz - 3*span})
+			if wrapped != tile {
+				t.Fatalf("tiling not periodic at (%d,%d): %v vs %v", cx, cz, tile, wrapped)
+			}
+		}
+	}
+	if topo.Tiles() != 12 {
+		t.Fatalf("Tiles() = %d, want 12", topo.Tiles())
+	}
+	for _, tile := range []TileID{{0, 0}, {3, 0}, {1, 2}} {
+		if got := topo.TileOf(topo.Center(tile).Chunk()); got != tile {
+			t.Errorf("Center(%v) lies in %v", tile, got)
+		}
+	}
+}
+
+func TestGridSerpentineIndexIsSpaceFilling(t *testing.T) {
+	topo := GridTopology{TilesX: 4, TilesZ: 4}
+	seen := make(map[TileID]bool)
+	for i := 0; i < topo.Tiles(); i++ {
+		tile := topo.TileAt(i)
+		if seen[tile] {
+			t.Fatalf("TileAt(%d) = %v repeats", i, tile)
+		}
+		seen[tile] = true
+		if got := topo.Index(tile); got != i {
+			t.Fatalf("Index(TileAt(%d)) = %d", i, got)
+		}
+		if i == 0 {
+			continue
+		}
+		// Space-filling: consecutive indices are grid neighbours, so a
+		// contiguous index run is a contiguous territory.
+		prev := topo.TileAt(i - 1)
+		adjacent := false
+		for _, n := range topo.Neighbors(tile) {
+			if n == prev {
+				adjacent = true
+			}
+		}
+		if !adjacent {
+			t.Fatalf("TileAt(%d)=%v not adjacent to TileAt(%d)=%v", i, tile, i-1, prev)
+		}
+	}
+}
+
+func TestGridNeighborsTorus(t *testing.T) {
+	topo := GridTopology{TilesX: 3, TilesZ: 3}
+	n := topo.Neighbors(TileID{X: 0, Z: 0})
+	want := []TileID{{2, 0}, {1, 0}, {0, 2}, {0, 1}}
+	if len(n) != len(want) {
+		t.Fatalf("Neighbors(0,0) = %v, want %v", n, want)
+	}
+	for i := range want {
+		if n[i] != want[i] {
+			t.Fatalf("Neighbors(0,0) = %v, want %v", n, want)
+		}
+	}
+	// Symmetry: u in Neighbors(v) iff v in Neighbors(u).
+	for i := 0; i < topo.Tiles(); i++ {
+		v := topo.TileAt(i)
+		for _, u := range topo.Neighbors(v) {
+			back := false
+			for _, w := range topo.Neighbors(u) {
+				if w == v {
+					back = true
+				}
+			}
+			if !back {
+				t.Fatalf("asymmetric adjacency: %v -> %v", v, u)
+			}
+		}
+	}
+	// A 1-wide axis folds both directions onto the same tile: dedup.
+	narrow := GridTopology{TilesX: 1, TilesZ: 3}
+	if n := narrow.Neighbors(TileID{0, 0}); len(n) != 2 {
+		t.Fatalf("1-wide grid Neighbors = %v, want the two Z neighbours", n)
+	}
+}
+
+func TestDefaultOwnerContiguousAndBalanced(t *testing.T) {
+	topo := GridTopology{TilesX: 4, TilesZ: 4}
+	shards := 4
+	counts := make([]int, shards)
+	for i := 0; i < topo.Tiles(); i++ {
+		o := DefaultOwner(topo, shards, topo.TileAt(i))
+		if o < 0 || o >= shards {
+			t.Fatalf("owner %d out of range", o)
+		}
+		counts[o]++
+		if i > 0 {
+			prev := DefaultOwner(topo, shards, topo.TileAt(i-1))
+			if o < prev {
+				t.Fatalf("default owners not monotone along the space-filling order: idx %d owner %d after %d", i, o, prev)
+			}
+		}
+	}
+	for s, n := range counts {
+		if n != 4 {
+			t.Errorf("shard %d owns %d tiles, want 4", s, n)
+		}
+	}
+	// Bands keep PR 2's interleave: band b -> shard b mod n.
+	band := BandTopology{}
+	for b := -6; b <= 6; b++ {
+		if got, want := DefaultOwner(band, 3, TileID{X: b}), floorMod(b, 3); got != want {
+			t.Errorf("band %d default owner = %d, want %d", b, got, want)
+		}
+	}
+}
+
+func TestHomeTileInOwnTerritory(t *testing.T) {
+	topos := []Topology{
+		BandTopology{BandChunks: 8},
+		GridTopology{TilesX: 4, TilesZ: 4},
+		GridTopology{TilesX: 3, TilesZ: 5, TileChunks: 4},
+	}
+	for _, topo := range topos {
+		for _, shards := range []int{1, 2, 4, 7} {
+			if n := topo.Tiles(); n != 0 && shards > n {
+				continue
+			}
+			for i := 0; i < shards; i++ {
+				home := HomeTile(topo, shards, i)
+				if got := DefaultOwner(topo, shards, home); got != i {
+					t.Errorf("%v shards=%d: HomeTile(%d)=%v owned by %d", topo, shards, i, home, got)
+				}
+				// The home tile's center really lies inside the tile.
+				if got := topo.TileOf(topo.Center(home).Chunk()); got != home {
+					t.Errorf("%v: Center(%v) lies in %v", topo, home, got)
+				}
+			}
+		}
+	}
+}
+
+func TestTopologySpecRoundTrip(t *testing.T) {
+	for _, topo := range []Topology{
+		BandTopology{BandChunks: 4},
+		BandTopology{},
+		GridTopology{TilesX: 4, TilesZ: 2, TileChunks: 6},
+	} {
+		built, err := topo.Spec().Build()
+		if err != nil {
+			t.Fatalf("%v: %v", topo, err)
+		}
+		if built.Spec() != topo.Spec() {
+			t.Errorf("spec round-trip changed %v into %v", topo.Spec(), built.Spec())
+		}
+	}
+	if _, err := (TopologySpec{Kind: "hex"}).Build(); err == nil {
+		t.Error("unknown kind built")
+	}
+	if _, err := (TopologySpec{Kind: "grid"}).Build(); err == nil {
+		t.Error("grid without dimensions built")
+	}
+}

@@ -69,6 +69,18 @@ func AllServerless() Serverless {
 	return Serverless{Constructs: true, Terrain: true, Storage: true}
 }
 
+// TopologyConfig selects how a sharded instance tiles chunk space into
+// ownership regions (see internal/world: Topology).
+type TopologyConfig struct {
+	// Kind is "band" (contiguous 1-D bands along X, the compatibility
+	// default) or "grid" (TilesX×TilesZ rectangular tiles, so load can
+	// be split along both axes).
+	Kind string
+	// TilesX and TilesZ are the grid dimensions (grid kind only;
+	// 0 → 4×4).
+	TilesX, TilesZ int
+}
+
 // Config configures an Instance.
 type Config struct {
 	// Seed makes the instance deterministic. Zero means seed 1.
@@ -83,18 +95,45 @@ type Config struct {
 	ViewDistance int
 	// Shards > 1 runs a region-sharded cluster: one game loop per shard
 	// over a single shared serverless substrate, with cross-shard player
-	// handoff when avatars cross region-band boundaries. Session calls
+	// handoff when avatars cross region-tile boundaries. Session calls
 	// (Connect, Disconnect, SpawnConstruct) route through the cluster
 	// automatically; Cluster() exposes the router for handoff metrics.
 	Shards int
-	// Rebalance enables the cluster controller's live band rebalancing:
-	// region-band ownership migrates from the hottest to the coldest
+	// Topology selects the region tiling of a sharded instance: the
+	// zero value keeps the 1-D X bands of earlier releases; Kind "grid"
+	// cuts chunk space into 2-D tiles. Only meaningful with Shards > 1.
+	Topology TopologyConfig
+	// Rebalance enables the cluster controller's live tile rebalancing:
+	// region-tile ownership migrates from the hottest to the coldest
 	// shard when per-shard tick load drifts out of balance. Only
 	// meaningful with Shards > 1.
 	Rebalance bool
 	// RealTime runs the instance on the wall clock instead of virtual
 	// time. Run then blocks for real durations.
 	RealTime bool
+}
+
+// topology builds the world-level tiling the config describes. A grid
+// with no dimensions is 4×4. Unknown kinds panic: NewInstance has no
+// error return, and silently booting the band fallback in place of a
+// misspelled grid would reproduce exactly the hotspot failure the grid
+// exists to fix.
+func (c TopologyConfig) topology() world.Topology {
+	switch c.Kind {
+	case "", "band":
+		return nil // core defaults to the band topology
+	case "grid":
+	default:
+		panic(fmt.Sprintf(`servo: Topology.Kind must be "band" or "grid" (got %q)`, c.Kind))
+	}
+	tx, tz := c.TilesX, c.TilesZ
+	if tx < 1 {
+		tx = 4
+	}
+	if tz < 1 {
+		tz = 4
+	}
+	return world.GridTopology{TilesX: tx, TilesZ: tz}
 }
 
 // Pos is a block position in the world.
@@ -156,10 +195,18 @@ type Instance struct {
 	stats *metrics.Sample
 }
 
-// NewInstance assembles and starts an instance.
+// NewInstance assembles and starts an instance. It panics on an invalid
+// Topology (unknown Kind, or a grid with fewer tiles than shards —
+// shards beyond the tile count could never own territory and their
+// Home placement would silently land players elsewhere).
 func NewInstance(cfg Config) *Instance {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
+	}
+	topo := cfg.Topology.topology()
+	if topo != nil && cfg.Shards > topo.Tiles() {
+		panic(fmt.Sprintf("servo: %d shards over a %d-tile grid: more shards than tiles",
+			cfg.Shards, topo.Tiles()))
 	}
 	inst := &Instance{cfg: cfg}
 	var clock sim.Clock
@@ -179,6 +226,7 @@ func NewInstance(cfg Config) *Instance {
 		ServerlessTG: cfg.Servo.Terrain,
 		ServerlessRS: cfg.Servo.Storage,
 		Shards:       cfg.Shards,
+		Topology:     topo,
 		Rebalance:    cfg.Rebalance,
 	})
 	if cl := inst.sys.Cluster; cl != nil {
@@ -193,7 +241,7 @@ func NewInstance(cfg Config) *Instance {
 // was built with Shards > 1).
 func (i *Instance) Cluster() *cluster.Cluster { return i.sys.Cluster }
 
-// FailShard kills one shard's game loop: its bands reroute to the
+// FailShard kills one shard's game loop: its tiles reroute to the
 // surviving shards and its players are re-admitted from their last
 // snapshots (sharded instances only). Reports whether the failover ran.
 func (i *Instance) FailShard(shard int) bool {
@@ -205,7 +253,7 @@ func (i *Instance) FailShard(shard int) bool {
 }
 
 // RecoverShard rebuilds a failed shard over the persisted world and
-// returns its bands (sharded instances only).
+// returns its tiles (sharded instances only).
 func (i *Instance) RecoverShard(shard int) bool {
 	if i.rtc != nil {
 		i.rtc.Lock()
@@ -288,19 +336,25 @@ func (i *Instance) Locked(fn func()) {
 	fn()
 }
 
-// Disconnect removes a player.
-func (i *Instance) Disconnect(p *Player) {
+// Disconnect removes a player, reporting whether a session was actually
+// removed. On a sharded instance the session handle is resolved through
+// the cluster (by pointer, then by unique name for sessions that moved
+// shards); false means the resolution failed — the player is already
+// gone, or the stale pointer's name is ambiguous (several sessions bear
+// it) and disconnecting any of them could hit the wrong player.
+func (i *Instance) Disconnect(p *Player) bool {
 	if i.rtc != nil {
 		i.rtc.Lock()
 		defer i.rtc.Unlock()
 	}
 	if cl := i.sys.Cluster; cl != nil {
-		if h := i.clusterHandle(p); h != nil {
-			cl.Disconnect(h.ID)
+		h := i.clusterHandle(p)
+		if h == nil {
+			return false
 		}
-		return
+		return cl.Disconnect(h.ID)
 	}
-	i.sys.Server.Disconnect(p.ID)
+	return i.sys.Server.Disconnect(p.ID)
 }
 
 // SpawnConstruct activates a construct anchored at pos and returns its id.

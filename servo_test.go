@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"servo/internal/world"
 )
 
 func TestInstanceLifecycle(t *testing.T) {
@@ -138,8 +140,98 @@ func TestShardedInstance(t *testing.T) {
 	if inst.ViewMargin() <= 0 {
 		t.Fatalf("view margin = %d around a bounded player", inst.ViewMargin())
 	}
-	inst.Disconnect(p)
+	if !inst.Disconnect(p) {
+		t.Fatal("disconnect of a live sharded session reported failure")
+	}
 	if n := inst.Cluster().PlayerCount(); n != 0 {
 		t.Fatalf("player count after disconnect = %d", n)
+	}
+}
+
+// TestShardedDisconnectReportsNoOps pins the Disconnect contract on a
+// sharded instance: a stale session pointer resolves by unique name, but
+// with duplicate names the resolution must refuse (returning false)
+// rather than guess and disconnect a different player's session.
+func TestShardedDisconnectReportsNoOps(t *testing.T) {
+	inst := NewInstance(Config{Seed: 6, WorldType: "flat", Shards: 2})
+	defer inst.Stop()
+	p1 := inst.Connect("dup", BehaviorBounded)
+	if !inst.Disconnect(p1) {
+		t.Fatal("first disconnect failed")
+	}
+	if inst.Disconnect(p1) {
+		t.Fatal("repeated disconnect of the same session reported success")
+	}
+	// Two live sessions now share the name; the stale p1 pointer matches
+	// neither, and the name fallback is ambiguous — the disconnect must
+	// no-op (false) instead of killing one of them at random.
+	inst.Connect("dup", BehaviorBounded)
+	inst.Connect("dup", BehaviorBounded)
+	if inst.Disconnect(p1) {
+		t.Fatal("ambiguous stale disconnect reported success")
+	}
+	if n := inst.Cluster().PlayerCount(); n != 2 {
+		t.Fatalf("ambiguous stale disconnect removed a session: %d live, want 2", n)
+	}
+	// A stale pointer with exactly one name match still resolves: the
+	// handle behind the surviving name is the same player.
+	p2 := inst.Connect("solo", BehaviorBounded)
+	inst.Run(time.Second)
+	if !inst.Disconnect(p2) {
+		t.Fatal("unique-name disconnect failed")
+	}
+	if n := inst.Cluster().PlayerCount(); n != 2 {
+		t.Fatalf("player count = %d after disconnecting solo, want 2", n)
+	}
+}
+
+// TestTopologyConfigRejectsInvalid pins the fail-fast contract: a
+// misspelled kind or an overcommitted grid must panic at construction,
+// never silently boot the band fallback.
+func TestTopologyConfigRejectsInvalid(t *testing.T) {
+	expectPanic := func(name string, cfg Config) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: NewInstance did not panic", name)
+			}
+		}()
+		NewInstance(cfg).Stop()
+	}
+	expectPanic("unknown kind", Config{Shards: 2, Topology: TopologyConfig{Kind: "Grid"}})
+	expectPanic("more shards than tiles", Config{
+		Shards:   20,
+		Topology: TopologyConfig{Kind: "grid", TilesX: 4, TilesZ: 4},
+	})
+}
+
+// TestGridTopologyInstance boots a sharded instance over a 2-D grid
+// topology through the public API and checks that a Z-axis spread of
+// players lands on different shards — the placement a band topology
+// cannot split.
+func TestGridTopologyInstance(t *testing.T) {
+	inst := NewInstance(Config{
+		Seed:      7,
+		WorldType: "flat",
+		Shards:    4,
+		Topology:  TopologyConfig{Kind: "grid", TilesX: 4, TilesZ: 4},
+	})
+	defer inst.Stop()
+	cl := inst.Cluster()
+	if cl == nil {
+		t.Fatal("sharded instance has no cluster")
+	}
+	if cl.Topology().Tiles() != 16 {
+		t.Fatalf("grid instance has %d tiles, want 16", cl.Topology().Tiles())
+	}
+	// Two players one tile apart along Z, same X.
+	a := cl.ConnectAt("za", nil, cl.TileCenter(world.TileID{X: 0, Z: 0}))
+	b := cl.ConnectAt("zb", nil, cl.TileCenter(world.TileID{X: 0, Z: 1}))
+	if a.Shard() == b.Shard() {
+		t.Fatalf("Z-separated players share shard %d; the grid is not splitting Z", a.Shard())
+	}
+	inst.Run(10 * time.Second)
+	if inst.TickStats().Box.N == 0 {
+		t.Fatal("grid instance did not tick")
 	}
 }
