@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet fmtcheck build test race validate sim bench benchsmoke clusterrace replaygate
+.PHONY: ci vet fmtcheck build test race validate sim bench benchsmoke clusterrace replaygate bordergate
 
-ci: vet fmtcheck build race clusterrace validate replaygate benchsmoke
+ci: vet fmtcheck build race clusterrace validate replaygate bordergate benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -27,14 +27,16 @@ race:
 	$(GO) test -race -timeout 30m ./...
 
 # clusterrace re-runs the control-plane packages under the race detector
-# uncached: the rebalance/failover paths (and the scenario engine that
-# drives them) juggle closures across the virtual clock and must stay
-# data-race-free even as they grow. -p 1 serialises the packages and the
-# timeout is raised: the scenario package's full bundled sweep is slow
-# under the race detector, and contention with the other raced packages
-# would push it past the default 10m per-package budget.
+# uncached: the rebalance/failover/visibility paths (and the scenario
+# engine that drives them) juggle closures across the virtual clock and
+# must stay data-race-free even as they grow; rtserve rides along because
+# its sessions read ghost registries concurrently with the real-time
+# loop. -p 1 serialises the packages and the timeout is raised: the
+# scenario package's full bundled sweep is slow under the race detector,
+# and contention with the other raced packages would push it past the
+# default 10m per-package budget.
 clusterrace:
-	$(GO) test -race -count=1 -p 1 -timeout 30m ./internal/cluster/ ./internal/world/ ./internal/scenario/
+	$(GO) test -race -count=1 -p 1 -timeout 30m ./internal/cluster/ ./internal/world/ ./internal/scenario/ ./internal/rtserve/
 
 # validate parses and validates every bundled scenario without running it.
 validate:
@@ -42,9 +44,16 @@ validate:
 
 # replaygate runs every bundled scenario twice and fails on any report
 # byte difference: the determinism contract, enforced over the whole
-# suite rather than the sampled scenarios the unit tests replay.
+# suite rather than the sampled scenarios the unit tests replay
+# (border-patrol is bundled, so its replay rides through here too).
 replaygate:
 	$(GO) run ./cmd/servo-sim replay all
+
+# bordergate runs the border-patrol scenario with assertions on: the
+# cross-shard visibility contract — zero visibility-gap ticks while
+# fleets pace across a grid tile seam.
+bordergate:
+	$(GO) run ./cmd/servo-sim run border-patrol
 
 # sim executes every bundled scenario and fails on any assertion failure.
 sim:

@@ -81,6 +81,14 @@ type Config struct {
 	TableStore TableStore
 	// Rebalance configures the controller loop (zero value: disabled).
 	Rebalance RebalanceConfig
+	// Visibility configures the interest-management layer: border-tile
+	// avatar replication across shards (zero value: disabled).
+	Visibility VisibilityConfig
+	// Checkpoint is the periodic player-checkpoint cadence: every
+	// interval, each session's snapshot is persisted through Transfer so
+	// a shard failover restores inventory even for players that never
+	// crossed a boundary (0 disables; requires a Transfer).
+	Checkpoint time.Duration
 }
 
 // PlayerID is a cluster-global player identity, stable across handoffs
@@ -186,6 +194,23 @@ type Cluster struct {
 	// MigrationLog records ownership changes in completion order (part of
 	// the deterministic replay surface, like Log).
 	MigrationLog []MigrationRecord
+
+	// Visibility state (see visibility.go).
+	vis VisibilityConfig
+	// visSeq numbers replication scans (ghost staleness stamps).
+	visSeq uint64
+	// GhostUpdates counts digest entries applied to ghost registries.
+	GhostUpdates metrics.Counter
+	// VisibilityGaps counts replication scans during which some
+	// cross-shard pair of avatars within view distance was not served by
+	// a ghost (the visibility_gap_ticks metric).
+	VisibilityGaps metrics.Counter
+	// GhostLog records ghost-registry transitions in occurrence order
+	// (part of the deterministic replay surface, like Log).
+	GhostLog []GhostRecord
+
+	// Checkpoints counts periodic player-checkpoint writes (checkpoint.go).
+	Checkpoints metrics.Counter
 }
 
 // New builds a cluster of cfg.Shards servers via build. Shard servers are
@@ -202,6 +227,7 @@ func New(clock sim.Clock, cfg Config, build ShardBuilder) *Cluster {
 		cfg.ScanInterval = DefaultScanInterval
 	}
 	cfg.Rebalance = cfg.Rebalance.withDefaults()
+	cfg.Visibility = cfg.Visibility.withDefaults()
 	c := &Cluster{
 		clock:          clock,
 		cfg:            cfg,
@@ -211,6 +237,7 @@ func New(clock sim.Clock, cfg Config, build ShardBuilder) *Cluster {
 		transfer:       cfg.Transfer,
 		tableStore:     cfg.TableStore,
 		reb:            cfg.Rebalance,
+		vis:            cfg.Visibility,
 		migrating:      make(map[world.TileID]bool),
 		players:        make(map[PlayerID]*Player),
 		HandoffLatency: metrics.NewSample(4096),
@@ -300,6 +327,12 @@ func (c *Cluster) Start() {
 	if c.reb.Enabled {
 		c.clock.After(c.reb.Interval, c.controllerTick)
 	}
+	if c.vis.Enabled {
+		c.clock.After(c.vis.Interval, c.visibilityScan)
+	}
+	if c.transfer != nil && c.cfg.Checkpoint > 0 {
+		c.clock.After(c.cfg.Checkpoint, c.checkpointTick)
+	}
 }
 
 // Stop halts the shards and the boundary scan.
@@ -321,6 +354,11 @@ func (c *Cluster) Connect(name string, b mve.Behavior) *Player {
 // the position once the shard's store answers.
 func (c *Cluster) ConnectAt(name string, b mve.Behavior, pos world.BlockPos) *Player {
 	shard := c.table.ShardOfBlock(pos)
+	// A rejoining identity supersedes any stale ghost of its former life
+	// on the joining shard (the real avatar is authoritative).
+	if c.vis.Enabled && c.shards[shard].RemoveGhost(name) {
+		c.GhostLog = append(c.GhostLog, GhostRecord{Player: name, Shard: shard, Event: "promote"})
+	}
 	sess := c.shards[shard].ConnectAt(name, b, float64(pos.X), float64(pos.Z))
 	c.nextID++
 	p := &Player{
@@ -463,6 +501,10 @@ func (c *Cluster) handoff(p *Player, dst int) {
 	}
 	start := c.clock.Now()
 	p.inflight = true
+	// Visually seamless handoff: the evicted session leaves a pinned
+	// ghost behind, so viewers on the source shard keep seeing the
+	// avatar while its state crosses the storage substrate.
+	c.demoteToGhost(p, src, snap.X, snap.Z, dst)
 	// Owned constructs whose anchor lies in the destination region leave
 	// the source shard with their owner, resolved by anchor (ids are not
 	// stable across halt/resume). Migration is restricted to
@@ -520,12 +562,17 @@ func (c *Cluster) handoff(p *Player, dst int) {
 			// Disconnected mid-handoff: the player record is already
 			// persisted (when a Transfer exists), and the travelling
 			// constructs land on the target shard as unowned — the same
-			// stay-behind contract as a plain disconnect.
+			// stay-behind contract as a plain disconnect. The avatar is
+			// gone for good, so its ghosts must not linger pinned.
+			c.dropGhosts(p.Name)
 			restoreConstructs(dst, restored.Constructs)
 			c.drop(p.ID)
 			return
 		}
 		sess := c.shards[dst].AdmitPlayer(restored)
+		// The target's ghost promotes to the real avatar; the source's
+		// pinned double unpins and rides the normal refresh/expiry cycle.
+		c.promoteFromGhost(p, src, dst, restored.X, restored.Z)
 		p.shard, p.pid, p.pendingShard = dst, sess.ID, dst
 		p.constructs = restoreConstructs(dst, restored.Constructs)
 		lat := c.clock.Now() - start

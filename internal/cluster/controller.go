@@ -16,6 +16,7 @@
 package cluster
 
 import (
+	"sort"
 	"time"
 
 	"servo/internal/metrics"
@@ -142,8 +143,12 @@ func (c *Cluster) loadImbalance() (imb float64, hot, cold int) {
 // load map, and the tile minimising the post-move maximum of the two
 // shards wins — with strict improvement required, so a single dominant
 // hotspot tile is never ping-ponged between shards. Ties break toward
-// the lower space-filling index, keeping the controller deterministic
-// (and, on bands, identical to the PR 3 lowest-band rule).
+// territory contiguity: among equally good tiles, the one with the most
+// Topology.Neighbors already owned by the cold shard wins (a tile grafts
+// onto the cold territory's edge instead of being stranded as an island
+// inside the hot one), then toward the lower space-filling index (on
+// bands every tile has the same adjacency, so this stays identical to
+// the PR 3 lowest-band rule).
 func (c *Cluster) pickTile(hot, cold int) (world.TileID, bool) {
 	counts := make(map[world.TileID]int)
 	var tiles []world.TileID
@@ -171,12 +176,12 @@ func (c *Cluster) pickTile(hot, cold int) (world.TileID, bool) {
 			coldPlayers++
 		}
 	}
-	var best world.TileID
-	bestMax := hotPlayers
-	if coldPlayers > bestMax {
-		bestMax = coldPlayers
+	cur := hotPlayers
+	if coldPlayers > cur {
+		cur = coldPlayers
 	}
-	cur := bestMax
+	var best world.TileID
+	bestMax, bestAdj := 0, -1
 	found := false
 	for _, tile := range tiles {
 		n := counts[tile]
@@ -184,14 +189,72 @@ func (c *Cluster) pickTile(hot, cold int) (world.TileID, bool) {
 		if coldPlayers+n > m {
 			m = coldPlayers + n
 		}
-		if m < bestMax || (m == bestMax && found && c.topo.Index(tile) < c.topo.Index(best)) {
-			best, bestMax, found = tile, m, true
+		if m >= cur {
+			continue // no strict improvement: never a candidate
+		}
+		adj := c.coldAdjacency(tile, cold)
+		better := !found || m < bestMax
+		if !better && m == bestMax {
+			better = adj > bestAdj || (adj == bestAdj && c.topo.Index(tile) < c.topo.Index(best))
+		}
+		if better {
+			best, bestMax, bestAdj, found = tile, m, adj, true
 		}
 	}
-	if !found || bestMax >= cur {
+	if !found {
 		return world.TileID{}, false
 	}
 	return best, true
+}
+
+// TileLoad is one tile's attributed cost across the cluster: the
+// per-tile load signal (actions processed and chunk writes issued on the
+// tile's terrain) behind the resident-player proxy pickTile uses today —
+// exposed so controller policies (and reports) can consume real per-tick
+// cost instead of head counts.
+type TileLoad struct {
+	Tile  world.TileID
+	Owner int
+	// Actions and Stores accumulate since boot, summed across shards.
+	Actions, Stores int64
+}
+
+// TileLoads returns the per-tile attributed cost, summed across every
+// shard's server and sorted by the topology's space-filling index (on
+// unbounded band topologies only tiles that saw work appear).
+func (c *Cluster) TileLoads() []TileLoad {
+	sums := make(map[world.TileID]*TileLoad)
+	var order []world.TileID
+	for _, s := range c.shards {
+		for tile, cost := range s.TileCosts() {
+			tl, ok := sums[tile]
+			if !ok {
+				tl = &TileLoad{Tile: tile, Owner: c.table.Owner(tile)}
+				sums[tile] = tl
+				order = append(order, tile)
+			}
+			tl.Actions += cost.Actions
+			tl.Stores += cost.Stores
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return c.topo.Index(order[i]) < c.topo.Index(order[j]) })
+	out := make([]TileLoad, 0, len(order))
+	for _, tile := range order {
+		out = append(out, *sums[tile])
+	}
+	return out
+}
+
+// coldAdjacency counts how many of a tile's neighbours the destination
+// shard already owns: the contiguity score of migrating it there.
+func (c *Cluster) coldAdjacency(tile world.TileID, cold int) int {
+	adj := 0
+	for _, n := range c.topo.Neighbors(tile) {
+		if c.table.Owner(n) == cold {
+			adj++
+		}
+	}
+	return adj
 }
 
 // MigrateTile migrates ownership of a tile to dst: flush the source
@@ -277,6 +340,10 @@ func (c *Cluster) readmit(p *Player) {
 		}
 		dst := c.table.ShardOfBlock(world.BlockPos{X: int(snap.X), Z: int(snap.Z)})
 		sess := c.shards[dst].AdmitPlayer(snap)
+		// The re-admitted avatar supersedes any ghost of itself here.
+		if c.vis.Enabled && c.shards[dst].RemoveGhost(p.Name) {
+			c.GhostLog = append(c.GhostLog, GhostRecord{Player: p.Name, Shard: dst, Event: "promote"})
+		}
 		p.shard, p.pid, p.pendingShard = dst, sess.ID, dst
 		c.PlayersFailedOver.Inc()
 	}

@@ -8,6 +8,7 @@ import (
 
 	"servo/internal/blob"
 	"servo/internal/mve"
+	"servo/internal/servo/rstore"
 	"servo/internal/servo/tcache"
 	"servo/internal/sim"
 	"servo/internal/world"
@@ -405,5 +406,97 @@ func TestCrossShardChat(t *testing.T) {
 	}
 	if got := c.Shard(1).ChatsDelivered.Value(); got != 1 {
 		t.Fatalf("foreign shard deliveries = %d, want 1", got)
+	}
+}
+
+// TestPickTilePrefersContiguousMigration is the island-tile regression:
+// when two of the hot shard's tiles tie on the post-move maximum, the
+// controller must pick the one grafting onto the cold shard's territory
+// (most Topology.Neighbors owned by cold), not the lower-index tile in
+// the middle of the hot territory — which would strand an island of
+// foreign ownership inside it.
+func TestPickTilePrefersContiguousMigration(t *testing.T) {
+	topo := world.GridTopology{TilesX: 3, TilesZ: 3, TileChunks: 4}
+	loop, c := newTestCluster(t, 21, 2, Config{Topology: topo})
+	// Serpentine default split: shard 0 owns indices 0-4 — tiles (0,0),
+	// (1,0), (2,0), (2,1), (1,1) — shard 1 owns the rest. Candidates
+	// (1,0) [index 1] and (2,1) [index 3] get equal hotspots; (1,0) has
+	// one cold neighbour (its torus north, (1,2)), (2,1) has two ((0,1)
+	// east across the wrap and (2,2) south).
+	for i := 0; i < 3; i++ {
+		c.ConnectAt(fmt.Sprintf("a%d", i), nil, c.TileCenter(world.TileID{X: 1, Z: 0}))
+		c.ConnectAt(fmt.Sprintf("b%d", i), nil, c.TileCenter(world.TileID{X: 2, Z: 1}))
+	}
+	for i := 0; i < 2; i++ {
+		c.ConnectAt(fmt.Sprintf("c%d", i), nil, c.TileCenter(world.TileID{X: 0, Z: 2}))
+	}
+	tile, ok := c.pickTile(0, 1)
+	if !ok {
+		t.Fatal("pickTile found no candidate")
+	}
+	if tile != (world.TileID{X: 2, Z: 1}) {
+		t.Fatalf("pickTile chose %v; want the contiguity-preserving tile(2,1)", tile)
+	}
+	// Sanity: both candidates really do tie on the post-move maximum.
+	if adjA, adjB := c.coldAdjacency(world.TileID{X: 1, Z: 0}, 1), c.coldAdjacency(world.TileID{X: 2, Z: 1}, 1); adjA >= adjB {
+		t.Fatalf("test geometry broken: adjacency %d >= %d", adjA, adjB)
+	}
+	_ = loop
+}
+
+// TestCheckpointRestoresInventoryOnFailover: a player that never crossed
+// a boundary (so the handoff path never persisted it) must survive a
+// shard failure with inventory intact, courtesy of the periodic
+// checkpoint loop — not merely at its scan-tracked position.
+func TestCheckpointRestoresInventoryOnFailover(t *testing.T) {
+	loop, remote, c := newStoreCluster(t, 22, 2, Config{Checkpoint: 2 * time.Second})
+	p := c.ConnectAt("homebody", nil, c.Home(1))
+	c.Session(p).Inventory = 7
+	c.Start()
+	loop.RunUntil(10 * time.Second)
+
+	if c.Checkpoints.Value() == 0 {
+		t.Fatal("no checkpoints written; test proves nothing")
+	}
+	if !remote.Exists(rstore.PlayerKey("homebody")) {
+		t.Fatal("checkpoint did not persist the player record")
+	}
+	if !c.FailShard(1) {
+		t.Fatal("FailShard refused")
+	}
+	loop.RunUntil(30 * time.Second)
+
+	sess := c.Session(p)
+	if sess == nil {
+		t.Fatal("player lost in failover")
+	}
+	if sess.Inventory != 7 {
+		t.Fatalf("inventory after failover = %d, want 7 (checkpoint ignored)", sess.Inventory)
+	}
+	home := c.Home(1)
+	if dx := sess.X - float64(home.X); dx < -1 || dx > 1 {
+		t.Fatalf("position after failover x=%g, want ≈%d", sess.X, home.X)
+	}
+}
+
+// TestCheckpointDisabledLosesInventory pins the contract the checkpoint
+// loop exists to fix: without it, a never-persisted player fails over at
+// its scan-tracked position with an empty record.
+func TestCheckpointDisabledLosesInventory(t *testing.T) {
+	loop, _, c := newStoreCluster(t, 23, 2, Config{})
+	p := c.ConnectAt("homebody", nil, c.Home(1))
+	c.Session(p).Inventory = 7
+	c.Start()
+	loop.RunUntil(10 * time.Second)
+	if !c.FailShard(1) {
+		t.Fatal("FailShard refused")
+	}
+	loop.RunUntil(30 * time.Second)
+	sess := c.Session(p)
+	if sess == nil {
+		t.Fatal("player lost in failover")
+	}
+	if sess.Inventory == 7 {
+		t.Fatal("inventory survived without checkpointing; the regression test above is vacuous")
 	}
 }

@@ -1,0 +1,342 @@
+// The interest-management layer: cross-shard avatar visibility. Each
+// shard renders only its own residents, so without replication a player
+// standing one block from a tile boundary cannot see an avatar two
+// blocks away on the neighbouring shard — and every handoff pops the
+// avatar out of one world and into another. The visibility bus closes
+// the seam: each replication tick, every shard publishes a compact
+// digest of its avatars standing within the border margin of a tile
+// boundary (membership via world.BordersWithin: the home tile's
+// Topology.Neighbors ring, and further rings when the margin spans
+// them), and the shards owning the bordering tiles materialise the
+// entries as read-only ghost avatars (mve's ghost registry). Ghosts are
+// display-and-prefetch state only; the real session stays where it is.
+//
+// Handoffs ride the same machinery instead of popping: evicting the
+// session demotes it to a pinned ghost on the source shard (viewers keep
+// seeing it while its state crosses the storage substrate — pinned
+// because an in-flight session cannot refresh itself), and admission on
+// the target promotes the ghost there back into a real avatar. Ghosts
+// that stop being refreshed — the avatar walked away from the border, or
+// disconnected — expire after a few scans.
+//
+// The bus also audits itself: after applying the digests, it checks
+// every cross-shard pair of border residents within view distance of
+// each other and counts a visibility gap tick if any viewer's shard is
+// missing the matching ghost. A healthy configuration (margin ≥ view
+// distance) holds the gap counter at zero; the bundled border-patrol
+// scenario asserts exactly that.
+
+package cluster
+
+import (
+	"encoding/binary"
+	"math"
+	"time"
+
+	"servo/internal/world"
+)
+
+// Visibility defaults.
+const (
+	// DefaultVisibilityInterval is the replication cadence: once per
+	// 20 Hz server tick.
+	DefaultVisibilityInterval = 50 * time.Millisecond
+	// ghostTTLScans is how many replication scans a ghost survives
+	// without a refresh before it expires (handoff-pinned ghosts are
+	// exempt).
+	ghostTTLScans = 4
+)
+
+// VisibilityConfig tunes the interest-management layer.
+type VisibilityConfig struct {
+	// Enabled turns border-tile avatar replication on.
+	Enabled bool
+	// Margin is the border margin in blocks: avatars within Margin of a
+	// tile boundary replicate to the bordering tiles' owners
+	// (0 → the shard servers' view distance).
+	Margin int
+	// Interval is the replication cadence (0 → DefaultVisibilityInterval).
+	Interval time.Duration
+	// Observer, when set, receives every published per-shard-pair digest
+	// (a test hook for the determinism contract; not consulted by the
+	// bus itself).
+	Observer func(src, dst int, digest []byte)
+}
+
+// withDefaults fills zero fields. The margin default needs the shard
+// servers and is resolved at Start.
+func (v VisibilityConfig) withDefaults() VisibilityConfig {
+	if v.Interval == 0 {
+		v.Interval = DefaultVisibilityInterval
+	}
+	return v
+}
+
+// GhostRecord logs one ghost-registry transition, in occurrence order.
+// Like the handoff Log, the sequence is part of the deterministic replay
+// surface: same seed, same records.
+type GhostRecord struct {
+	Player string
+	// Shard is the shard whose registry changed.
+	Shard int
+	// Event is "spawn" (scan created a ghost), "demote" (handoff eviction
+	// left a pinned ghost behind), "promote" (admission replaced the
+	// ghost with the real avatar), "expire" (staleness reaping), or
+	// "drop" (the mirrored session disconnected mid-handoff).
+	Event string
+}
+
+// ghostEntry is one digest line: an avatar another shard should mirror.
+type ghostEntry struct {
+	name string
+	x, z float64
+	home int
+}
+
+// EncodeGhostDigest serialises one shard-pair digest: the compact wire
+// form the bus publishes (and the byte surface the determinism tests
+// compare).
+func EncodeGhostDigest(entries []ghostEntry) []byte {
+	out := make([]byte, 0, 4+24*len(entries))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(entries)))
+	for _, e := range entries {
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(e.name)))
+		out = append(out, e.name...)
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(e.x))
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(e.z))
+		out = binary.LittleEndian.AppendUint32(out, uint32(int32(e.home)))
+	}
+	return out
+}
+
+// visMargin returns the effective border margin: the configured value,
+// defaulting to the shard servers' view distance ("within ViewDistance
+// of any tile border").
+func (c *Cluster) visMargin() int {
+	if c.vis.Margin > 0 {
+		return c.vis.Margin
+	}
+	return c.shards[0].Config().ViewDistance
+}
+
+// visibilityScan is one replication tick of the interest-management
+// layer: publish border digests, materialise ghosts, reap stale ones,
+// and audit for visibility gaps.
+func (c *Cluster) visibilityScan() {
+	if c.stopped {
+		return
+	}
+	defer c.clock.After(c.vis.Interval, c.visibilityScan)
+	c.visSeq++
+	margin := c.visMargin()
+
+	// Publish: walk sessions in join order and collect, per (src, dst)
+	// shard pair, the avatars dst should mirror — every session standing
+	// within the margin of a tile bordering dst's territory, plus
+	// sessions standing on terrain dst already owns (residents of a
+	// freshly migrated tile stay visible to the new owner's players
+	// until the handoff scan moves them). Displaced sessions — hosted by
+	// a shard that no longer owns the terrain under them, the
+	// migration/handoff transient — also pair up with every session near
+	// them: tile ownership cannot name their host shard, so their
+	// neighbours publish to it (and vice versa) by session geometry.
+	type sess struct {
+		p         *Player
+		pos       world.BlockPos
+		x, z      float64
+		dsts      map[int]bool
+		displaced bool
+	}
+	var all []sess
+	for _, id := range c.order {
+		p := c.players[id]
+		if p.inflight {
+			continue
+		}
+		sp := c.shards[p.shard].Player(p.pid)
+		if sp == nil {
+			continue
+		}
+		pos := sp.Pos()
+		dsts := make(map[int]bool)
+		home := c.table.ShardOfBlock(pos)
+		if home != p.shard {
+			dsts[home] = true
+		}
+		for _, bn := range world.BordersWithin(c.topo, pos, margin) {
+			dsts[c.table.Owner(bn.Tile)] = true
+		}
+		all = append(all, sess{p: p, pos: pos, x: sp.X, z: sp.Z, dsts: dsts, displaced: home != p.shard})
+	}
+	for i := range all {
+		if !all[i].displaced {
+			continue
+		}
+		for j := range all {
+			if i == j || all[i].p.shard == all[j].p.shard || chebDist(all[i].pos, all[j].pos) > margin {
+				continue
+			}
+			all[j].dsts[all[i].p.shard] = true
+			all[i].dsts[all[j].p.shard] = true
+		}
+	}
+	type pair struct{ src, dst int }
+	digests := make(map[pair][]ghostEntry)
+	// residents are the sessions with any replication target: the set
+	// the gap audit checks.
+	var residents []*sess
+	for i := range all {
+		s := &all[i]
+		delete(s.dsts, s.p.shard)
+		if len(s.dsts) == 0 {
+			continue
+		}
+		residents = append(residents, s)
+		// Deterministic fan-out order: ascending shard index.
+		for dst := 0; dst < len(c.shards); dst++ {
+			if !s.dsts[dst] || !c.table.Alive(dst) {
+				continue
+			}
+			key := pair{src: s.p.shard, dst: dst}
+			digests[key] = append(digests[key], ghostEntry{name: s.p.Name, x: s.x, z: s.z, home: s.p.shard})
+		}
+	}
+
+	// Apply: materialise the digests as ghosts, in (src, dst) order.
+	for src := 0; src < len(c.shards); src++ {
+		for dst := 0; dst < len(c.shards); dst++ {
+			entries := digests[pair{src: src, dst: dst}]
+			if len(entries) == 0 {
+				continue
+			}
+			if c.vis.Observer != nil {
+				c.vis.Observer(src, dst, EncodeGhostDigest(entries))
+			}
+			for _, e := range entries {
+				if c.shards[dst].UpsertGhost(e.name, e.x, e.z, e.home, c.visSeq) {
+					c.GhostLog = append(c.GhostLog, GhostRecord{Player: e.name, Shard: dst, Event: "spawn"})
+				}
+				c.GhostUpdates.Inc()
+			}
+		}
+	}
+
+	// Reap: unpinned ghosts not refreshed for ghostTTLScans scans.
+	if c.visSeq > ghostTTLScans {
+		for i, s := range c.shards {
+			if !c.table.Alive(i) {
+				continue
+			}
+			for _, name := range s.ExpireGhosts(c.visSeq - ghostTTLScans) {
+				c.GhostLog = append(c.GhostLog, GhostRecord{Player: name, Shard: i, Event: "expire"})
+			}
+		}
+	}
+
+	// Audit: every cross-shard pair of border residents within view
+	// distance must be mutually served by a ghost. One or more unserved
+	// pairs make this a visibility gap tick.
+	view := c.shards[0].Config().ViewDistance
+	gap := false
+	for i := 0; i < len(residents) && !gap; i++ {
+		for j := i + 1; j < len(residents); j++ {
+			a, b := residents[i], residents[j]
+			if a.p.shard == b.p.shard || chebDist(a.pos, b.pos) > view {
+				continue
+			}
+			if c.shards[a.p.shard].Ghost(b.p.Name) == nil || c.shards[b.p.shard].Ghost(a.p.Name) == nil {
+				gap = true
+				break
+			}
+		}
+	}
+	if gap {
+		c.VisibilityGaps.Inc()
+	}
+}
+
+// chebDist is the Chebyshev distance in blocks between two positions.
+func chebDist(a, b world.BlockPos) int {
+	dx, dz := a.X-b.X, a.Z-b.Z
+	if dx < 0 {
+		dx = -dx
+	}
+	if dz < 0 {
+		dz = -dz
+	}
+	if dx > dz {
+		return dx
+	}
+	return dz
+}
+
+// GhostCount returns the number of live ghosts across the alive shards
+// (the ghost_avatars gauge).
+func (c *Cluster) GhostCount() int {
+	n := 0
+	for i, s := range c.shards {
+		if c.table.Alive(i) {
+			n += s.GhostCount()
+		}
+	}
+	return n
+}
+
+// demoteToGhost preserves an evicted session's visibility while its
+// handoff crosses the storage substrate: a ghost is installed (pinned)
+// on the source shard, and every other shard already mirroring the
+// avatar has its ghost pinned too — an in-flight session cannot refresh
+// itself, and an unpinned ghost expiring mid-flight would pop the
+// avatar out of that shard's world exactly when a brownout stretches
+// the flight. home is the shard the session is bound for.
+func (c *Cluster) demoteToGhost(p *Player, src int, x, z float64, home int) {
+	if !c.vis.Enabled {
+		return
+	}
+	if c.table.Alive(src) {
+		if c.shards[src].UpsertGhost(p.Name, x, z, home, c.visSeq) {
+			c.GhostLog = append(c.GhostLog, GhostRecord{Player: p.Name, Shard: src, Event: "demote"})
+		}
+	}
+	for i, s := range c.shards {
+		if c.table.Alive(i) && s.Ghost(p.Name) != nil {
+			s.PinGhost(p.Name, true)
+		}
+	}
+}
+
+// promoteFromGhost completes the handoff's visibility half: the target
+// shard's ghost gives way to the real avatar, and every other shard's
+// pinned double is unpinned and refreshed in place (the next scan takes
+// over, or it expires once the avatar leaves the border). Shards that
+// lost their ghost meanwhile (a crash wiped the registry) are left
+// alone — the next scan re-publishes the avatar if it still matters.
+func (c *Cluster) promoteFromGhost(p *Player, src, dst int, x, z float64) {
+	if !c.vis.Enabled {
+		return
+	}
+	if c.shards[dst].RemoveGhost(p.Name) {
+		c.GhostLog = append(c.GhostLog, GhostRecord{Player: p.Name, Shard: dst, Event: "promote"})
+	}
+	for i, s := range c.shards {
+		if i == dst || !c.table.Alive(i) || s.Ghost(p.Name) == nil {
+			continue
+		}
+		s.UpsertGhost(p.Name, x, z, dst, c.visSeq)
+		s.PinGhost(p.Name, false)
+	}
+}
+
+// dropGhosts removes a session's ghosts from every shard (mid-handoff
+// disconnect: the avatar is gone for good, so no ghost — pinned ones
+// included — may linger anywhere).
+func (c *Cluster) dropGhosts(name string) {
+	if !c.vis.Enabled {
+		return
+	}
+	for i, s := range c.shards {
+		if c.table.Alive(i) && s.RemoveGhost(name) {
+			c.GhostLog = append(c.GhostLog, GhostRecord{Player: name, Shard: i, Event: "drop"})
+		}
+	}
+}

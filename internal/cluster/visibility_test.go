@@ -1,0 +1,328 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"servo/internal/blob"
+	"servo/internal/mve"
+	"servo/internal/sim"
+	"servo/internal/world"
+)
+
+// pacer walks back and forth between two waypoints forever.
+func pacer(x1, z1, x2, z2, speed float64) mve.Behavior {
+	target := 0
+	return mve.BehaviorFunc(func(_ *rand.Rand, p *mve.Player, _ *mve.Server) []mve.Action {
+		if p.Moving() {
+			return nil
+		}
+		target = 1 - target
+		if target == 1 {
+			return []mve.Action{mve.MoveTo(x2, z2, speed)}
+		}
+		return []mve.Action{mve.MoveTo(x1, z1, speed)}
+	})
+}
+
+func TestVisibilityGhostAcrossBorder(t *testing.T) {
+	loop, c := newTestCluster(t, 31, 2, Config{Visibility: VisibilityConfig{Enabled: true, Margin: 16}})
+	// Band 0 (x in [0,64)) → shard 0; band 1 → shard 1. The 16-block
+	// margin keeps the band center out of reach of either border (bands
+	// are unbounded, so band -1 sits just west of x=0 too).
+	a := c.ConnectAt("alice", nil, world.BlockPos{X: 60, Y: 0, Z: 8})
+	b := c.ConnectAt("bob", nil, world.BlockPos{X: 70, Y: 0, Z: 8})
+	c.ConnectAt("carol", nil, world.BlockPos{X: 32, Y: 0, Z: 8}) // band center: no border within 16
+	if a.Shard() != 0 || b.Shard() != 1 {
+		t.Fatalf("setup: shards %d/%d, want 0/1", a.Shard(), b.Shard())
+	}
+	c.Start()
+	loop.RunUntil(time.Second)
+
+	// Each border resident is mirrored on the neighbouring shard...
+	ga := c.Shard(1).Ghost("alice")
+	if ga == nil {
+		t.Fatal("no ghost of alice on shard 1")
+	}
+	if ga.X != 60 || ga.Home != 0 {
+		t.Fatalf("ghost of alice = %+v, want x=60 home=0", ga)
+	}
+	if c.Shard(0).Ghost("bob") == nil {
+		t.Fatal("no ghost of bob on shard 0")
+	}
+	// ...while the mid-band player replicates nowhere.
+	if c.Shard(0).Ghost("carol") != nil || c.Shard(1).Ghost("carol") != nil {
+		t.Fatal("mid-band player grew a ghost")
+	}
+	if got := c.GhostCount(); got != 2 {
+		t.Fatalf("ghost count = %d, want 2", got)
+	}
+	if c.GhostUpdates.Value() == 0 {
+		t.Fatal("no ghost updates counted")
+	}
+	// Alice and bob stand 10 blocks apart across the seam: every scan
+	// must have served the pair.
+	if got := c.VisibilityGaps.Value(); got != 0 {
+		t.Fatalf("visibility gap ticks = %d, want 0", got)
+	}
+
+	// Alice leaves the border (to the band center, out of reach of band
+	// -1's western seam too); her ghost must expire within the TTL.
+	c.Session(a).X = 32
+	loop.RunUntil(2 * time.Second)
+	if c.Shard(1).Ghost("alice") != nil {
+		t.Fatal("ghost of alice survived her leaving the border")
+	}
+	expired := false
+	for _, r := range c.GhostLog {
+		if r == (GhostRecord{Player: "alice", Shard: 1, Event: "expire"}) {
+			expired = true
+		}
+	}
+	if !expired {
+		t.Fatalf("no expire record for alice in the ghost log: %+v", c.GhostLog)
+	}
+}
+
+func TestHandoffSeamlessGhostPromotion(t *testing.T) {
+	loop := sim.NewLoop(32)
+	remote := blob.NewStore(loop, blob.TierPremium)
+	cfg := Config{
+		Transfer:   &retryingTransfer{remote: remote},
+		Shards:     2,
+		Topology:   world.BandTopology{BandChunks: 4},
+		Visibility: VisibilityConfig{Enabled: true},
+	}
+	c := New(loop, cfg, func(i int, region world.Region) *mve.Server {
+		return mve.NewServer(loop, mve.Config{WorldType: "flat", ViewDistance: 32, Region: region})
+	})
+	p := c.ConnectAt("mover", walker(80, 8, 8), world.BlockPos{X: 40, Y: 0, Z: 8})
+	c.Start()
+	// Stretch the handoff flight so the demoted ghost is observable.
+	remote.SetChaos(&blob.Chaos{LatencyFactor: 50})
+	sawPinned := false
+	var poll func()
+	poll = func() {
+		if !p.InFlight() {
+			loop.After(10*time.Millisecond, poll)
+			return
+		}
+		g := c.Shard(0).Ghost("mover")
+		if g == nil {
+			t.Error("no ghost of the in-flight session on the source shard")
+		} else if !g.Pinned {
+			t.Error("in-flight ghost is not pinned")
+		} else {
+			sawPinned = true
+		}
+		// The destination shard was already mirroring the approaching
+		// avatar; that ghost must ride out the whole (brownout-stretched)
+		// flight pinned instead of TTL-expiring — the avatar would
+		// otherwise pop out of the very world it is arriving in. Keep
+		// polling until the flight ends to catch a late expiry.
+		if dg := c.Shard(1).Ghost("mover"); dg == nil {
+			t.Error("destination shard's ghost expired mid-flight")
+		} else if !dg.Pinned {
+			t.Error("destination shard's ghost not pinned mid-flight")
+		}
+		loop.After(10*time.Millisecond, poll)
+	}
+	loop.After(10*time.Millisecond, poll)
+	loop.RunUntil(90 * time.Second)
+
+	if c.Handoffs.Value() == 0 {
+		t.Fatal("no handoff happened")
+	}
+	if !sawPinned {
+		t.Fatal("handoff never observed in flight; test proves nothing")
+	}
+	if p.Shard() != 1 {
+		t.Fatalf("mover on shard %d, want 1", p.Shard())
+	}
+	// Promotion: the real avatar replaced any ghost on the destination.
+	if c.Shard(1).Ghost("mover") != nil {
+		t.Fatal("ghost of mover still on its own shard after admission")
+	}
+	// The source's demoted double is unpinned again (free to expire once
+	// the avatar leaves the border).
+	if g := c.Shard(0).Ghost("mover"); g != nil && g.Pinned {
+		t.Fatal("source ghost still pinned after the handoff completed")
+	}
+	var demotes, promotes int
+	for _, r := range c.GhostLog {
+		if r.Player != "mover" {
+			continue
+		}
+		switch r.Event {
+		case "demote":
+			demotes++
+		case "promote":
+			if demotes == 0 {
+				t.Fatal("promote before demote in the ghost log")
+			}
+			promotes++
+		}
+	}
+	if demotes == 0 {
+		t.Fatalf("no demote records in the ghost log: %+v", c.GhostLog)
+	}
+}
+
+// TestVisibilityDigestDeterministicReplay runs the same seeded pacing
+// cluster twice: the published digest byte stream, the ghost-transition
+// log, and the handoff log must be identical — the replay surface of the
+// interest-management layer.
+func TestVisibilityDigestDeterministicReplay(t *testing.T) {
+	run := func() ([]byte, []GhostRecord, []HandoffRecord) {
+		loop := sim.NewLoop(33)
+		remote := blob.NewStore(loop, blob.TierPremium)
+		var stream bytes.Buffer
+		cfg := Config{
+			Transfer: &retryingTransfer{remote: remote},
+			Shards:   2,
+			Topology: world.BandTopology{BandChunks: 4},
+			Visibility: VisibilityConfig{
+				Enabled: true,
+				Observer: func(src, dst int, digest []byte) {
+					fmt.Fprintf(&stream, "%d>%d:", src, dst)
+					stream.Write(digest)
+				},
+			},
+		}
+		c := New(loop, cfg, func(i int, region world.Region) *mve.Server {
+			return mve.NewServer(loop, mve.Config{WorldType: "flat", ViewDistance: 32, Region: region})
+		})
+		for i := 0; i < 6; i++ {
+			speed := 4 + loop.RNG().Float64()*4
+			c.ConnectAt(fmt.Sprintf("p%d", i), pacer(40, float64(i*8), 90, float64(i*8), speed),
+				world.BlockPos{X: 40, Y: 0, Z: i * 8})
+		}
+		c.Start()
+		loop.RunUntil(2 * time.Minute)
+		return stream.Bytes(), append([]GhostRecord(nil), c.GhostLog...), append([]HandoffRecord(nil), c.Log...)
+	}
+	d1, g1, h1 := run()
+	d2, g2, h2 := run()
+	if len(d1) == 0 || len(g1) == 0 || len(h1) == 0 {
+		t.Fatalf("empty replay surface (digests %d, ghost log %d, handoffs %d); test proves nothing",
+			len(d1), len(g1), len(h1))
+	}
+	if !bytes.Equal(d1, d2) {
+		t.Fatalf("digest streams diverge (%d vs %d bytes)", len(d1), len(d2))
+	}
+	if len(g1) != len(g2) {
+		t.Fatalf("ghost logs diverge: %d vs %d records", len(g1), len(g2))
+	}
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatalf("ghost log[%d] differs: %+v vs %+v", i, g1[i], g2[i])
+		}
+	}
+	if len(h1) != len(h2) {
+		t.Fatalf("handoff logs diverge: %d vs %d", len(h1), len(h2))
+	}
+}
+
+// TestVisibilityBrownoutDegradesWithoutLosingLiveness: a storage
+// brownout stretches handoffs, so in-flight sessions survive only as
+// stale pinned ghosts — which must persist for the whole flight (no
+// pop-out) and resolve once the writes land. Replication itself is
+// in-memory, so the brownout degrades freshness, never liveness.
+func TestVisibilityBrownoutDegradesWithoutLosingLiveness(t *testing.T) {
+	loop := sim.NewLoop(34)
+	remote := blob.NewStore(loop, blob.TierPremium)
+	cfg := Config{
+		Transfer:   &retryingTransfer{remote: remote},
+		Shards:     2,
+		Topology:   world.BandTopology{BandChunks: 4},
+		Visibility: VisibilityConfig{Enabled: true},
+	}
+	c := New(loop, cfg, func(i int, region world.Region) *mve.Server {
+		return mve.NewServer(loop, mve.Config{WorldType: "flat", ViewDistance: 32, Region: region})
+	})
+	p := c.ConnectAt("trooper", pacer(40, 8, 90, 8, 6), world.BlockPos{X: 40, Y: 0, Z: 8})
+	c.ConnectAt("watcher", nil, world.BlockPos{X: 60, Y: 0, Z: 8})
+	remote.SetChaos(&blob.Chaos{ReadErrorRate: 0.4, WriteErrorRate: 0.4, LatencyFactor: 20})
+	c.Start()
+	ghostGone := 0
+	var watch func()
+	watch = func() {
+		if p.InFlight() && c.Shard(0).Ghost("trooper") == nil && c.Shard(1).Ghost("trooper") == nil {
+			ghostGone++ // the avatar vanished from every world mid-flight
+		}
+		loop.After(50*time.Millisecond, watch)
+	}
+	loop.After(50*time.Millisecond, watch)
+	loop.RunUntil(3 * time.Minute)
+
+	if remote.FaultsInjected.Value() == 0 {
+		t.Fatal("brownout injected no faults; test proves nothing")
+	}
+	if c.Handoffs.Value() == 0 {
+		t.Fatal("no handoff completed through the brownout")
+	}
+	if ghostGone != 0 {
+		t.Fatalf("avatar invisible everywhere for %d observations mid-handoff", ghostGone)
+	}
+	if c.PlayerCount() != 2 {
+		t.Fatalf("players = %d after brownout, want 2", c.PlayerCount())
+	}
+	if c.Session(p) == nil && !p.InFlight() {
+		t.Fatal("session lost")
+	}
+	// Degradation is visible: the brownout stretched handoffs well past
+	// the replication interval, so the pinned ghost served stale state.
+	if lat := c.HandoffLatency.Max(); lat < DefaultVisibilityInterval {
+		t.Fatalf("handoff latency %v too small for staleness to matter", lat)
+	}
+}
+
+// TestVisibilityServesDisplacedSessions covers the migration/handoff
+// transient: after a tile flips owner, its residents are hosted by a
+// shard that owns none of the terrain within their margin, so tile-based
+// interest alone can never name their host — yet a neighbour hosted by
+// the new owner must still see them (and vice versa), and the gap audit
+// must cover the pair. The handoff scan is parked (1h interval) to hold
+// the transient open.
+func TestVisibilityServesDisplacedSessions(t *testing.T) {
+	loop, c := newTestCluster(t, 35, 2, Config{
+		ScanInterval: time.Hour,
+		Visibility:   VisibilityConfig{Enabled: true, Margin: 16},
+	})
+	// Band 2 (x in [128,192)) starts as shard 0's; both players stand at
+	// its center, far from any band border under the 16-block margin.
+	home := c.TileCenter(world.TileID{X: 2})
+	a := c.ConnectAt("astray", nil, home)
+	if a.Shard() != 0 {
+		t.Fatalf("astray on shard %d, want 0", a.Shard())
+	}
+	c.Start()
+	loop.RunUntil(time.Second)
+	if !c.MigrateTile(world.TileID{X: 2}, 1) {
+		t.Fatal("MigrateTile refused")
+	}
+	loop.RunUntil(1100 * time.Millisecond) // let the flip land
+	// A second player joins on the migrated terrain: routed to the new
+	// owner, standing right next to the displaced resident.
+	b := c.ConnectAt("bystander", nil, home)
+	if b.Shard() != 1 {
+		t.Fatalf("bystander on shard %d, want 1", b.Shard())
+	}
+	loop.RunUntil(2 * time.Second)
+
+	if a.Shard() != 0 {
+		t.Fatal("handoff scan fired; the displaced transient did not hold")
+	}
+	if c.Shard(1).Ghost("astray") == nil {
+		t.Fatal("displaced session not mirrored onto the terrain owner's shard")
+	}
+	if c.Shard(0).Ghost("bystander") == nil {
+		t.Fatal("neighbour of a displaced session not mirrored onto its host shard")
+	}
+	if got := c.VisibilityGaps.Value(); got != 0 {
+		t.Fatalf("visibility gap ticks = %d, want 0 (pair must be served)", got)
+	}
+}

@@ -107,6 +107,24 @@ type Config struct {
 	// RebalanceInterval is the controller check cadence
 	// (0 → cluster.DefaultRebalanceInterval).
 	RebalanceInterval time.Duration
+	// Visibility enables the cluster's interest-management layer:
+	// avatars within the border margin of a tile boundary replicate to
+	// the neighbouring shards as read-only ghost avatars, so players
+	// near a seam see one continuous world. Only meaningful with
+	// Shards > 1.
+	Visibility bool
+	// VisibilityMargin is the border margin in blocks
+	// (0 → the view distance).
+	VisibilityMargin int
+	// VisibilityInterval is the replication cadence
+	// (0 → cluster.DefaultVisibilityInterval).
+	VisibilityInterval time.Duration
+	// CheckpointInterval, when positive, periodically persists every
+	// session's snapshot through the shared store, so a shard failover
+	// restores inventory even for players the handoff path never
+	// persisted. Requires a storage backend; only meaningful with
+	// Shards > 1.
+	CheckpointInterval time.Duration
 }
 
 // ShardComponents holds the per-shard component instances riding on the
@@ -320,10 +338,16 @@ func New(clock sim.Clock, cfg Config) *System {
 				Threshold: cfg.RebalanceThreshold,
 				Interval:  cfg.RebalanceInterval,
 			},
+			Visibility: cluster.VisibilityConfig{
+				Enabled:  cfg.Visibility,
+				Margin:   cfg.VisibilityMargin,
+				Interval: cfg.VisibilityInterval,
+			},
 		}
 		if sys.Remote != nil {
 			clCfg.Transfer = &blobTransfer{remote: sys.Remote}
 			clCfg.TableStore = &blobTableStore{remote: sys.Remote}
+			clCfg.Checkpoint = cfg.CheckpointInterval
 		}
 		sys.Cluster = cluster.New(clock, clCfg, buildShard)
 	}

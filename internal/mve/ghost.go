@@ -1,0 +1,113 @@
+// The ghost registry: read-only avatars replicated from neighbouring
+// shards. A sharded server renders its own residents; without ghosts a
+// player standing one block from a tile boundary cannot see an avatar
+// two blocks away on the neighbouring shard. The cluster's visibility
+// bus (internal/cluster) publishes border avatars here each replication
+// tick; the server treats ghosts as display-only state — they take no
+// actions, own no sessions, and never persist — but they do feed the
+// pre-fetching store (scanTerrainDemand observes their positions), so
+// the terrain around an approaching avatar is warm before its handoff
+// lands.
+
+package mve
+
+import "servo/internal/world"
+
+// GhostAvatar is a read-only avatar mirrored from another shard.
+type GhostAvatar struct {
+	// ID is a per-server ghost identity, stable for the ghost's lifetime
+	// and distinct from every PlayerID (rtserve reports ghosts under the
+	// negated id).
+	ID int64
+	// Name is the cluster-wide player name the ghost mirrors.
+	Name string
+	// X, Z is the replicated avatar position.
+	X, Z float64
+	// Home is the shard hosting the real session (the handoff
+	// destination while the session is in flight).
+	Home int
+	// Pinned marks a ghost that must survive staleness reaping: the
+	// demoted double of a session whose handoff is crossing the storage
+	// substrate and cannot refresh itself.
+	Pinned bool
+	// seq is the replication-scan sequence number of the last refresh.
+	seq uint64
+}
+
+// Pos returns the ghost's position as a block position.
+func (g *GhostAvatar) Pos() world.BlockPos {
+	return world.BlockPos{X: int(g.X), Z: int(g.Z)}
+}
+
+// UpsertGhost installs or refreshes the ghost mirroring name, reporting
+// whether it was newly created. seq stamps the refresh for staleness
+// reaping (ExpireGhosts).
+func (s *Server) UpsertGhost(name string, x, z float64, home int, seq uint64) bool {
+	if g, ok := s.ghosts[name]; ok {
+		g.X, g.Z, g.Home, g.seq = x, z, home, seq
+		return false
+	}
+	s.nextGhost++
+	s.ghosts[name] = &GhostAvatar{ID: s.nextGhost, Name: name, X: x, Z: z, Home: home, seq: seq}
+	s.ghostOrder = append(s.ghostOrder, name)
+	return true
+}
+
+// PinGhost marks or unmarks the named ghost as handoff-pinned; pinned
+// ghosts are exempt from ExpireGhosts. A no-op for unknown names.
+func (s *Server) PinGhost(name string, pinned bool) {
+	if g, ok := s.ghosts[name]; ok {
+		g.Pinned = pinned
+	}
+}
+
+// RemoveGhost drops the named ghost (e.g. because the session it mirrors
+// was admitted here — the ghost promotes to a real avatar). It reports
+// whether a ghost existed.
+func (s *Server) RemoveGhost(name string) bool {
+	if _, ok := s.ghosts[name]; !ok {
+		return false
+	}
+	delete(s.ghosts, name)
+	for i, n := range s.ghostOrder {
+		if n == name {
+			s.ghostOrder = append(s.ghostOrder[:i], s.ghostOrder[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// ExpireGhosts removes every unpinned ghost last refreshed before seq
+// and returns their names in registry order (the deterministic expiry
+// sequence the cluster logs).
+func (s *Server) ExpireGhosts(before uint64) []string {
+	var expired []string
+	kept := s.ghostOrder[:0]
+	for _, name := range s.ghostOrder {
+		g := s.ghosts[name]
+		if !g.Pinned && g.seq < before {
+			delete(s.ghosts, name)
+			expired = append(expired, name)
+			continue
+		}
+		kept = append(kept, name)
+	}
+	s.ghostOrder = kept
+	return expired
+}
+
+// Ghost returns the ghost mirroring name, or nil.
+func (s *Server) Ghost(name string) *GhostAvatar { return s.ghosts[name] }
+
+// Ghosts returns the live ghosts in creation order.
+func (s *Server) Ghosts() []*GhostAvatar {
+	out := make([]*GhostAvatar, 0, len(s.ghostOrder))
+	for _, name := range s.ghostOrder {
+		out = append(out, s.ghosts[name])
+	}
+	return out
+}
+
+// GhostCount returns the number of live ghosts.
+func (s *Server) GhostCount() int { return len(s.ghosts) }

@@ -120,6 +120,19 @@ type Server struct {
 	playerOrder []PlayerID
 	nextPlayer  PlayerID
 
+	// Ghost registry (ghost.go): read-only avatars replicated from
+	// neighbouring shards by the cluster's visibility bus.
+	ghosts     map[string]*GhostAvatar
+	ghostOrder []string
+	nextGhost  int64
+
+	// Per-tile cost attribution: actions and chunk stores keyed by the
+	// region tile they happened in (nil topology — the unsharded case —
+	// disables attribution entirely).
+	tileTopo    world.Topology
+	tileActions map[world.TileID]int64
+	tileStores  map[world.TileID]int64
+
 	// Construct placement: world-footprint → construct id, plus anchors
 	// for halting on unload.
 	footprint map[world.BlockPos]uint64
@@ -183,12 +196,22 @@ func NewServer(clock sim.Clock, cfg Config) *Server {
 		terrain:       cfg.Terrain,
 		store:         cfg.Store,
 		players:       make(map[PlayerID]*Player),
+		ghosts:        make(map[string]*GhostAvatar),
 		footprint:     make(map[world.BlockPos]uint64),
 		anchors:       make(map[uint64]haltedConstruct),
 		halted:        make(map[world.ChunkPos][]haltedConstruct),
 		requested:     make(map[world.ChunkPos]bool),
 		TickDurations: metrics.NewSample(16384),
 		TickSeries:    &metrics.TimeSeries{},
+	}
+	if cfg.Region.Table != nil {
+		s.tileTopo = cfg.Region.Table.Topology()
+	} else {
+		s.tileTopo = cfg.Region.Topo
+	}
+	if s.tileTopo != nil {
+		s.tileActions = make(map[world.TileID]int64)
+		s.tileStores = make(map[world.TileID]int64)
 	}
 	if s.scs == nil {
 		s.scs = NewLocalSC(cost.SCEveryOtherTick)
@@ -227,6 +250,45 @@ func (s *Server) OwnedRegion() world.Region { return s.cfg.Region }
 
 // owned reports whether this server is the persisting owner of the chunk.
 func (s *Server) owned(cp world.ChunkPos) bool { return s.cfg.Region.Contains(cp) }
+
+// TileCost is the work one server attributed to a region tile: player
+// actions processed there and chunk writes issued for its terrain — the
+// per-tile load signal behind the resident-player proxy the controller
+// uses today.
+type TileCost struct {
+	Actions, Stores int64
+}
+
+// TileCosts returns a copy of the per-tile attributed cost since boot
+// (empty for an unsharded server, which has no tiles).
+func (s *Server) TileCosts() map[world.TileID]TileCost {
+	out := make(map[world.TileID]TileCost, len(s.tileActions))
+	for t, n := range s.tileActions {
+		c := out[t]
+		c.Actions = n
+		out[t] = c
+	}
+	for t, n := range s.tileStores {
+		c := out[t]
+		c.Stores = n
+		out[t] = c
+	}
+	return out
+}
+
+// noteAction attributes one processed action to the acting avatar's tile.
+func (s *Server) noteAction(pos world.BlockPos) {
+	if s.tileTopo != nil {
+		s.tileActions[s.tileTopo.TileOf(pos.Chunk())]++
+	}
+}
+
+// noteStore attributes one chunk write to the chunk's tile.
+func (s *Server) noteStore(cp world.ChunkPos) {
+	if s.tileTopo != nil {
+		s.tileStores[s.tileTopo.TileOf(cp)]++
+	}
+}
 
 // Clock returns the server's clock.
 func (s *Server) Clock() sim.Clock { return s.clock }
@@ -271,6 +333,8 @@ func (s *Server) Crash() {
 	s.stopped = true
 	s.players = make(map[PlayerID]*Player)
 	s.playerOrder = nil
+	s.ghosts = make(map[string]*GhostAvatar)
+	s.ghostOrder = nil
 }
 
 // SetChatRelay installs a cluster-wide chat fan-out: chat actions deliver
@@ -315,6 +379,7 @@ func (s *Server) FlushOwnedChunks(pred func(world.ChunkPos) bool, done func()) {
 			continue
 		}
 		c := s.world.Chunk(cp)
+		s.noteStore(cp)
 		if syncStore != nil {
 			pending++
 			syncStore.StoreThen(c, finish)
@@ -494,8 +559,13 @@ func (s *Server) scanTerrainDemand() {
 			s.requestChunk(cp)
 		}
 	}
-	// Give pre-fetching stores the avatar positions (§III-E).
+	// Give pre-fetching stores the avatar positions (§III-E) — ghosts
+	// included, so the terrain around an avatar approaching from a
+	// neighbouring shard is warm before its handoff lands.
 	if obs, ok := s.store.(AvatarObserver); ok {
+		for _, name := range s.ghostOrder {
+			avatarPositions = append(avatarPositions, s.ghosts[name].Pos())
+		}
 		obs.ObserveAvatars(avatarPositions, s.cfg.ViewDistance+PrefetchMargin)
 	}
 }
@@ -540,6 +610,7 @@ func (s *Server) applyCompletedChunks() time.Duration {
 	for _, c := range s.terrain.Drain() {
 		apply(c)
 		if s.store != nil && s.owned(c.Pos) {
+			s.noteStore(c.Pos)
 			s.store.Store(c) // persist freshly generated terrain
 		}
 	}
@@ -630,6 +701,7 @@ func (s *Server) unloadFarChunks() {
 		}
 		c := s.world.Chunk(cp)
 		if s.store != nil && c != nil && s.owned(cp) {
+			s.noteStore(cp)
 			s.store.Store(c)
 		}
 		s.world.RemoveChunk(cp)

@@ -104,16 +104,15 @@ type PlayerSnapshot struct {
 	Constructs []ConstructSnapshot
 }
 
-// EvictPlayer removes a session without persisting it and returns its
-// snapshot: the source half of a cross-shard handoff, where the cluster —
-// not the shard — owns the persistence round-trip. ok is false if the
-// session does not exist.
-func (s *Server) EvictPlayer(id PlayerID) (PlayerSnapshot, bool) {
+// SnapshotPlayer returns a session's transferable state without removing
+// it: the periodic-checkpoint path, which persists never-evicted players
+// so a shard failover restores their inventory rather than only their
+// scan-tracked position. ok is false if the session does not exist.
+func (s *Server) SnapshotPlayer(id PlayerID) (PlayerSnapshot, bool) {
 	p, ok := s.players[id]
 	if !ok {
 		return PlayerSnapshot{}, false
 	}
-	s.removeSession(id)
 	return PlayerSnapshot{
 		Name:           p.Name,
 		X:              p.X,
@@ -125,6 +124,19 @@ func (s *Server) EvictPlayer(id PlayerID) (PlayerSnapshot, bool) {
 		ChunksReceived: p.ChunksReceived,
 		Behavior:       p.behavior,
 	}, true
+}
+
+// EvictPlayer removes a session without persisting it and returns its
+// snapshot: the source half of a cross-shard handoff, where the cluster —
+// not the shard — owns the persistence round-trip. ok is false if the
+// session does not exist.
+func (s *Server) EvictPlayer(id PlayerID) (PlayerSnapshot, bool) {
+	snap, ok := s.SnapshotPlayer(id)
+	if !ok {
+		return PlayerSnapshot{}, false
+	}
+	s.removeSession(id)
+	return snap, true
 }
 
 // AdmitPlayer installs a session from a snapshot at its recorded position:
@@ -156,6 +168,7 @@ func (s *Server) AdmitPlayer(snap PlayerSnapshot) *Player {
 // processAction applies one player action and returns its work cost.
 func (s *Server) processAction(p *Player, a Action) time.Duration {
 	s.ActionCount.Inc()
+	s.noteAction(p.Pos())
 	cost := s.cost.PerAction
 	switch a.Kind {
 	case ActionMove:

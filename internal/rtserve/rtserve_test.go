@@ -149,3 +149,38 @@ func TestServedChunksDecode(t *testing.T) {
 		return ch >= 4
 	})
 }
+
+// TestGhostAvatarsInStateUpdates: ghost avatars — replicated from a
+// neighbouring shard by the cluster's visibility bus — merge into the
+// protocol state updates under negated ids, so a client near a region
+// border sees one continuous world.
+func TestGhostAvatarsInStateUpdates(t *testing.T) {
+	inst, _, addr := startServer(t, servo.Config{Seed: 9})
+	c, err := Dial(addr, "viewer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	inst.Locked(func() {
+		inst.Server().UpsertGhost("neighbour", 20, 30, 1, 1)
+	})
+	waitFor(t, "the ghost avatar", func() bool {
+		_, _, ok := c.Position(-1)
+		return ok
+	})
+	x, z, _ := c.Position(-1)
+	if x != 20 || z != 30 {
+		t.Fatalf("ghost at (%g, %g), want (20, 30)", x, z)
+	}
+	// The viewer's own avatar still arrives under its positive id.
+	if _, _, ok := c.Position(c.PlayerID()); !ok {
+		t.Fatal("local avatar missing from updates")
+	}
+	// Promotion removes the ghost from subsequent updates.
+	inst.Locked(func() { inst.Server().RemoveGhost("neighbour") })
+	waitFor(t, "ghost removal", func() bool {
+		var n int
+		inst.Locked(func() { n = inst.Server().GhostCount() })
+		return n == 0
+	})
+}

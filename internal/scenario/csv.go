@@ -13,10 +13,11 @@ import (
 //
 // One table, discriminated by the kind column:
 //
-//	kind=scenario  name=<scenario>          value=<pass|fail>
-//	kind=metric    name=<metric>            value=<end-of-run value>
-//	kind=assert    name=<metric op bound>   value=<actual>  ok=<pass|fail>
-//	kind=tick      shard=<i> at_ms=<t>      value=<tick duration, ms>
+//	kind=scenario   name=<scenario>          value=<pass|fail>
+//	kind=metric     name=<metric>            value=<end-of-run value>
+//	kind=assert     name=<metric op bound>   value=<actual>  ok=<pass|fail>
+//	kind=tick       shard=<i> at_ms=<t>      value=<tick duration, ms>
+//	kind=tile_load  shard=<owner> name=tile_<x>_<z>_{actions,stores}  value=<count>
 //
 // None of the emitted fields contain commas or quotes, so the output
 // needs no CSV escaping.
@@ -51,6 +52,10 @@ func (r *Report) RenderCSVRows() string {
 			name += fmt.Sprintf(" in [%s %s]", c.From, c.To)
 		}
 		fmt.Fprintf(&b, "assert,,%s,,%s,%s\n", name, fmtVal(c.Actual), status)
+	}
+	for _, tl := range r.TileLoads {
+		fmt.Fprintf(&b, "tile_load,%d,tile_%d_%d_actions,,%d,\n", tl.Owner, tl.X, tl.Z, tl.Actions)
+		fmt.Fprintf(&b, "tile_load,%d,tile_%d_%d_stores,,%d,\n", tl.Owner, tl.X, tl.Z, tl.Stores)
 	}
 	for _, s := range r.Series {
 		for _, p := range s.Ticks {

@@ -47,20 +47,24 @@ type front struct{ sys *core.System }
 
 func (f front) sharded() bool { return f.sys.Cluster != nil }
 
-// placement says where a player joins: a specific tile's center, a
-// shard's home tile, or world spawn.
+// placement says where a player joins: an exact block position, a
+// specific tile's center, a shard's home tile, or world spawn.
 type placement struct {
-	shard int           // -1 = spawn (unless tile is set)
+	shard int           // -1 = spawn (unless tile or pos is set)
 	tile  *world.TileID // tile center placement, finer-grained than shard
+	pos   *world.BlockPos
 }
 
 // atSpawn is the default placement.
 var atSpawn = placement{shard: -1}
 
-// connect joins a player at the placement (sharded systems only honour
-// shard/tile placement; a single server always joins at spawn).
+// connect joins a player at the placement (shard/tile placement needs a
+// sharded system; explicit positions work everywhere).
 func (f front) connect(name string, b mve.Behavior, pl placement) ref {
 	if cl := f.sys.Cluster; cl != nil {
+		if pl.pos != nil {
+			return ref{cp: cl.ConnectAt(name, b, *pl.pos)}
+		}
 		if pl.tile != nil {
 			return ref{cp: cl.ConnectAt(name, b, cl.TileCenter(*pl.tile))}
 		}
@@ -68,6 +72,9 @@ func (f front) connect(name string, b mve.Behavior, pl placement) ref {
 			return ref{cp: cl.ConnectAt(name, b, cl.Home(pl.shard))}
 		}
 		return ref{cp: cl.Connect(name, b)}
+	}
+	if pl.pos != nil {
+		return ref{p: f.sys.Server.ConnectAt(name, b, float64(pl.pos.X), float64(pl.pos.Z))}
 	}
 	return ref{p: f.sys.Server.Connect(name, b)}
 }
@@ -256,6 +263,12 @@ func (r *Runner) build() {
 		cfg.RebalanceThreshold = rb.Threshold
 		cfg.RebalanceInterval = rb.Interval.D()
 	}
+	if v := spec.Visibility; v != nil {
+		cfg.Visibility = true
+		cfg.VisibilityMargin = v.Margin
+		cfg.VisibilityInterval = v.Interval.D()
+	}
+	cfg.CheckpointInterval = spec.Checkpoint.D()
 	if se := spec.Backend.SpecExec; se != nil {
 		sx := specexec.DefaultConfig()
 		if se.TickLead != nil {
@@ -380,6 +393,9 @@ func (r *Runner) runPrewrite(cfg core.Config) core.Config {
 // fleetPlacement returns a fleet group's join placement. A legacy band
 // reference b is the band-topology tile [b, 0] (the z=0 row).
 func fleetPlacement(g FleetGroup) placement {
+	if g.Pos != nil {
+		return placement{shard: -1, pos: &world.BlockPos{X: g.Pos[0], Z: g.Pos[1]}}
+	}
 	if g.Tile != nil {
 		return placement{shard: -1, tile: &world.TileID{X: g.Tile[0], Z: g.Tile[1]}}
 	}
@@ -635,6 +651,7 @@ type baseline struct {
 	handoffs                                    int64
 	rebalances, tilesMoved                      int64
 	failovers, playersFailedOver                int64
+	ghostUpdates, visibilityGaps                int64
 	handoffsIn, handoffsOut                     []int64
 }
 
@@ -685,6 +702,8 @@ func (r *Runner) snapshotBaseline() {
 		b.tilesMoved = cl.TilesMoved.Value()
 		b.failovers = cl.Failovers.Value()
 		b.playersFailedOver = cl.PlayersFailedOver.Value()
+		b.ghostUpdates = cl.GhostUpdates.Value()
+		b.visibilityGaps = cl.VisibilityGaps.Value()
 		for i := range r.sys.Shards {
 			b.handoffsIn = append(b.handoffsIn, cl.HandoffsIn[i].Value())
 			b.handoffsOut = append(b.handoffsOut, cl.HandoffsOut[i].Value())
@@ -913,6 +932,11 @@ func (r *Runner) collect() *Report {
 		vals["bands_moved"] = vals["tiles_moved"] // PR 3 band-era alias
 		vals["failovers"] = float64(cl.Failovers.Value() - b.failovers)
 		vals["players_failed_over"] = float64(cl.PlayersFailedOver.Value() - b.playersFailedOver)
+		if spec.Visibility != nil {
+			vals["ghost_avatars"] = float64(cl.GhostCount())
+			vals["ghost_updates"] = float64(cl.GhostUpdates.Value() - b.ghostUpdates)
+			vals["visibility_gap_ticks"] = float64(cl.VisibilityGaps.Value() - b.visibilityGaps)
+		}
 		// Load imbalance: max over shards of mean tick duration, divided
 		// by the cross-shard mean (1 = perfectly balanced).
 		var loads []float64
@@ -940,6 +964,14 @@ func (r *Runner) collect() *Report {
 			series.Ticks[j] = TickPoint{At: times[j], Dur: durs[j]}
 		}
 		rep.Series = append(rep.Series, series)
+	}
+	if cl := r.sys.Cluster; cl != nil {
+		for _, tl := range cl.TileLoads() {
+			rep.TileLoads = append(rep.TileLoads, TileLoadRow{
+				X: tl.Tile.X, Z: tl.Tile.Z, Owner: tl.Owner,
+				Actions: tl.Actions, Stores: tl.Stores,
+			})
+		}
 	}
 	for _, e := range metricOrder {
 		if v, ok := vals[e.Name]; ok {

@@ -514,3 +514,60 @@ func TestCrossShardChatScenario(t *testing.T) {
 		t.Fatalf("cross-shard chat scenario failed:\n%s", rep.Render())
 	}
 }
+
+// TestVisibilityScenarioInline: a two-shard band cluster with fleets
+// anchored on the x=128 band seam (pos placement) must replicate ghosts
+// both ways, keep the gap counter at zero, and emit per-tile load rows
+// in the CSV report.
+func TestVisibilityScenarioInline(t *testing.T) {
+	spec, err := Parse([]byte(`{
+		"name": "visibility-inline",
+		"seed": 9,
+		"duration": "60s",
+		"warmup": "5s",
+		"shards": 2,
+		"visibility": {},
+		"world": {"view_distance": 64},
+		"backend": {"storage": true},
+		"fleet": [{"count": 6, "behavior": "A", "pos": [128, 0]}],
+		"assertions": [
+			{"metric": "ghost_updates", "op": ">", "value": 0},
+			{"metric": "ghost_avatars", "op": ">=", "value": 1},
+			{"metric": "visibility_gap_ticks", "op": "<=", "value": 0},
+			{"metric": "handoffs", "op": ">=", "value": 1}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("visibility scenario failed:\n%s", rep.Render())
+	}
+	if len(rep.TileLoads) == 0 {
+		t.Fatal("sharded report has no tile_load rows")
+	}
+	var actions int64
+	for _, tl := range rep.TileLoads {
+		actions += tl.Actions
+	}
+	if actions == 0 {
+		t.Fatal("tile_load rows attribute no actions")
+	}
+	if !strings.Contains(rep.RenderCSVRows(), "tile_load,") {
+		t.Fatal("CSV output missing tile_load rows")
+	}
+	// The per-tile attribution must account for every processed action.
+	var actionsMetric float64
+	for _, m := range rep.Metrics {
+		if m.Name == "actions" {
+			actionsMetric = m.Value
+		}
+	}
+	if float64(actions) < actionsMetric {
+		t.Fatalf("tile-attributed actions %d < measured actions %g", actions, actionsMetric)
+	}
+}

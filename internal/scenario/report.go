@@ -11,13 +11,14 @@ import (
 // Metric availability classes: some metrics only exist when the matching
 // backend is configured, and assertions on them are rejected statically.
 const (
-	needsNone    = ""
-	needsSC      = "sc"      // backend.constructs
-	needsTG      = "tg"      // backend.terrain
-	needsFaaS    = "faas"    // any serverless function backend
-	needsCache   = "cache"   // backend.storage (the terrain cache)
-	needsStore   = "store"   // backend.storage or backend.local_store
-	needsCluster = "cluster" // shards > 1
+	needsNone       = ""
+	needsSC         = "sc"         // backend.constructs
+	needsTG         = "tg"         // backend.terrain
+	needsFaaS       = "faas"       // any serverless function backend
+	needsCache      = "cache"      // backend.storage (the terrain cache)
+	needsStore      = "store"      // backend.storage or backend.local_store
+	needsCluster    = "cluster"    // shards > 1
+	needsVisibility = "visibility" // a visibility section (and shards > 1)
 )
 
 // metricOrder fixes the registry and its deterministic report order.
@@ -72,7 +73,10 @@ var metricOrder = []struct {
 	{"bands_moved", needsCluster},     // legacy alias of tiles_moved (PR 3 band-era name)
 	{"failovers", needsCluster},       // shards failed over
 	{"players_failed_over", needsCluster},
-	{"cost_dollars", needsNone}, // FaaS + storage billing over the whole run
+	{"ghost_avatars", needsVisibility},        // live ghost avatars at end of run
+	{"ghost_updates", needsVisibility},        // digest entries applied to ghost registries
+	{"visibility_gap_ticks", needsVisibility}, // replication scans with an unserved visible pair
+	{"cost_dollars", needsNone},               // FaaS + storage billing over the whole run
 }
 
 // shardMetricBases are the per-shard metrics a sharded report rolls up,
@@ -171,6 +175,17 @@ type ShardSeries struct {
 	Ticks []TickPoint
 }
 
+// TileLoadRow is one region tile's attributed cost over the whole run
+// (warm-up included, like the tick series): player actions processed
+// and chunk writes issued on the tile's terrain, with the tile's owner
+// at end of run — the per-tile load signal behind the resident-player
+// proxy the controller uses. The CSV emitter renders it; the text
+// report does not.
+type TileLoadRow struct {
+	X, Z, Owner     int
+	Actions, Stores int64
+}
+
 // Report is the outcome of one scenario run. Its rendering is a pure
 // function of the virtual-clock execution: two runs of the same spec
 // produce byte-identical reports (text and CSV alike).
@@ -182,6 +197,9 @@ type Report struct {
 	Checks  []Check
 	// Series holds every shard's per-tick durations for the CSV emitter.
 	Series []ShardSeries
+	// TileLoads holds the per-tile cost rows of a sharded run for the
+	// CSV emitter, in space-filling-index order.
+	TileLoads []TileLoadRow
 }
 
 // fmtVal renders a metric value deterministically: integral values without

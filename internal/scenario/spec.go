@@ -128,6 +128,19 @@ type TopologySpec struct {
 // Grid reports whether the topology is a 2-D grid.
 func (t *TopologySpec) Grid() bool { return t != nil && t.Kind == "grid" }
 
+// VisibilitySpec enables the cluster's interest-management layer: each
+// replication tick, every shard publishes its avatars standing within
+// the border margin of a region-tile boundary, and the shards owning the
+// bordering tiles materialise them as read-only ghost avatars — players
+// near a seam see one continuous world, and handoffs promote/demote a
+// ghost instead of popping. Its presence in a spec turns the layer on.
+type VisibilitySpec struct {
+	// Margin is the border margin in blocks; 0 → the view distance.
+	Margin int `json:"margin,omitempty"`
+	// Interval is the replication cadence; 0 → 50ms (one server tick).
+	Interval Span `json:"interval,omitempty"`
+}
+
 // FleetGroup is a group of players joining (and optionally leaving) at
 // fixed times.
 type FleetGroup struct {
@@ -152,6 +165,10 @@ type FleetGroup struct {
 	// under the band topology (band kind only; mutually exclusive with
 	// Shard and Tile).
 	Band *int `json:"band,omitempty"`
+	// Pos, if set, places the group at that exact block position [x, z]
+	// — e.g. directly on a tile seam, where tile centers cannot reach.
+	// Mutually exclusive with Shard, Tile, and Band.
+	Pos *[2]int `json:"pos,omitempty"`
 }
 
 // ChurnSpec adds session churn to a stress fleet: bots play for an
@@ -313,6 +330,15 @@ type Spec struct {
 	// Rebalance, if set, enables the cluster controller's live tile
 	// rebalancing (requires shards > 1).
 	Rebalance *RebalanceSpec `json:"rebalance,omitempty"`
+	// Visibility, if set, enables cross-shard avatar visibility: border
+	// avatars replicate to neighbouring shards as read-only ghosts
+	// (requires shards > 1).
+	Visibility *VisibilitySpec `json:"visibility,omitempty"`
+	// Checkpoint, if set, periodically persists every session's snapshot
+	// through the shared store, so shard failover restores inventory
+	// even for players that never crossed a boundary (requires
+	// shards > 1 and a storage backend).
+	Checkpoint Span `json:"checkpoint,omitempty"`
 
 	World      WorldSpec        `json:"world,omitempty"`
 	Backend    BackendSpec      `json:"backend,omitempty"`
@@ -390,6 +416,22 @@ func (s *Spec) Validate() error {
 		}
 		if rb.Threshold != 0 && rb.Threshold < 1 {
 			return s.errf("rebalance.threshold must be >= 1 (got %g)", rb.Threshold)
+		}
+	}
+	if v := s.Visibility; v != nil {
+		if s.Shards <= 1 {
+			return s.errf("visibility requires shards > 1")
+		}
+		if v.Margin < 0 || v.Margin > 1024 {
+			return s.errf("visibility.margin must be in [0, 1024] (got %d)", v.Margin)
+		}
+	}
+	if s.Checkpoint != 0 {
+		if s.Shards <= 1 {
+			return s.errf("checkpoint requires shards > 1")
+		}
+		if !s.hasStore() {
+			return s.errf("checkpoint requires a storage backend (backend.storage or backend.local_store)")
 		}
 	}
 
@@ -578,13 +620,20 @@ func (s *Spec) validateFleet(section string, fleet []FleetGroup, horizonName str
 			}
 		}
 		placements := 0
-		for _, set := range []bool{g.Shard != nil, g.Tile != nil, g.Band != nil} {
+		for _, set := range []bool{g.Shard != nil, g.Tile != nil, g.Band != nil, g.Pos != nil} {
 			if set {
 				placements++
 			}
 		}
 		if placements > 1 {
-			return s.errf("%s[%d]: shard, tile, and band placement are mutually exclusive", section, i)
+			return s.errf("%s[%d]: shard, tile, band, and pos placement are mutually exclusive", section, i)
+		}
+		if g.Pos != nil {
+			for _, v := range *g.Pos {
+				if v < -100000 || v > 100000 {
+					return s.errf("%s[%d]: pos coordinate %d out of range [-100000, 100000]", section, i, v)
+				}
+			}
 		}
 		if g.Tile != nil {
 			if err := s.validateTileRef(fmt.Sprintf("%s[%d]", section, i), *g.Tile); err != nil {
@@ -952,6 +1001,10 @@ func (s *Spec) validateAssertion(i int, a Assertion) error {
 	case needsCluster:
 		if s.Shards <= 1 {
 			return s.errf("assertions[%d]: metric %q requires shards > 1", i, a.Metric)
+		}
+	case needsVisibility:
+		if s.Visibility == nil {
+			return s.errf("assertions[%d]: metric %q requires a visibility section", i, a.Metric)
 		}
 	}
 	switch a.Op {

@@ -118,6 +118,14 @@ func TestParseRejectsInvalidSpecs(t *testing.T) {
 		{"crowd tile and band", minimal(`"shards": 2, "events": [{"at": "1s", "kind": "flash_crowd", "count": 1, "tile": [0, 0], "band": 1}]`), "mutually exclusive"},
 		{"tile on wrong kind", minimal(`"events": [{"at": "1s", "kind": "disconnect", "count": 1, "tile": [0, 0]}]`), `field "tile" does not apply`},
 		{"windowed view_margin bad window", minimal(`"assertions": [{"metric": "view_margin", "op": ">", "value": 0, "from": "10s", "to": "5s"}]`), "from 10s must be before to 5s"},
+		{"visibility without shards", minimal(`"visibility": {}`), "visibility requires shards > 1"},
+		{"visibility bad margin", minimal(`"shards": 2, "visibility": {"margin": 5000}`), "visibility.margin must be in [0, 1024]"},
+		{"ghost metric without visibility", minimal(`"shards": 2, "assertions": [{"metric": "ghost_updates", "op": ">", "value": 0}]`), "requires a visibility section"},
+		{"gap metric without visibility", minimal(`"shards": 2, "assertions": [{"metric": "visibility_gap_ticks", "op": "<=", "value": 0}]`), "requires a visibility section"},
+		{"checkpoint without shards", minimal(`"checkpoint": "10s"`), "checkpoint requires shards > 1"},
+		{"checkpoint without store", minimal(`"shards": 2, "checkpoint": "10s"`), "checkpoint requires a storage backend"},
+		{"fleet pos and tile", minimal(`"shards": 2, "fleet": [{"count": 1, "tile": [0, 0], "pos": [5, 5]}]`), "mutually exclusive"},
+		{"fleet pos out of range", minimal(`"fleet": [{"count": 1, "pos": [2000000, 0]}]`), "pos coordinate 2000000 out of range"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

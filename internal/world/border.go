@@ -1,0 +1,66 @@
+// Tile-border proximity: which foreign tiles an avatar standing at a
+// block position can reach within a margin, and how far away the nearest
+// one is. This is the geometric half of cross-shard visibility — an
+// avatar within view distance of a tile border can see terrain (and
+// should see avatars) hosted by the border tile's owner, so the cluster
+// replicates it there as a ghost. With the margin at most one tile side
+// the reported tiles are exactly the home tile's Topology.Neighbors ring
+// (plus the diagonal corners a view square can clip); a larger margin —
+// or smaller tiles — reaches further rings, and every intersected tile
+// is reported, so visibility never silently stops one ring out.
+
+package world
+
+// BorderNeighbor is one foreign tile within reach of a position.
+type BorderNeighbor struct {
+	Tile TileID
+	// Dist is the Chebyshev distance in blocks from the position to the
+	// nearest block of the tile (1 = standing flush against the border).
+	Dist int
+}
+
+// BordersWithin returns every foreign tile whose territory comes within
+// margin blocks (Chebyshev) of pos, nearest-block distance included.
+// Tiles are unions of whole chunks, so the scan enumerates
+// ChunksWithin(pos, margin) in its deterministic order, folding each
+// tile to its minimum distance (a wrapping torus reaches the same tile
+// from several sides). It never touches topology internals — any
+// Topology works.
+func BordersWithin(topo Topology, pos BlockPos, margin int) []BorderNeighbor {
+	if topo == nil || margin < 0 {
+		return nil
+	}
+	home := topo.TileOf(pos.Chunk())
+	var out []BorderNeighbor
+	idx := make(map[TileID]int)
+	for _, cp := range ChunksWithin(pos, margin) {
+		t := topo.TileOf(cp)
+		if t == home {
+			continue
+		}
+		dist := cp.DistanceBlocks(pos)
+		if i, ok := idx[t]; ok {
+			if dist < out[i].Dist {
+				out[i].Dist = dist
+			}
+			continue
+		}
+		idx[t] = len(out)
+		out = append(out, BorderNeighbor{Tile: t, Dist: dist})
+	}
+	return out
+}
+
+// BorderDistance returns the Chebyshev distance in blocks from pos to
+// the nearest block lying in a different tile, or max+1 when no foreign
+// tile is within max blocks (including topologies with a single tile,
+// where no border exists at all).
+func BorderDistance(topo Topology, pos BlockPos, max int) int {
+	best := max + 1
+	for _, bn := range BordersWithin(topo, pos, max) {
+		if bn.Dist < best {
+			best = bn.Dist
+		}
+	}
+	return best
+}

@@ -81,6 +81,19 @@ type TopologyConfig struct {
 	TilesX, TilesZ int
 }
 
+// VisibilityConfig tunes cross-shard avatar visibility (the
+// interest-management layer): each replication tick, every shard
+// publishes its avatars standing within Margin blocks of a region-tile
+// border, and the shards owning the bordering tiles materialise them as
+// read-only ghost avatars — so players near a seam see one continuous
+// world, and handoffs promote/demote a ghost instead of popping.
+type VisibilityConfig struct {
+	// Enabled turns border-tile avatar replication on.
+	Enabled bool
+	// Margin is the border margin in blocks (0 → the view distance).
+	Margin int
+}
+
 // Config configures an Instance.
 type Config struct {
 	// Seed makes the instance deterministic. Zero means seed 1.
@@ -108,6 +121,10 @@ type Config struct {
 	// shard when per-shard tick load drifts out of balance. Only
 	// meaningful with Shards > 1.
 	Rebalance bool
+	// Visibility enables cross-shard avatar visibility: players near a
+	// region-tile border see the neighbouring shard's avatars as
+	// read-only ghosts. Only meaningful with Shards > 1.
+	Visibility VisibilityConfig
 	// RealTime runs the instance on the wall clock instead of virtual
 	// time. Run then blocks for real durations.
 	RealTime bool
@@ -218,16 +235,18 @@ func NewInstance(cfg Config) *Instance {
 		clock = inst.loop
 	}
 	inst.sys = core.New(clock, core.Config{
-		Seed:         cfg.Seed,
-		WorldType:    cfg.WorldType,
-		Profile:      cfg.Profile,
-		ViewDistance: cfg.ViewDistance,
-		ServerlessSC: cfg.Servo.Constructs,
-		ServerlessTG: cfg.Servo.Terrain,
-		ServerlessRS: cfg.Servo.Storage,
-		Shards:       cfg.Shards,
-		Topology:     topo,
-		Rebalance:    cfg.Rebalance,
+		Seed:             cfg.Seed,
+		WorldType:        cfg.WorldType,
+		Profile:          cfg.Profile,
+		ViewDistance:     cfg.ViewDistance,
+		ServerlessSC:     cfg.Servo.Constructs,
+		ServerlessTG:     cfg.Servo.Terrain,
+		ServerlessRS:     cfg.Servo.Storage,
+		Shards:           cfg.Shards,
+		Topology:         topo,
+		Rebalance:        cfg.Rebalance,
+		Visibility:       cfg.Visibility.Enabled,
+		VisibilityMargin: cfg.Visibility.Margin,
 	})
 	if cl := inst.sys.Cluster; cl != nil {
 		cl.Start()

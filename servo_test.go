@@ -235,3 +235,34 @@ func TestGridTopologyInstance(t *testing.T) {
 		t.Fatal("grid instance did not tick")
 	}
 }
+
+// TestVisibilityInstance: a sharded instance with visibility on mirrors
+// border avatars as ghosts on the neighbouring shard, and rtserve-facing
+// state (Server().Ghosts()) sees them.
+func TestVisibilityInstance(t *testing.T) {
+	inst := NewInstance(Config{
+		Seed: 6, WorldType: "flat", Shards: 2,
+		Visibility: VisibilityConfig{Enabled: true, Margin: 64},
+	})
+	defer inst.Stop()
+	cl := inst.Cluster()
+	// Band 0 spans x in [0,128) by default: stand flush against the seam.
+	h := cl.ConnectAt("edge", nil, At(126, 0, 8))
+	if h.Shard() != 0 {
+		t.Fatalf("edge player on shard %d, want 0", h.Shard())
+	}
+	inst.Run(5 * time.Second)
+	g := cl.Shard(1).Ghost("edge")
+	if g == nil {
+		t.Fatal("no ghost of the border player on the neighbouring shard")
+	}
+	if g.Home != 0 {
+		t.Fatalf("ghost home = %d, want 0", g.Home)
+	}
+	if cl.GhostCount() != 1 {
+		t.Fatalf("ghost count = %d, want 1", cl.GhostCount())
+	}
+	if cl.VisibilityGaps.Value() != 0 {
+		t.Fatalf("visibility gaps = %d on a single border pair", cl.VisibilityGaps.Value())
+	}
+}
