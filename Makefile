@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet fmtcheck build test race validate sim bench benchsmoke clusterrace replaygate bordergate
+.PHONY: ci vet fmtcheck build test race validate sim bench benchsmoke benchjson benchdiff clusterrace replaygate bordergate
 
-ci: vet fmtcheck build race clusterrace validate replaygate bordergate benchsmoke
+ci: vet fmtcheck build race clusterrace validate replaygate bordergate benchsmoke benchdiff
 
 vet:
 	$(GO) vet ./...
@@ -36,7 +36,7 @@ race:
 # and contention with the other raced packages would push it past the
 # default 10m per-package budget.
 clusterrace:
-	$(GO) test -race -count=1 -p 1 -timeout 30m ./internal/cluster/ ./internal/world/ ./internal/scenario/ ./internal/rtserve/
+	$(GO) test -race -count=1 -p 1 -timeout 30m ./internal/cluster/ ./internal/world/ ./internal/scenario/ ./internal/rtserve/ ./internal/bench/
 
 # validate parses and validates every bundled scenario without running it.
 validate:
@@ -67,3 +67,17 @@ bench:
 # compile-and-execute gate over the figure pipelines, not a measurement.
 benchsmoke:
 	$(GO) test -short -run '^$$' -bench . -benchtime 1x .
+
+# benchjson records the performance trajectory: the headline benchmark
+# suite (tick latency, handoff p99, digest encode, visibility scan,
+# scenario throughput) written as a schema'd BENCH_$(PR).json artifact,
+# checked in with the PR that changed the numbers.
+PR ?= 6
+benchjson:
+	$(GO) run ./cmd/servo-bench -format json -pr $(PR) -out BENCH_$(PR).json
+
+# benchdiff is the regression gate: re-run the suite and fail when any
+# gated headline metric is more than 20% worse than the newest
+# checked-in BENCH_*.json.
+benchdiff:
+	$(GO) run ./cmd/servo-bench -diff latest

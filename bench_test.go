@@ -11,10 +11,15 @@ package servo
 
 import (
 	"flag"
+	"fmt"
 	"io"
 	"testing"
 
+	"servo/internal/cluster"
 	"servo/internal/experiment"
+	"servo/internal/mve"
+	"servo/internal/sim"
+	"servo/internal/world"
 )
 
 var benchScale = flag.Float64("servo.scale", 0.1, "experiment duration scale for benchmarks (1.0 = paper length)")
@@ -170,6 +175,84 @@ func BenchmarkTableI(b *testing.B) {
 		experiment.TableI(io.Discard)
 		experiment.TableII(io.Discard)
 	}
+}
+
+// visBenchCluster builds a two-shard visibility cluster with n idle
+// border residents paired across a band seam (the internal/bench scan
+// harness layout, rebuilt here because this in-package test file cannot
+// import internal/bench without a cycle through servo itself).
+func visBenchCluster(n int, fullRescan bool) *cluster.Cluster {
+	loop := sim.NewLoop(7)
+	c := cluster.New(loop, cluster.Config{
+		Shards:     2,
+		Topology:   world.BandTopology{BandChunks: 4},
+		Visibility: cluster.VisibilityConfig{Enabled: true, Margin: 16, FullRescan: fullRescan},
+	}, func(i int, region world.Region) *mve.Server {
+		return mve.NewServer(loop, mve.Config{WorldType: "flat", ViewDistance: 32, Region: region})
+	})
+	for i := 0; i < n; i++ {
+		x := 60
+		if i%2 == 1 {
+			x = 70
+		}
+		c.ConnectAt(fmt.Sprintf("r%d", i), nil, world.BlockPos{X: x, Y: 0, Z: (i / 2) * 48})
+	}
+	c.VisibilityScanOnce() // warm the membership caches and ghost registries
+	return c
+}
+
+// BenchmarkVisibilityScan measures one replication tick of the interest-
+// management layer at 1k and 4k border residents: the incremental
+// (dirty-set) scan against the full-rescan baseline it replaced. The
+// incremental path must be allocation-free in steady state.
+func BenchmarkVisibilityScan(b *testing.B) {
+	for _, n := range []int{1000, 4000} {
+		for _, mode := range []struct {
+			name string
+			full bool
+		}{{"incremental", false}, {"full-rescan", true}} {
+			b.Run(fmt.Sprintf("%s-%d", mode.name, n), func(b *testing.B) {
+				c := visBenchCluster(n, mode.full)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c.VisibilityScanOnce()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkGhostDigest measures the digest wire forms: the stateless
+// full encoding and the steady-state delta path (stable membership,
+// moving positions), which must not allocate.
+func BenchmarkGhostDigest(b *testing.B) {
+	entries := make([]cluster.DigestEntry, 512)
+	for i := range entries {
+		entries[i] = cluster.DigestEntry{Name: fmt.Sprintf("player-%04d", i), X: float64(i), Z: 5, Home: i % 2}
+	}
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cluster.EncodeGhostDigest(entries); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("delta", func(b *testing.B) {
+		var enc cluster.DigestEncoder
+		if _, err := enc.Encode(entries, 1); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			entries[i%len(entries)].X += 0.5
+			if _, err := enc.Encode(entries, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkEngineTick measures the raw cost of one fully-loaded Servo

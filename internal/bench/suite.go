@@ -1,0 +1,230 @@
+// The benchmark suite behind `servo-bench -format json`: each harness
+// builds a deterministic load, measures it, and records headline
+// metrics into the artifact. Wall measurements go through
+// testing.Benchmark so ns/op and allocs/op come from the standard
+// auto-scaling machinery rather than hand-rolled timing loops.
+
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"servo"
+	"servo/internal/cluster"
+	"servo/internal/mve"
+	"servo/internal/scenario"
+	"servo/internal/sim"
+	"servo/internal/world"
+)
+
+// ScenarioName is the bundled scenario the suite runs for its virtual
+// tick/handoff percentiles and the engine-throughput measurement: a
+// sharded run with visibility, storage, and cross-shard handoffs on a
+// 2-minute virtual window that simulates in seconds of wall time.
+const ScenarioName = "border-patrol"
+
+// digestEntries sizes the digest encode harnesses.
+const digestEntries = 512
+
+// Run executes the whole suite and returns the artifact. logf (may be
+// nil) receives progress lines.
+func Run(pr int, logf func(format string, args ...any)) (File, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	f := NewFile(pr)
+
+	logf("bench: engine tick (200 constructs, 100 players)")
+	tickNs := engineTick()
+	f.Add("engine_tick_wall_us", "us/tick", Lower, true, tickNs/1e3)
+
+	logf("bench: scenario %s", ScenarioName)
+	if err := scenarioMetrics(&f); err != nil {
+		return File{}, err
+	}
+
+	logf("bench: ghost digest encode (%d entries)", digestEntries)
+	digestMetrics(&f)
+
+	for _, n := range []int{1000, 4000} {
+		logf("bench: visibility scan, %d border residents", n)
+		scanMetrics(&f, n)
+	}
+	return f, nil
+}
+
+// wallRounds is how many independent rounds each wall measurement
+// takes; the best round is recorded. Wall noise on a shared machine is
+// one-sided (co-tenant slowdowns), so the minimum is the stable
+// estimator — a single round leaves the benchdiff gate flapping on
+// machine load rather than code changes.
+const wallRounds = 3
+
+// wallBench measures fn via the standard benchmark machinery, keeping
+// the best of wallRounds rounds.
+func wallBench(fn func()) (nsPerOp, allocsPerOp float64) {
+	for r := 0; r < wallRounds; r++ {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fn()
+			}
+		})
+		ns, allocs := float64(res.NsPerOp()), float64(res.AllocsPerOp())
+		if r == 0 || ns < nsPerOp {
+			nsPerOp = ns
+		}
+		if r == 0 || allocs < allocsPerOp {
+			allocsPerOp = allocs
+		}
+	}
+	return nsPerOp, allocsPerOp
+}
+
+// engineTick measures one fully-loaded game tick (the bench_test.go
+// BenchmarkEngineTick load: 200 constructs, 100 players), in wall ns.
+func engineTick() float64 {
+	inst := servo.NewInstance(servo.Config{Seed: 1, WorldType: "flat", Servo: servo.Serverless{Constructs: true}})
+	defer inst.Stop()
+	for i := 0; i < 200; i++ {
+		inst.SpawnConstruct(servo.NewConstructSized(250), servo.At((i%14)*15-105, 5, (i/14)*15-105))
+	}
+	for i := 0; i < 100; i++ {
+		inst.Connect("p", servo.BehaviorBounded)
+	}
+	inst.Run(10 * 50 * 1000000) // warm-up: 10 ticks
+	ns, _ := wallBench(func() { inst.Run(50 * 1000000) })
+	return ns
+}
+
+// scenarioMetrics runs the bundled benchmark scenario and records its
+// virtual percentiles (deterministic: off the simulation clock) and the
+// engine throughput in bots simulated per wall-second. The throughput
+// is the best of wallRounds runs — the virtual metrics are replay-
+// identical across them, only the wall clock varies.
+func scenarioMetrics(f *File) error {
+	spec, err := scenario.LoadBundled(ScenarioName)
+	if err != nil {
+		return err
+	}
+	rep, err := scenario.Run(spec, nil)
+	if err != nil {
+		return err
+	}
+	if !rep.Pass {
+		return fmt.Errorf("bench: scenario %s failed its assertions", ScenarioName)
+	}
+	for r := 1; r < wallRounds; r++ {
+		again, err := scenario.Run(spec, nil)
+		if err != nil {
+			return err
+		}
+		if again.Wall > 0 && (rep.Wall <= 0 || again.Wall < rep.Wall) {
+			rep.Wall, rep.BotSeconds = again.Wall, again.BotSeconds
+		}
+	}
+	for name, rec := range map[string]string{
+		"tick_p99_virtual_ms":    "tick_p99_ms",
+		"handoff_p99_virtual_ms": "handoff_p99_ms",
+	} {
+		found := false
+		for _, m := range rep.Metrics {
+			if m.Name == rec {
+				f.Add(name, "virtual ms", Lower, true, m.Value)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("bench: scenario %s reported no %s", ScenarioName, rec)
+		}
+	}
+	if rep.Wall <= 0 || rep.BotSeconds <= 0 {
+		return fmt.Errorf("bench: scenario %s recorded no throughput (wall %v, bot-seconds %g)", ScenarioName, rep.Wall, rep.BotSeconds)
+	}
+	f.Add("scenario_bots_per_wallsec", "bot-s/s", Higher, true, rep.BotSeconds/rep.Wall.Seconds())
+	return nil
+}
+
+// digestMetrics measures the digest wire forms: the stateless full
+// encoding, and the steady-state delta path (same membership, moving
+// positions), which must not allocate.
+func digestMetrics(f *File) {
+	entries := make([]cluster.DigestEntry, digestEntries)
+	for i := range entries {
+		entries[i] = cluster.DigestEntry{
+			Name: fmt.Sprintf("player-%04d", i),
+			X:    float64(i) * 3, Z: float64(i%7) * 5,
+			Home: i % 2,
+		}
+	}
+	ns, allocs := wallBench(func() {
+		if _, err := cluster.EncodeGhostDigest(entries); err != nil {
+			panic(err)
+		}
+	})
+	f.Add("digest_encode_ns_per_entry", "ns/entry", Lower, true, ns/digestEntries)
+	f.Add("digest_encode_allocs_per_op", "allocs/op", Lower, true, allocs)
+
+	var enc cluster.DigestEncoder
+	if _, err := enc.Encode(entries, 1); err != nil { // first contact: full
+		panic(err)
+	}
+	i := 0
+	ns, allocs = wallBench(func() {
+		entries[i%digestEntries].X += 0.5 // steady movement, stable membership
+		i++
+		if _, err := enc.Encode(entries, 1); err != nil {
+			panic(err)
+		}
+	})
+	f.Add("digest_delta_ns_per_entry", "ns/entry", Lower, true, ns/digestEntries)
+	f.Add("digest_delta_allocs_per_op", "allocs/op", Lower, true, allocs)
+}
+
+// NewScanCluster builds a two-shard visibility cluster with n idle
+// border residents paired across a band seam, spaced along Z so each
+// pair audits locally, with membership caches warmed by one scan. full
+// selects the full-rescan baseline mode.
+func NewScanCluster(n int, full bool) *cluster.Cluster {
+	loop := sim.NewLoop(7)
+	c := cluster.New(loop, cluster.Config{
+		Shards:     2,
+		Topology:   world.BandTopology{BandChunks: 4},
+		Visibility: cluster.VisibilityConfig{Enabled: true, Margin: 16, FullRescan: full},
+	}, func(i int, region world.Region) *mve.Server {
+		return mve.NewServer(loop, mve.Config{WorldType: "flat", ViewDistance: 32, Region: region})
+	})
+	for i := 0; i < n; i++ {
+		x := 60 // 4 blocks west of the x=64 band seam, shard 0
+		if i%2 == 1 {
+			x = 70 // 6 blocks east, shard 1
+		}
+		c.ConnectAt(fmt.Sprintf("r%d", i), nil, world.BlockPos{X: x, Y: 0, Z: (i / 2) * 48})
+	}
+	c.VisibilityScanOnce()
+	return c
+}
+
+// scanMetrics measures one visibility replication tick over n border
+// residents, incremental vs. the full-rescan baseline, and records the
+// allocation improvement factor the incremental path buys.
+func scanMetrics(f *File, n int) {
+	tag := fmt.Sprintf("vis_scan_%dk", n/1000)
+	inc := NewScanCluster(n, false)
+	incNs, incAllocs := wallBench(inc.VisibilityScanOnce)
+	full := NewScanCluster(n, true)
+	fullNs, fullAllocs := wallBench(full.VisibilityScanOnce)
+	f.Add(tag+"_inc_ns_per_resident", "ns/resident", Lower, true, incNs/float64(n))
+	f.Add(tag+"_inc_allocs_per_op", "allocs/op", Lower, true, incAllocs)
+	// The pre-incremental baseline, recorded (not gated) so every artifact
+	// carries the comparison it claims.
+	f.Add(tag+"_full_ns_per_resident", "ns/resident", Lower, false, fullNs/float64(n))
+	f.Add(tag+"_full_allocs_per_op", "allocs/op", Lower, false, fullAllocs)
+	improvement := fullAllocs
+	if incAllocs > 0 {
+		improvement = fullAllocs / incAllocs
+	}
+	f.Add(tag+"_alloc_improvement", "x", Higher, true, improvement)
+}

@@ -89,6 +89,10 @@ type Config struct {
 	// a shard failover restores inventory even for players that never
 	// crossed a boundary (0 disables; requires a Transfer).
 	Checkpoint time.Duration
+	// LogRetention caps each replay log (handoffs, migrations, ghost
+	// events) at the most recent N records (0 → DefaultLogRetention,
+	// < 0 → unbounded).
+	LogRetention int
 }
 
 // PlayerID is a cluster-global player identity, stable across handoffs
@@ -120,6 +124,10 @@ type Player struct {
 	// constructs are the player-owned constructs simulated on the
 	// player's shard and travelling with it on handoff.
 	constructs []ownedConstruct
+	// vc is the session's cached border membership (see visibility.go);
+	// the visibility scan recomputes it only when position, host shard,
+	// or ownership epoch changed.
+	vc visCache
 }
 
 // OwnedConstructs returns the number of constructs owned by the player.
@@ -183,8 +191,9 @@ type Cluster struct {
 	HandoffLatency *metrics.Sample
 	HandoffsIn     []metrics.Counter // per target shard
 	HandoffsOut    []metrics.Counter // per source shard
-	// Log records completed handoffs in completion order.
-	Log []HandoffRecord
+	// Log records completed handoffs in completion order, bounded by
+	// Config.LogRetention.
+	Log RecordRing[HandoffRecord]
 
 	// Control-plane metrics.
 	Rebalances        metrics.Counter // controller rebalance decisions
@@ -192,8 +201,9 @@ type Cluster struct {
 	Failovers         metrics.Counter // shards failed over
 	PlayersFailedOver metrics.Counter // sessions re-admitted after a shard kill
 	// MigrationLog records ownership changes in completion order (part of
-	// the deterministic replay surface, like Log).
-	MigrationLog []MigrationRecord
+	// the deterministic replay surface, like Log), bounded by
+	// Config.LogRetention.
+	MigrationLog RecordRing[MigrationRecord]
 
 	// Visibility state (see visibility.go).
 	vis VisibilityConfig
@@ -206,8 +216,22 @@ type Cluster struct {
 	// a ghost (the visibility_gap_ticks metric).
 	VisibilityGaps metrics.Counter
 	// GhostLog records ghost-registry transitions in occurrence order
-	// (part of the deterministic replay surface, like Log).
-	GhostLog []GhostRecord
+	// (part of the deterministic replay surface, like Log), bounded by
+	// Config.LogRetention.
+	GhostLog RecordRing[GhostRecord]
+	// VisRecomputes counts border-membership recomputations — the dirty
+	// set's size summed over scans. With idle sessions it stops growing:
+	// the incremental scan's observable win.
+	VisRecomputes metrics.Counter
+	// DigestErrors counts digests the encoder refused to emit (an entry
+	// the wire form cannot represent; the ghosts still apply).
+	DigestErrors metrics.Counter
+
+	// Reused visibility-scan scratch (see visibility.go).
+	visAll       []visSess
+	visResidents []int
+	visBuckets   map[visCell][]int
+	visPairs     map[visPair]*visPairState
 
 	// Checkpoints counts periodic player-checkpoint writes (checkpoint.go).
 	Checkpoints metrics.Counter
@@ -226,6 +250,9 @@ func New(clock sim.Clock, cfg Config, build ShardBuilder) *Cluster {
 	if cfg.ScanInterval == 0 {
 		cfg.ScanInterval = DefaultScanInterval
 	}
+	if cfg.LogRetention == 0 {
+		cfg.LogRetention = DefaultLogRetention
+	}
 	cfg.Rebalance = cfg.Rebalance.withDefaults()
 	cfg.Visibility = cfg.Visibility.withDefaults()
 	c := &Cluster{
@@ -243,6 +270,11 @@ func New(clock sim.Clock, cfg Config, build ShardBuilder) *Cluster {
 		HandoffLatency: metrics.NewSample(4096),
 		HandoffsIn:     make([]metrics.Counter, cfg.Shards),
 		HandoffsOut:    make([]metrics.Counter, cfg.Shards),
+		Log:            newRecordRing[HandoffRecord](cfg.LogRetention),
+		MigrationLog:   newRecordRing[MigrationRecord](cfg.LogRetention),
+		GhostLog:       newRecordRing[GhostRecord](cfg.LogRetention),
+		visBuckets:     make(map[visCell][]int),
+		visPairs:       make(map[visPair]*visPairState),
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		c.shards = append(c.shards, build(i, c.table.View(i)))
@@ -357,7 +389,7 @@ func (c *Cluster) ConnectAt(name string, b mve.Behavior, pos world.BlockPos) *Pl
 	// A rejoining identity supersedes any stale ghost of its former life
 	// on the joining shard (the real avatar is authoritative).
 	if c.vis.Enabled && c.shards[shard].RemoveGhost(name) {
-		c.GhostLog = append(c.GhostLog, GhostRecord{Player: name, Shard: shard, Event: "promote"})
+		c.GhostLog.Append(GhostRecord{Player: name, Shard: shard, Event: "promote"})
 	}
 	sess := c.shards[shard].ConnectAt(name, b, float64(pos.X), float64(pos.Z))
 	c.nextID++
@@ -580,7 +612,7 @@ func (c *Cluster) handoff(p *Player, dst int) {
 		c.HandoffLatency.Add(lat)
 		c.HandoffsIn[dst].Inc()
 		c.HandoffsOut[src].Inc()
-		c.Log = append(c.Log, HandoffRecord{Player: p.Name, From: src, To: dst, Latency: lat})
+		c.Log.Append(HandoffRecord{Player: p.Name, From: src, To: dst, Latency: lat})
 	}
 
 	if c.transfer == nil {

@@ -79,8 +79,8 @@ func TestHandoffAcrossBoundary(t *testing.T) {
 	if sess.X < 99 || sess.X > 101 {
 		t.Fatalf("avatar did not keep walking after handoff: x=%g", sess.X)
 	}
-	if len(c.Log) != 1 || c.Log[0].From != 0 || c.Log[0].To != 1 || c.Log[0].Player != "runner" {
-		t.Fatalf("handoff log wrong: %+v", c.Log)
+	if log := c.Log.All(); len(log) != 1 || log[0].From != 0 || log[0].To != 1 || log[0].Player != "runner" {
+		t.Fatalf("handoff log wrong: %+v", c.Log.All())
 	}
 	if c.HandoffsOut[0].Value() != 1 || c.HandoffsIn[1].Value() != 1 {
 		t.Fatalf("per-shard counters wrong: out0=%d in1=%d", c.HandoffsOut[0].Value(), c.HandoffsIn[1].Value())
@@ -297,7 +297,7 @@ func TestHandoffDeterministicSequence(t *testing.T) {
 		}
 		c.Start()
 		loop.RunUntil(2 * time.Minute)
-		return append([]HandoffRecord(nil), c.Log...)
+		return c.Log.All()
 	}
 	a, b := run(), run()
 	if len(a) == 0 {

@@ -286,7 +286,7 @@ func (c *Cluster) migrateTile(tile world.TileID, dst int, reason string) bool {
 		}
 		c.persistTable()
 		c.TilesMoved.Inc()
-		c.MigrationLog = append(c.MigrationLog, MigrationRecord{
+		c.MigrationLog.Append(MigrationRecord{
 			Tile: tile, From: src, To: dst,
 			Epoch: c.table.Epoch(), Reason: reason,
 			Latency: c.clock.Now() - start,
@@ -317,7 +317,7 @@ func (c *Cluster) FailShard(i int) bool {
 	c.table.SetDead(i, true)
 	c.persistTable()
 	c.Failovers.Inc()
-	c.MigrationLog = append(c.MigrationLog, MigrationRecord{
+	c.MigrationLog.Append(MigrationRecord{
 		From: i, To: -1, Epoch: c.table.Epoch(), Reason: "failover",
 	})
 	for _, p := range victims {
@@ -342,7 +342,7 @@ func (c *Cluster) readmit(p *Player) {
 		sess := c.shards[dst].AdmitPlayer(snap)
 		// The re-admitted avatar supersedes any ghost of itself here.
 		if c.vis.Enabled && c.shards[dst].RemoveGhost(p.Name) {
-			c.GhostLog = append(c.GhostLog, GhostRecord{Player: p.Name, Shard: dst, Event: "promote"})
+			c.GhostLog.Append(GhostRecord{Player: p.Name, Shard: dst, Event: "promote"})
 		}
 		p.shard, p.pid, p.pendingShard = dst, sess.ID, dst
 		c.PlayersFailedOver.Inc()
@@ -400,7 +400,7 @@ func (c *Cluster) RecoverShard(i int) bool {
 		c.shards[i].SetChatRelay(c.relayChat)
 		c.table.SetDead(i, false)
 		c.persistTable()
-		c.MigrationLog = append(c.MigrationLog, MigrationRecord{
+		c.MigrationLog.Append(MigrationRecord{
 			From: -1, To: i, Epoch: c.table.Epoch(), Reason: "recover",
 		})
 		if c.running {

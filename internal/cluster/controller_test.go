@@ -106,8 +106,8 @@ func TestMigrateBandMovesOwnershipAndPlayers(t *testing.T) {
 	if got := c.TilesMoved.Value(); got != 1 {
 		t.Fatalf("tiles moved = %d, want 1", got)
 	}
-	if len(c.MigrationLog) != 1 || c.MigrationLog[0].Tile != (world.TileID{X: 2}) || c.MigrationLog[0].To != 1 {
-		t.Fatalf("migration log wrong: %+v", c.MigrationLog)
+	if log := c.MigrationLog.All(); len(log) != 1 || log[0].Tile != (world.TileID{X: 2}) || log[0].To != 1 {
+		t.Fatalf("migration log wrong: %+v", c.MigrationLog.All())
 	}
 }
 
@@ -309,7 +309,7 @@ func TestRebalanceDeterministicReplay(t *testing.T) {
 		c.ConnectAt("c0", nil, c.TileCenter(world.TileID{X: 1}))
 		c.Start()
 		loop.RunUntil(90 * time.Second)
-		return append([]HandoffRecord(nil), c.Log...), append([]MigrationRecord(nil), c.MigrationLog...)
+		return c.Log.All(), c.MigrationLog.All()
 	}
 	h1, m1 := run()
 	h2, m2 := run()

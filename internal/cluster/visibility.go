@@ -11,6 +11,18 @@
 // entries as read-only ghost avatars (mve's ghost registry). Ghosts are
 // display-and-prefetch state only; the real session stays where it is.
 //
+// The scan is incremental. Border membership — which shards a session
+// replicates to — is a function of the session's block position, its
+// host shard, and the ownership epoch, so it is cached per session and
+// recomputed only for the dirty set: sessions that moved at least one
+// block, were handed off, or saw the ownership table change under them
+// (every migration, failover, and recovery bumps the epoch). The
+// displaced-session pairing and the gap audit run over a spatial bucket
+// index instead of all pairs. VisibilityConfig.FullRescan disables the
+// cache (every scan recomputes everything) — the benchmark baseline and
+// the determinism cross-check; both modes produce byte-identical
+// digests, ghost logs, and reports.
+//
 // Handoffs ride the same machinery instead of popping: evicting the
 // session demotes it to a pinned ghost on the source shard (viewers keep
 // seeing it while its state crosses the storage substrate — pinned
@@ -30,7 +42,10 @@ package cluster
 
 import (
 	"encoding/binary"
+	"errors"
+	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"servo/internal/world"
@@ -57,9 +72,16 @@ type VisibilityConfig struct {
 	Margin int
 	// Interval is the replication cadence (0 → DefaultVisibilityInterval).
 	Interval time.Duration
+	// FullRescan disables the incremental membership cache: every scan
+	// recomputes every session's border membership from scratch, the
+	// pre-incremental behaviour. The digest bytes, ghost log, and gap
+	// audit are identical either way — this is the benchmark baseline
+	// and the determinism cross-check, not a correctness knob.
+	FullRescan bool
 	// Observer, when set, receives every published per-shard-pair digest
 	// (a test hook for the determinism contract; not consulted by the
-	// bus itself).
+	// bus itself). The digest buffer is reused on the next scan: observers
+	// that keep it must copy.
 	Observer func(src, dst int, digest []byte)
 }
 
@@ -86,68 +108,329 @@ type GhostRecord struct {
 	Event string
 }
 
-// ghostEntry is one digest line: an avatar another shard should mirror.
-type ghostEntry struct {
-	name string
-	x, z float64
-	home int
+// DigestEntry is one ghost-digest line: an avatar another shard should
+// mirror.
+type DigestEntry struct {
+	Name string
+	X, Z float64
+	// Home is the shard hosting the real session.
+	Home int
 }
 
-// EncodeGhostDigest serialises one shard-pair digest: the compact wire
-// form the bus publishes (and the byte surface the determinism tests
-// compare).
-func EncodeGhostDigest(entries []ghostEntry) []byte {
-	out := make([]byte, 0, 4+24*len(entries))
-	out = binary.LittleEndian.AppendUint32(out, uint32(len(entries)))
-	for _, e := range entries {
-		out = binary.LittleEndian.AppendUint16(out, uint16(len(e.name)))
-		out = append(out, e.name...)
-		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(e.x))
-		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(e.z))
-		out = binary.LittleEndian.AppendUint32(out, uint32(int32(e.home)))
+// Digest wire form. Every digest opens with a version/kind byte: a full
+// digest carries each entry's name, position, and home shard; a delta
+// digest — emitted when the entry key sequence (names and homes, in
+// order) matches the pair's previous digest and the ownership epoch is
+// unchanged — carries a changed-entry bitmask and the moved positions
+// only. The header byte versions the format so the two forms can never
+// be confused with each other (or with the headerless pre-versioned
+// encoding).
+const (
+	digestKindFull  = 0x02
+	digestKindDelta = 0x03
+)
+
+// Digest entry bounds, enforced at the encode boundary: a name longer
+// than 64 KiB cannot be framed by the uint16 length prefix, and a home
+// shard outside int32 cannot ride the uint32 slot. Violations are
+// errors, never silent truncation.
+const (
+	maxDigestNameLen = math.MaxUint16
+	maxDigestHome    = math.MaxInt32
+)
+
+// validateDigestEntries rejects entries the wire form cannot represent.
+func validateDigestEntries(entries []DigestEntry) error {
+	for i, e := range entries {
+		if len(e.Name) > maxDigestNameLen {
+			return fmt.Errorf("ghost digest entry %d: name is %d bytes, exceeds the %d-byte frame limit", i, len(e.Name), maxDigestNameLen)
+		}
+		if e.Home < 0 || e.Home > maxDigestHome {
+			return fmt.Errorf("ghost digest entry %d (%q): home shard %d outside [0, %d]", i, e.Name, e.Home, maxDigestHome)
+		}
 	}
-	return out
+	return nil
+}
+
+// appendFullDigest appends the full wire form to buf.
+func appendFullDigest(buf []byte, entries []DigestEntry) []byte {
+	buf = append(buf, digestKindFull)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.Name)))
+		buf = append(buf, e.Name...)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.X))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Z))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Home))
+	}
+	return buf
+}
+
+// EncodeGhostDigest serialises one shard-pair digest in the full wire
+// form (the stateless encoding; DigestEncoder adds delta compression).
+// It validates every entry and returns an error instead of corrupting
+// the frame.
+func EncodeGhostDigest(entries []DigestEntry) ([]byte, error) {
+	if err := validateDigestEntries(entries); err != nil {
+		return nil, err
+	}
+	return appendFullDigest(make([]byte, 0, 5+24*len(entries)), entries), nil
+}
+
+// DigestEncoder encodes the digest stream of one shard pair with delta
+// compression: when the entry key sequence matches the previous digest
+// and the epoch is unchanged, only a changed-position bitmask and the
+// moved coordinates go on the wire. The buffer is reused across calls —
+// zero allocations in steady state — so the returned slice is only valid
+// until the next Encode.
+type DigestEncoder struct {
+	buf   []byte
+	prev  []DigestEntry
+	epoch uint64
+	init  bool
+}
+
+// Encode returns the digest for entries at the given ownership epoch:
+// delta against the previous digest when the key sequence allows it, a
+// full digest on first contact, epoch change, or membership change.
+func (e *DigestEncoder) Encode(entries []DigestEntry, epoch uint64) ([]byte, error) {
+	if err := validateDigestEntries(entries); err != nil {
+		return nil, err
+	}
+	delta := e.init && epoch == e.epoch && len(entries) == len(e.prev)
+	if delta {
+		for i := range entries {
+			if entries[i].Name != e.prev[i].Name || entries[i].Home != e.prev[i].Home {
+				delta = false
+				break
+			}
+		}
+	}
+	e.buf = e.buf[:0]
+	if delta {
+		e.buf = append(e.buf, digestKindDelta)
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(len(entries)))
+		mask := len(e.buf)
+		for i := 0; i < (len(entries)+7)/8; i++ {
+			e.buf = append(e.buf, 0)
+		}
+		for i, en := range entries {
+			if en.X == e.prev[i].X && en.Z == e.prev[i].Z {
+				continue
+			}
+			e.buf[mask+i/8] |= 1 << (i % 8)
+			e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(en.X))
+			e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(en.Z))
+		}
+	} else {
+		e.buf = appendFullDigest(e.buf, entries)
+	}
+	e.prev = append(e.prev[:0], entries...)
+	e.epoch = epoch
+	e.init = true
+	return e.buf, nil
+}
+
+// DecodeGhostDigest parses a digest. prev is the pair's previously
+// decoded entry list, required to resolve a delta digest (nil is fine
+// for a full one).
+func DecodeGhostDigest(prev []DigestEntry, data []byte) ([]DigestEntry, error) {
+	if len(data) < 5 {
+		return nil, errors.New("ghost digest: truncated header")
+	}
+	kind := data[0]
+	n := int(binary.LittleEndian.Uint32(data[1:5]))
+	data = data[5:]
+	switch kind {
+	case digestKindFull:
+		out := make([]DigestEntry, 0, n)
+		for i := 0; i < n; i++ {
+			if len(data) < 2 {
+				return nil, errors.New("ghost digest: truncated entry")
+			}
+			nameLen := int(binary.LittleEndian.Uint16(data))
+			data = data[2:]
+			if len(data) < nameLen+20 {
+				return nil, errors.New("ghost digest: truncated entry")
+			}
+			out = append(out, DigestEntry{
+				Name: string(data[:nameLen]),
+				X:    math.Float64frombits(binary.LittleEndian.Uint64(data[nameLen:])),
+				Z:    math.Float64frombits(binary.LittleEndian.Uint64(data[nameLen+8:])),
+				Home: int(int32(binary.LittleEndian.Uint32(data[nameLen+16:]))),
+			})
+			data = data[nameLen+20:]
+		}
+		return out, nil
+	case digestKindDelta:
+		if n != len(prev) {
+			return nil, fmt.Errorf("ghost digest: delta over %d entries, previous digest had %d", n, len(prev))
+		}
+		maskLen := (n + 7) / 8
+		if len(data) < maskLen {
+			return nil, errors.New("ghost digest: truncated bitmask")
+		}
+		mask := data[:maskLen]
+		data = data[maskLen:]
+		out := append([]DigestEntry(nil), prev...)
+		for i := 0; i < n; i++ {
+			if mask[i/8]&(1<<(i%8)) == 0 {
+				continue
+			}
+			if len(data) < 16 {
+				return nil, errors.New("ghost digest: truncated delta entry")
+			}
+			out[i].X = math.Float64frombits(binary.LittleEndian.Uint64(data))
+			out[i].Z = math.Float64frombits(binary.LittleEndian.Uint64(data[8:]))
+			data = data[16:]
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("ghost digest: unknown kind 0x%02x", kind)
+}
+
+// viewDistance resolves the shard servers' shared view distance from the
+// first alive shard — a crashed shard's config must never be consulted
+// (after FailShard(0) it describes a server that no longer exists). The
+// shards are built by one ShardBuilder and share one config today; that
+// invariant is asserted, not assumed.
+func (c *Cluster) viewDistance() int {
+	vd, found := 0, false
+	for i, s := range c.shards {
+		if !c.table.Alive(i) {
+			continue
+		}
+		v := s.Config().ViewDistance
+		if !found {
+			vd, found = v, true
+			continue
+		}
+		if v != vd {
+			panic(fmt.Sprintf("cluster: alive shards disagree on ViewDistance (%d vs %d); the visibility margins assume one shared shard config", vd, v))
+		}
+	}
+	// found is always true: the ownership table refuses to kill the last
+	// alive shard.
+	return vd
 }
 
 // visMargin returns the effective border margin: the configured value,
-// defaulting to the shard servers' view distance ("within ViewDistance
-// of any tile border").
+// defaulting to the alive shard servers' view distance ("within
+// ViewDistance of any tile border").
 func (c *Cluster) visMargin() int {
 	if c.vis.Margin > 0 {
 		return c.vis.Margin
 	}
-	return c.shards[0].Config().ViewDistance
+	return c.viewDistance()
+}
+
+// visCache is one session's cached border membership: the replication
+// targets of its current block position under the current ownership
+// epoch and host shard. Any of the three changing dirties the session.
+type visCache struct {
+	valid     bool
+	epoch     uint64
+	shard     int
+	pos       world.BlockPos
+	displaced bool
+	// dsts are the replication target shards, ascending, own shard
+	// excluded. The slice is reused across recomputations.
+	dsts []int
+}
+
+// visSess is one scan's view of a session.
+type visSess struct {
+	p    *Player
+	pos  world.BlockPos
+	x, z float64
+	// extra are this scan's displaced-pairing additions (ascending, own
+	// shard never present); the backing array is reused across scans.
+	extra []int
+}
+
+// visCell is one bucket of the spatial index.
+type visCell struct{ x, z int }
+
+// visPair keys per-shard-pair digest state.
+type visPair struct{ src, dst int }
+
+// visPairState is one shard pair's digest buffer and delta encoder,
+// reused every scan.
+type visPairState struct {
+	entries []DigestEntry
+	enc     DigestEncoder
+}
+
+// addSorted inserts v into the ascending slice s if absent.
+func addSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// cellOf maps a position to its bucket under the given cell size. Two
+// positions within Chebyshev distance `size` land in the same or an
+// adjacent cell, so a 3×3 neighbourhood covers every candidate pair.
+func cellOf(p world.BlockPos, size int) visCell {
+	return visCell{floorDiv(p.X, size), floorDiv(p.Z, size)}
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// resetBuckets truncates every reused bucket list (keeping capacity) and
+// drops the whole index when it has grown far past the working set.
+func (c *Cluster) resetBuckets(working int) {
+	if len(c.visBuckets) > 8*working+64 {
+		c.visBuckets = make(map[visCell][]int)
+		return
+	}
+	for k, v := range c.visBuckets {
+		c.visBuckets[k] = v[:0]
+	}
 }
 
 // visibilityScan is one replication tick of the interest-management
-// layer: publish border digests, materialise ghosts, reap stale ones,
-// and audit for visibility gaps.
+// layer, rescheduled on the bus cadence.
 func (c *Cluster) visibilityScan() {
 	if c.stopped {
 		return
 	}
 	defer c.clock.After(c.vis.Interval, c.visibilityScan)
+	c.VisibilityScanOnce()
+}
+
+// VisibilityScanOnce runs one replication tick without scheduling the
+// next: publish border digests, materialise ghosts, reap stale ones, and
+// audit for visibility gaps. Exported as the benchmark entry point; the
+// bus calls it on its own cadence.
+func (c *Cluster) VisibilityScanOnce() {
 	c.visSeq++
 	margin := c.visMargin()
-
-	// Publish: walk sessions in join order and collect, per (src, dst)
-	// shard pair, the avatars dst should mirror — every session standing
-	// within the margin of a tile bordering dst's territory, plus
-	// sessions standing on terrain dst already owns (residents of a
-	// freshly migrated tile stay visible to the new owner's players
-	// until the handoff scan moves them). Displaced sessions — hosted by
-	// a shard that no longer owns the terrain under them, the
-	// migration/handoff transient — also pair up with every session near
-	// them: tile ownership cannot name their host shard, so their
-	// neighbours publish to it (and vice versa) by session geometry.
-	type sess struct {
-		p         *Player
-		pos       world.BlockPos
-		x, z      float64
-		dsts      map[int]bool
-		displaced bool
+	if margin < 1 {
+		margin = 1
 	}
-	var all []sess
+	epoch := c.table.Epoch()
+
+	// Collect: walk sessions in join order, reusing each session's cached
+	// border membership — every shard owning a tile within the margin,
+	// plus the owner of the terrain under the session when that differs
+	// from its host (residents of a freshly migrated tile stay visible to
+	// the new owner's players until the handoff scan moves them). Only
+	// the dirty set — moved a block, handed off, or stale against the
+	// ownership epoch — recomputes membership.
+	all := c.visAll[:0]
+	displacedAny := false
 	for _, id := range c.order {
 		p := c.players[id]
 		if p.inflight {
@@ -158,63 +441,130 @@ func (c *Cluster) visibilityScan() {
 			continue
 		}
 		pos := sp.Pos()
-		dsts := make(map[int]bool)
-		home := c.table.ShardOfBlock(pos)
-		if home != p.shard {
-			dsts[home] = true
+		if c.vis.FullRescan || !p.vc.valid || p.vc.epoch != epoch || p.vc.shard != p.shard || p.vc.pos != pos {
+			c.VisRecomputes.Inc()
+			home := c.table.ShardOfBlock(pos)
+			dsts := p.vc.dsts[:0]
+			if home != p.shard {
+				dsts = addSorted(dsts, home)
+			}
+			for _, bn := range world.BordersWithin(c.topo, pos, margin) {
+				if o := c.table.Owner(bn.Tile); o != p.shard {
+					dsts = addSorted(dsts, o)
+				}
+			}
+			p.vc = visCache{valid: true, epoch: epoch, shard: p.shard, pos: pos, displaced: home != p.shard, dsts: dsts}
 		}
-		for _, bn := range world.BordersWithin(c.topo, pos, margin) {
-			dsts[c.table.Owner(bn.Tile)] = true
+		if p.vc.displaced {
+			displacedAny = true
 		}
-		all = append(all, sess{p: p, pos: pos, x: sp.X, z: sp.Z, dsts: dsts, displaced: home != p.shard})
+		var extra []int
+		if n := len(all); n < cap(c.visAll) {
+			extra = c.visAll[:n+1][n].extra[:0]
+		}
+		all = append(all, visSess{p: p, pos: pos, x: sp.X, z: sp.Z, extra: extra})
 	}
-	for i := range all {
-		if !all[i].displaced {
-			continue
+	c.visAll = all
+
+	// Displaced sessions — hosted by a shard that no longer owns the
+	// terrain under them, the migration/handoff transient — pair up with
+	// every session near them: tile ownership cannot name their host
+	// shard, so their neighbours publish to it (and vice versa) by
+	// session geometry. The candidates come from a margin-sized bucket
+	// index instead of all pairs.
+	if displacedAny {
+		c.resetBuckets(len(all))
+		for i := range all {
+			cell := cellOf(all[i].pos, margin)
+			c.visBuckets[cell] = append(c.visBuckets[cell], i)
 		}
-		for j := range all {
-			if i == j || all[i].p.shard == all[j].p.shard || chebDist(all[i].pos, all[j].pos) > margin {
+		for i := range all {
+			if !all[i].p.vc.displaced {
 				continue
 			}
-			all[j].dsts[all[i].p.shard] = true
-			all[i].dsts[all[j].p.shard] = true
+			home := cellOf(all[i].pos, margin)
+			for dx := -1; dx <= 1; dx++ {
+				for dz := -1; dz <= 1; dz++ {
+					for _, j := range c.visBuckets[visCell{home.x + dx, home.z + dz}] {
+						if i == j || all[i].p.shard == all[j].p.shard || chebDist(all[i].pos, all[j].pos) > margin {
+							continue
+						}
+						all[j].extra = addSorted(all[j].extra, all[i].p.shard)
+						all[i].extra = addSorted(all[i].extra, all[j].p.shard)
+					}
+				}
+			}
 		}
 	}
-	type pair struct{ src, dst int }
-	digests := make(map[pair][]ghostEntry)
-	// residents are the sessions with any replication target: the set
-	// the gap audit checks.
-	var residents []*sess
+
+	// Publish: collect, per (src, dst) shard pair, the avatars dst should
+	// mirror, in join order. residents are the sessions with any
+	// replication target: the set the gap audit checks.
+	for _, ps := range c.visPairs {
+		ps.entries = ps.entries[:0]
+	}
+	residents := c.visResidents[:0]
 	for i := range all {
 		s := &all[i]
-		delete(s.dsts, s.p.shard)
-		if len(s.dsts) == 0 {
+		base := s.p.vc.dsts
+		if len(base) == 0 && len(s.extra) == 0 {
 			continue
 		}
-		residents = append(residents, s)
-		// Deterministic fan-out order: ascending shard index.
-		for dst := 0; dst < len(c.shards); dst++ {
-			if !s.dsts[dst] || !c.table.Alive(dst) {
+		residents = append(residents, i)
+		// Deterministic fan-out order: ascending shard index, merged from
+		// the two ascending sets.
+		bi, ei := 0, 0
+		for bi < len(base) || ei < len(s.extra) {
+			var dst int
+			switch {
+			case bi >= len(base):
+				dst = s.extra[ei]
+				ei++
+			case ei >= len(s.extra):
+				dst = base[bi]
+				bi++
+			case base[bi] < s.extra[ei]:
+				dst = base[bi]
+				bi++
+			case base[bi] > s.extra[ei]:
+				dst = s.extra[ei]
+				ei++
+			default:
+				dst = base[bi]
+				bi++
+				ei++
+			}
+			if !c.table.Alive(dst) {
 				continue
 			}
-			key := pair{src: s.p.shard, dst: dst}
-			digests[key] = append(digests[key], ghostEntry{name: s.p.Name, x: s.x, z: s.z, home: s.p.shard})
+			key := visPair{src: s.p.shard, dst: dst}
+			ps, ok := c.visPairs[key]
+			if !ok {
+				ps = &visPairState{}
+				c.visPairs[key] = ps
+			}
+			ps.entries = append(ps.entries, DigestEntry{Name: s.p.Name, X: s.x, Z: s.z, Home: s.p.shard})
 		}
 	}
+	c.visResidents = residents
 
 	// Apply: materialise the digests as ghosts, in (src, dst) order.
 	for src := 0; src < len(c.shards); src++ {
 		for dst := 0; dst < len(c.shards); dst++ {
-			entries := digests[pair{src: src, dst: dst}]
-			if len(entries) == 0 {
+			ps := c.visPairs[visPair{src: src, dst: dst}]
+			if ps == nil || len(ps.entries) == 0 {
 				continue
 			}
 			if c.vis.Observer != nil {
-				c.vis.Observer(src, dst, EncodeGhostDigest(entries))
+				if digest, err := ps.enc.Encode(ps.entries, epoch); err == nil {
+					c.vis.Observer(src, dst, digest)
+				} else {
+					c.DigestErrors.Inc()
+				}
 			}
-			for _, e := range entries {
-				if c.shards[dst].UpsertGhost(e.name, e.x, e.z, e.home, c.visSeq) {
-					c.GhostLog = append(c.GhostLog, GhostRecord{Player: e.name, Shard: dst, Event: "spawn"})
+			for _, e := range ps.entries {
+				if c.shards[dst].UpsertGhost(e.Name, e.X, e.Z, e.Home, c.visSeq) {
+					c.GhostLog.Append(GhostRecord{Player: e.Name, Shard: dst, Event: "spawn"})
 				}
 				c.GhostUpdates.Inc()
 			}
@@ -228,25 +578,44 @@ func (c *Cluster) visibilityScan() {
 				continue
 			}
 			for _, name := range s.ExpireGhosts(c.visSeq - ghostTTLScans) {
-				c.GhostLog = append(c.GhostLog, GhostRecord{Player: name, Shard: i, Event: "expire"})
+				c.GhostLog.Append(GhostRecord{Player: name, Shard: i, Event: "expire"})
 			}
 		}
 	}
 
 	// Audit: every cross-shard pair of border residents within view
 	// distance must be mutually served by a ghost. One or more unserved
-	// pairs make this a visibility gap tick.
-	view := c.shards[0].Config().ViewDistance
+	// pairs make this a visibility gap tick. Candidate pairs come from a
+	// view-sized bucket index instead of all pairs.
+	view := c.viewDistance()
+	if view < 1 {
+		view = 1
+	}
+	c.resetBuckets(len(residents))
+	for a, i := range residents {
+		cell := cellOf(all[i].pos, view)
+		c.visBuckets[cell] = append(c.visBuckets[cell], a)
+	}
 	gap := false
-	for i := 0; i < len(residents) && !gap; i++ {
-		for j := i + 1; j < len(residents); j++ {
-			a, b := residents[i], residents[j]
-			if a.p.shard == b.p.shard || chebDist(a.pos, b.pos) > view {
-				continue
-			}
-			if c.shards[a.p.shard].Ghost(b.p.Name) == nil || c.shards[b.p.shard].Ghost(a.p.Name) == nil {
-				gap = true
-				break
+audit:
+	for a, i := range residents {
+		sa := &all[i]
+		home := cellOf(sa.pos, view)
+		for dx := -1; dx <= 1; dx++ {
+			for dz := -1; dz <= 1; dz++ {
+				for _, b := range c.visBuckets[visCell{home.x + dx, home.z + dz}] {
+					if b <= a {
+						continue
+					}
+					sb := &all[residents[b]]
+					if sa.p.shard == sb.p.shard || chebDist(sa.pos, sb.pos) > view {
+						continue
+					}
+					if c.shards[sa.p.shard].Ghost(sb.p.Name) == nil || c.shards[sb.p.shard].Ghost(sa.p.Name) == nil {
+						gap = true
+						break audit
+					}
+				}
 			}
 		}
 	}
@@ -295,7 +664,7 @@ func (c *Cluster) demoteToGhost(p *Player, src int, x, z float64, home int) {
 	}
 	if c.table.Alive(src) {
 		if c.shards[src].UpsertGhost(p.Name, x, z, home, c.visSeq) {
-			c.GhostLog = append(c.GhostLog, GhostRecord{Player: p.Name, Shard: src, Event: "demote"})
+			c.GhostLog.Append(GhostRecord{Player: p.Name, Shard: src, Event: "demote"})
 		}
 	}
 	for i, s := range c.shards {
@@ -316,7 +685,7 @@ func (c *Cluster) promoteFromGhost(p *Player, src, dst int, x, z float64) {
 		return
 	}
 	if c.shards[dst].RemoveGhost(p.Name) {
-		c.GhostLog = append(c.GhostLog, GhostRecord{Player: p.Name, Shard: dst, Event: "promote"})
+		c.GhostLog.Append(GhostRecord{Player: p.Name, Shard: dst, Event: "promote"})
 	}
 	for i, s := range c.shards {
 		if i == dst || !c.table.Alive(i) || s.Ghost(p.Name) == nil {
@@ -336,7 +705,7 @@ func (c *Cluster) dropGhosts(name string) {
 	}
 	for i, s := range c.shards {
 		if c.table.Alive(i) && s.RemoveGhost(name) {
-			c.GhostLog = append(c.GhostLog, GhostRecord{Player: name, Shard: i, Event: "drop"})
+			c.GhostLog.Append(GhostRecord{Player: name, Shard: i, Event: "drop"})
 		}
 	}
 }

@@ -1,0 +1,257 @@
+// Tests for the incremental visibility scan and the versioned digest
+// encoding: the failed-shard-0 view-distance regression, the dirty-set
+// determinism contract (incremental == full rescan, byte for byte), the
+// encode-boundary validation, and the delta wire form.
+
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"servo/internal/mve"
+	"servo/internal/sim"
+	"servo/internal/world"
+)
+
+// TestVisMarginSurvivesShard0Failure: the margin (and the gap audit's
+// view distance) must come from an alive shard. The regression: shard 0
+// is built with a different view distance and then killed before any
+// scan — the old code read the crashed server's config unconditionally.
+func TestVisMarginSurvivesShard0Failure(t *testing.T) {
+	loop := sim.NewLoop(41)
+	cfg := Config{
+		Shards:     3,
+		Topology:   world.BandTopology{BandChunks: 4},
+		Visibility: VisibilityConfig{Enabled: true}, // Margin 0 → view distance
+	}
+	c := New(loop, cfg, func(i int, region world.Region) *mve.Server {
+		vd := 32
+		if i == 0 {
+			vd = 8 // the misleading config a crashed shard 0 leaves behind
+		}
+		return mve.NewServer(loop, mve.Config{WorldType: "flat", ViewDistance: vd, Region: region})
+	})
+	c.ConnectAt("edge", nil, world.BlockPos{X: 130, Y: 0, Z: 8}) // shard 2's band, near a border
+	c.Start()
+	if !c.FailShard(0) {
+		t.Fatal("FailShard refused")
+	}
+	if got := c.visMargin(); got != 32 {
+		t.Fatalf("visMargin after FailShard(0) = %d, want 32 (read from an alive shard)", got)
+	}
+	// The scan itself must run against the survivors without consulting
+	// the corpse.
+	loop.RunUntil(time.Second)
+	if got := c.viewDistance(); got != 32 {
+		t.Fatalf("viewDistance after FailShard(0) = %d, want 32", got)
+	}
+}
+
+// TestViewDistanceMismatchAsserted: alive shards disagreeing on view
+// distance is a configuration bug the margin logic cannot paper over —
+// the resolver must say so instead of silently picking one.
+func TestViewDistanceMismatchAsserted(t *testing.T) {
+	loop := sim.NewLoop(42)
+	cfg := Config{Shards: 2, Topology: world.BandTopology{BandChunks: 4}}
+	c := New(loop, cfg, func(i int, region world.Region) *mve.Server {
+		return mve.NewServer(loop, mve.Config{WorldType: "flat", ViewDistance: 16 + 16*i, Region: region})
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("mismatched alive view distances did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "ViewDistance") {
+			t.Fatalf("panic %v does not name the mismatch", r)
+		}
+	}()
+	c.viewDistance()
+}
+
+// TestIncrementalScanMatchesFullRescan is the determinism contract of
+// the dirty-set scan, exercised through the displaced-session pairing
+// loop: two displaced sessions on different shards within margin of each
+// other (each hosted by a shard that owns none of their terrain) plus
+// pacing border traffic. The digest byte stream and the ghost log must
+// be identical across replays and across incremental vs. full scans.
+func TestIncrementalScanMatchesFullRescan(t *testing.T) {
+	run := func(full bool) ([]byte, []GhostRecord) {
+		loop := sim.NewLoop(43)
+		var stream bytes.Buffer
+		cfg := Config{
+			Shards:       2,
+			Topology:     world.BandTopology{BandChunks: 4},
+			ScanInterval: time.Hour, // park handoffs: hold the displaced transient open
+			Visibility: VisibilityConfig{
+				Enabled:    true,
+				Margin:     16,
+				FullRescan: full,
+				Observer: func(src, dst int, digest []byte) {
+					fmt.Fprintf(&stream, "%d>%d:", src, dst)
+					stream.Write(digest)
+				},
+			},
+		}
+		c := New(loop, cfg, func(i int, region world.Region) *mve.Server {
+			return mve.NewServer(loop, mve.Config{WorldType: "flat", ViewDistance: 32, Region: region})
+		})
+		// Tile 2 is shard 0's, tile 3 shard 1's; the two sessions stand
+		// 10 blocks apart across that seam, and each tile then migrates to
+		// the other shard — leaving both sessions displaced, on different
+		// shards, within margin of each other.
+		a := c.ConnectAt("astray", pacer(150, 8, 187, 8, 5), world.BlockPos{X: 187, Y: 0, Z: 8})
+		b := c.ConnectAt("bstray", pacer(197, 8, 240, 8, 5), world.BlockPos{X: 197, Y: 0, Z: 8})
+		// Background border traffic keeps the dirty set busy.
+		c.ConnectAt("walker", pacer(40, 24, 90, 24, 7), world.BlockPos{X: 40, Y: 0, Z: 24})
+		c.ConnectAt("idler", nil, world.BlockPos{X: 60, Y: 0, Z: 40})
+		if a.Shard() != 0 || b.Shard() != 1 {
+			t.Fatalf("setup: shards %d/%d, want 0/1", a.Shard(), b.Shard())
+		}
+		c.Start()
+		loop.RunUntil(time.Second)
+		if !c.MigrateTile(world.TileID{X: 2}, 1) || !c.MigrateTile(world.TileID{X: 3}, 0) {
+			t.Fatal("MigrateTile refused")
+		}
+		loop.RunUntil(time.Minute)
+		if a.Shard() != 0 || b.Shard() != 1 {
+			t.Fatal("handoff scan fired; the displaced transient did not hold")
+		}
+		if c.Shard(1).Ghost("astray") == nil || c.Shard(0).Ghost("bstray") == nil {
+			t.Fatal("displaced pair not mutually mirrored")
+		}
+		if got := c.VisibilityGaps.Value(); got != 0 {
+			t.Fatalf("visibility gap ticks = %d, want 0", got)
+		}
+		return stream.Bytes(), c.GhostLog.All()
+	}
+	incA, glogA := run(false)
+	incB, glogB := run(false)
+	fullD, glogF := run(true)
+	if len(incA) == 0 || len(glogA) == 0 {
+		t.Fatalf("empty replay surface (digests %d, ghost log %d); test proves nothing", len(incA), len(glogA))
+	}
+	if !bytes.Equal(incA, incB) {
+		t.Fatalf("incremental digest stream not replay-stable (%d vs %d bytes)", len(incA), len(incB))
+	}
+	if !bytes.Equal(incA, fullD) {
+		t.Fatalf("incremental and full-rescan digest streams diverge (%d vs %d bytes)", len(incA), len(fullD))
+	}
+	for name, glog := range map[string][]GhostRecord{"replay": glogB, "full rescan": glogF} {
+		if len(glog) != len(glogA) {
+			t.Fatalf("%s ghost log diverges: %d vs %d records", name, len(glog), len(glogA))
+		}
+		for i := range glog {
+			if glog[i] != glogA[i] {
+				t.Fatalf("%s ghost log[%d] differs: %+v vs %+v", name, i, glog[i], glogA[i])
+			}
+		}
+	}
+}
+
+// TestVisRecomputesStopIdle: once every session is stationary and the
+// ownership epoch is quiet, the dirty set is empty — membership
+// recomputation stops while replication (ghost refreshes) carries on.
+func TestVisRecomputesStopIdle(t *testing.T) {
+	loop, c := newTestCluster(t, 44, 2, Config{Visibility: VisibilityConfig{Enabled: true, Margin: 16}})
+	c.ConnectAt("alice", nil, world.BlockPos{X: 60, Y: 0, Z: 8})
+	c.ConnectAt("bob", nil, world.BlockPos{X: 70, Y: 0, Z: 8})
+	c.Start()
+	loop.RunUntil(time.Second)
+	settled := c.VisRecomputes.Value()
+	if settled == 0 {
+		t.Fatal("no membership recomputation at all; test proves nothing")
+	}
+	updates := c.GhostUpdates.Value()
+	loop.RunUntil(3 * time.Second)
+	if got := c.VisRecomputes.Value(); got != settled {
+		t.Fatalf("idle sessions still recompute membership: %d → %d", settled, got)
+	}
+	if c.GhostUpdates.Value() == updates {
+		t.Fatal("replication stopped along with the recomputation")
+	}
+}
+
+// TestEncodeGhostDigestValidation: entries the wire form cannot carry are
+// errors at the encode boundary, not silent truncation.
+func TestEncodeGhostDigestValidation(t *testing.T) {
+	ok := []DigestEntry{{Name: "fine", X: 1, Z: 2, Home: 3}}
+	if _, err := EncodeGhostDigest(ok); err != nil {
+		t.Fatalf("valid entries rejected: %v", err)
+	}
+	long := []DigestEntry{{Name: strings.Repeat("n", 1<<16), Home: 0}}
+	if _, err := EncodeGhostDigest(long); err == nil {
+		t.Fatal("64 KiB name encoded without error (would truncate via uint16)")
+	}
+	neg := []DigestEntry{{Name: "x", Home: -1}}
+	if _, err := EncodeGhostDigest(neg); err == nil {
+		t.Fatal("negative home shard encoded without error (would wrap via uint32)")
+	}
+	big := []DigestEntry{{Name: "x", Home: 1 << 40}}
+	if _, err := EncodeGhostDigest(big); err == nil {
+		t.Fatal("out-of-range home shard encoded without error")
+	}
+	var enc DigestEncoder
+	if _, err := enc.Encode(long, 1); err == nil {
+		t.Fatal("DigestEncoder accepted an unencodable entry")
+	}
+}
+
+// TestDigestEncoderDelta: the encoder emits a full digest on first
+// contact and on epoch change, a delta when only positions moved, and
+// both decode back to the same entries.
+func TestDigestEncoderDelta(t *testing.T) {
+	var enc DigestEncoder
+	gen := func(x float64) []DigestEntry {
+		return []DigestEntry{
+			{Name: "alice", X: x, Z: 8, Home: 0},
+			{Name: "bob", X: 70, Z: 8, Home: 1},
+		}
+	}
+	roundTrip := func(prev []DigestEntry, entries []DigestEntry, epoch uint64, wantKind byte) []DigestEntry {
+		t.Helper()
+		buf, err := enc.Encode(entries, epoch)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if buf[0] != wantKind {
+			t.Fatalf("digest kind = 0x%02x, want 0x%02x", buf[0], wantKind)
+		}
+		dec, err := DecodeGhostDigest(prev, buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(dec) != len(entries) {
+			t.Fatalf("decoded %d entries, want %d", len(dec), len(entries))
+		}
+		for i := range dec {
+			if dec[i] != entries[i] {
+				t.Fatalf("entry %d decoded as %+v, want %+v", i, dec[i], entries[i])
+			}
+		}
+		return dec
+	}
+	// First contact: full. Same keys, moved position: delta, and the
+	// delta carries only the moved entry. Epoch change: full again.
+	prev := roundTrip(nil, gen(60), 1, digestKindFull)
+	buf, _ := enc.Encode(gen(61), 1)
+	if buf[0] != digestKindDelta {
+		t.Fatalf("pure movement emitted kind 0x%02x, want delta", buf[0])
+	}
+	if want := 5 + 1 + 16; len(buf) != want {
+		t.Fatalf("delta of one moved entry is %d bytes, want %d", len(buf), want)
+	}
+	dec, err := DecodeGhostDigest(prev, buf)
+	if err != nil || dec[0].X != 61 || dec[1] != prev[1] {
+		t.Fatalf("delta decode wrong: %+v (err %v)", dec, err)
+	}
+	prev = dec
+	prev = roundTrip(prev, gen(62), 2, digestKindFull) // epoch bump forces full
+	// Membership change (new entry): full.
+	grown := append(gen(62), DigestEntry{Name: "carol", X: 1, Z: 2, Home: 0})
+	roundTrip(prev, grown, 2, digestKindFull)
+	_ = prev
+}

@@ -77,13 +77,13 @@ func TestVisibilityGhostAcrossBorder(t *testing.T) {
 		t.Fatal("ghost of alice survived her leaving the border")
 	}
 	expired := false
-	for _, r := range c.GhostLog {
+	for _, r := range c.GhostLog.All() {
 		if r == (GhostRecord{Player: "alice", Shard: 1, Event: "expire"}) {
 			expired = true
 		}
 	}
 	if !expired {
-		t.Fatalf("no expire record for alice in the ghost log: %+v", c.GhostLog)
+		t.Fatalf("no expire record for alice in the ghost log: %+v", c.GhostLog.All())
 	}
 }
 
@@ -152,7 +152,7 @@ func TestHandoffSeamlessGhostPromotion(t *testing.T) {
 		t.Fatal("source ghost still pinned after the handoff completed")
 	}
 	var demotes, promotes int
-	for _, r := range c.GhostLog {
+	for _, r := range c.GhostLog.All() {
 		if r.Player != "mover" {
 			continue
 		}
@@ -167,7 +167,7 @@ func TestHandoffSeamlessGhostPromotion(t *testing.T) {
 		}
 	}
 	if demotes == 0 {
-		t.Fatalf("no demote records in the ghost log: %+v", c.GhostLog)
+		t.Fatalf("no demote records in the ghost log: %+v", c.GhostLog.All())
 	}
 }
 
@@ -202,7 +202,7 @@ func TestVisibilityDigestDeterministicReplay(t *testing.T) {
 		}
 		c.Start()
 		loop.RunUntil(2 * time.Minute)
-		return stream.Bytes(), append([]GhostRecord(nil), c.GhostLog...), append([]HandoffRecord(nil), c.Log...)
+		return stream.Bytes(), c.GhostLog.All(), c.Log.All()
 	}
 	d1, g1, h1 := run()
 	d2, g2, h2 := run()

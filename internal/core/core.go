@@ -125,6 +125,10 @@ type Config struct {
 	// persisted. Requires a storage backend; only meaningful with
 	// Shards > 1.
 	CheckpointInterval time.Duration
+	// LogRetention caps the cluster's replay logs (handoffs, migrations,
+	// ghost events) at the most recent N records
+	// (0 → cluster.DefaultLogRetention, < 0 → unbounded).
+	LogRetention int
 }
 
 // ShardComponents holds the per-shard component instances riding on the
@@ -343,6 +347,7 @@ func New(clock sim.Clock, cfg Config) *System {
 				Margin:   cfg.VisibilityMargin,
 				Interval: cfg.VisibilityInterval,
 			},
+			LogRetention: cfg.LogRetention,
 		}
 		if sys.Remote != nil {
 			clCfg.Transfer = &blobTransfer{remote: sys.Remote}

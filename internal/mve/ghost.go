@@ -109,5 +109,14 @@ func (s *Server) Ghosts() []*GhostAvatar {
 	return out
 }
 
+// EachGhost visits the live ghosts in creation order without allocating
+// (the per-tick path: rtserve folds ghosts into every state update).
+// fn must not mutate the registry.
+func (s *Server) EachGhost(fn func(*GhostAvatar)) {
+	for _, name := range s.ghostOrder {
+		fn(s.ghosts[name])
+	}
+}
+
 // GhostCount returns the number of live ghosts.
 func (s *Server) GhostCount() int { return len(s.ghosts) }

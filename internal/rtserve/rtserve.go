@@ -255,11 +255,11 @@ func (c *session) snapshot() (update netproto.Message, chunks []netproto.Message
 		// the same update under negated ids, so a client near a region
 		// border renders one continuous world. Local player ids are
 		// positive; a negative id marks the avatar read-only.
-		for _, g := range srv.Ghosts() {
+		srv.EachGhost(func(g *mve.GhostAvatar) {
 			update.Avatars = append(update.Avatars, netproto.AvatarState{
 				ID: -g.ID, X: g.X, Z: g.Z,
 			})
-		}
+		})
 		pos := c.player.Pos()
 		for _, cp := range world.ChunksWithin(pos, srv.Config().ViewDistance) {
 			if len(chunks) >= c.server.cfg.ChunksPerPush {

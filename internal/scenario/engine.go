@@ -164,6 +164,14 @@ type Runner struct {
 	crowdSeq int // flash-crowd naming sequence
 	peak     int // peak concurrent players
 
+	// botSeconds integrates concurrency over the measured window (one
+	// virtual-second samples), and wall is the wall-clock time the window
+	// took to simulate: together the engine's throughput, bots simulated
+	// per wall-second. The sampler only reads the session count, so the
+	// virtual run stays deterministic.
+	botSeconds float64
+	wall       time.Duration
+
 	// Chaos window generations, keyed by target function name ("" = the
 	// whole platform / store): when windows of the same target overlap,
 	// the newest wins and an older window's end must not clear it.
@@ -269,6 +277,7 @@ func (r *Runner) build() {
 		cfg.VisibilityInterval = v.Interval.D()
 	}
 	cfg.CheckpointInterval = spec.Checkpoint.D()
+	cfg.LogRetention = spec.LogRetention
 	if se := spec.Backend.SpecExec; se != nil {
 		sx := specexec.DefaultConfig()
 		if se.TickLead != nil {
@@ -322,6 +331,16 @@ func (r *Runner) sampleViewMargin() {
 	r.viewSeries.Add(r.loop.Now(), time.Duration(margin))
 	if r.loop.Now() < r.t0+r.spec.Duration.D() {
 		r.loop.After(time.Second, r.sampleViewMargin)
+	}
+}
+
+// sampleBotSeconds accumulates one virtual second of every live session
+// into the bot-seconds integral, once per second over the measured
+// window.
+func (r *Runner) sampleBotSeconds() {
+	r.botSeconds += float64(r.front.count())
+	if r.loop.Now() < r.t0+r.spec.Duration.D() {
+		r.loop.After(time.Second, r.sampleBotSeconds)
 	}
 }
 
@@ -733,7 +752,10 @@ func (r *Runner) run() *Report {
 		cl.HandoffLatency = metrics.NewSample(4096)
 	}
 	r.logf("warm-up complete; measuring")
+	r.loop.After(time.Second, r.sampleBotSeconds)
+	wallStart := time.Now()
 	r.loop.RunUntil(r.t0 + spec.Duration.D())
+	r.wall = time.Since(wallStart)
 	r.front.stop()
 	ticks := 0
 	for _, sh := range r.sys.Shards {
@@ -956,7 +978,7 @@ func (r *Runner) collect() *Report {
 	}
 	vals["cost_dollars"] = cost
 
-	rep := &Report{Name: spec.Name, Virtual: spec.Duration.D(), Pass: true}
+	rep := &Report{Name: spec.Name, Virtual: spec.Duration.D(), Pass: true, Wall: r.wall, BotSeconds: r.botSeconds}
 	for i, sh := range r.sys.Shards {
 		times, durs := sh.Server.TickSeries.Points()
 		series := ShardSeries{Shard: i, Ticks: make([]TickPoint, len(times))}

@@ -339,6 +339,10 @@ type Spec struct {
 	// even for players that never crossed a boundary (requires
 	// shards > 1 and a storage backend).
 	Checkpoint Span `json:"checkpoint,omitempty"`
+	// LogRetention caps the cluster's replay logs (handoffs, migrations,
+	// ghost events) at the most recent N records (0 → the cluster
+	// default, -1 → unbounded).
+	LogRetention int `json:"log_retention,omitempty"`
 
 	World      WorldSpec        `json:"world,omitempty"`
 	Backend    BackendSpec      `json:"backend,omitempty"`
@@ -433,6 +437,9 @@ func (s *Spec) Validate() error {
 		if !s.hasStore() {
 			return s.errf("checkpoint requires a storage backend (backend.storage or backend.local_store)")
 		}
+	}
+	if s.LogRetention < -1 {
+		return s.errf("log_retention must be >= -1 (got %d)", s.LogRetention)
 	}
 
 	if err := s.validateWorld(); err != nil {
