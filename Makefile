@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet fmtcheck build test race validate sim bench benchsmoke benchjson benchdiff clusterrace replaygate bordergate
+.PHONY: ci vet fmtcheck build test race validate sim bench benchsmoke benchjson benchdiff clusterrace replaygate bordergate workersgate
 
-ci: vet fmtcheck build race clusterrace validate replaygate bordergate benchsmoke benchdiff
+ci: vet fmtcheck build race clusterrace validate replaygate bordergate workersgate benchsmoke benchdiff
 
 vet:
 	$(GO) vet ./...
@@ -31,12 +31,15 @@ race:
 # engine that drives them) juggle closures across the virtual clock and
 # must stay data-race-free even as they grow; rtserve rides along because
 # its sessions read ghost registries concurrently with the real-time
-# loop. -p 1 serialises the packages and the timeout is raised: the
-# scenario package's full bundled sweep is slow under the race detector,
-# and contention with the other raced packages would push it past the
-# default 10m per-package budget.
+# loop; internal/sim joins the list because the lane-batched scheduler
+# runs same-timestamp events on a worker pool and its commit-buffer
+# ordering must hold under the race detector. -p 1 serialises the
+# packages and the timeout is raised: the scenario package's full
+# bundled sweep is slow under the race detector, and contention with the
+# other raced packages would push it past the default 10m per-package
+# budget.
 clusterrace:
-	$(GO) test -race -count=1 -p 1 -timeout 30m ./internal/cluster/ ./internal/world/ ./internal/scenario/ ./internal/rtserve/ ./internal/bench/
+	$(GO) test -race -count=1 -p 1 -timeout 30m ./internal/sim/ ./internal/cluster/ ./internal/world/ ./internal/scenario/ ./internal/rtserve/ ./internal/bench/
 
 # validate parses and validates every bundled scenario without running it.
 validate:
@@ -55,6 +58,13 @@ replaygate:
 bordergate:
 	$(GO) run ./cmd/servo-sim run border-patrol
 
+# workersgate is the parallel-execution determinism gate: the bundled
+# sharded scenarios must render byte-identical reports at -workers 1 and
+# -workers 4 (the lane-batched scheduler's pool-size-independence
+# contract).
+workersgate:
+	$(GO) test -count=1 -run TestWorkersByteIdentity ./internal/scenario/
+
 # sim executes every bundled scenario and fails on any assertion failure.
 sim:
 	$(GO) run ./cmd/servo-sim run all
@@ -72,7 +82,7 @@ benchsmoke:
 # suite (tick latency, handoff p99, digest encode, visibility scan,
 # scenario throughput) written as a schema'd BENCH_$(PR).json artifact,
 # checked in with the PR that changed the numbers.
-PR ?= 6
+PR ?= 7
 benchjson:
 	$(GO) run ./cmd/servo-bench -format json -pr $(PR) -out BENCH_$(PR).json
 

@@ -14,6 +14,10 @@
 //	    more than -tolerance against the newest checked-in BENCH_*.json
 //	    ("latest"), or against an explicit artifact path
 //
+// -cpuprofile and -memprofile write pprof profiles of whichever mode ran
+// (experiments, suite, or diff), for `go tool pprof` drill-downs into
+// the hot paths the BENCH numbers summarise.
+//
 // Scale 1.0 runs the paper's 10-minute measurement windows; the default
 // 0.1 gives the same shapes in about a tenth of the wall time.
 package main
@@ -22,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"servo/internal/bench"
 	"servo/internal/experiment"
@@ -42,7 +48,37 @@ func run() int {
 	pr := flag.Int("pr", 0, "with -format json: PR number stamped into the artifact")
 	diff := flag.String("diff", "", "re-run the suite and diff against an artifact path, or 'latest' for the newest BENCH_*.json")
 	tolerance := flag.Float64("tolerance", bench.DefaultTolerance, "relative regression tolerance of -diff")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the selected run to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "servo-bench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "servo-bench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "servo-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "servo-bench:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, r := range experiment.Runners() {

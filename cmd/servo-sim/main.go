@@ -36,7 +36,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   servo-sim list
   servo-sim validate all | <name|file.json>...
-  servo-sim run [-v] [-seed N] [-shards N] [-topology band|grid:XxZ] [-format text|csv] all | <name|file.json>...
+  servo-sim run [-v] [-seed N] [-shards N] [-workers N] [-topology band|grid:XxZ] [-format text|csv] all | <name|file.json>...
   servo-sim replay all | <name|file.json>...`)
 }
 
@@ -137,6 +137,7 @@ func cmdRun(args []string) int {
 	verbose := fs.Bool("v", false, "log per-event progress to stderr")
 	seed := fs.Int64("seed", 0, "override every scenario's seed (0 = use the spec's)")
 	shards := fs.Int("shards", 0, "override every scenario's shard count (0 = use the spec's; >1 runs a region-sharded cluster)")
+	workers := fs.Int("workers", -1, "override every scenario's worker-pool size (-1 = use the spec's; 0 = classic serial loop; >=1 runs lane-batched shard ticks, byte-identical for every pool size)")
 	topology := fs.String("topology", "", `override every scenario's region topology: "band" or "grid:<X>x<Z>" (e.g. grid:4x4; requires a sharded scenario)`)
 	format := fs.String("format", "text", `report format: "text" or "csv" (csv covers summary metrics, assertions, and the per-tick series)`)
 	_ = fs.Parse(args)
@@ -172,6 +173,10 @@ func cmdRun(args []string) int {
 			// shard count (per-shard assertions, placement) surfaces a
 			// clear error instead of running nonsense.
 			spec.Shards = *shards
+		}
+		if *workers >= 0 {
+			// Re-validated inside Run (bounds check lives in the spec).
+			spec.Workers = *workers
 		}
 		if topo != nil {
 			// Also re-validated inside Run: a band-placement spec forced

@@ -226,6 +226,14 @@ type Cluster struct {
 	// DigestErrors counts digests the encoder refused to emit (an entry
 	// the wire form cannot represent; the ghosts still apply).
 	DigestErrors metrics.Counter
+	// DigestsSent counts per-pair digests actually published, and
+	// DigestsSkipped those suppressed by the rate limiter: a pair whose
+	// entry list is byte-identical to its last published digest under an
+	// unchanged ownership epoch skips publication, capped at
+	// digestMaxSkips consecutive skips so ghost staleness stamps keep
+	// refreshing well inside the expiry TTL.
+	DigestsSent    metrics.Counter
+	DigestsSkipped metrics.Counter
 
 	// Reused visibility-scan scratch (see visibility.go).
 	visAll       []visSess
@@ -280,7 +288,8 @@ func New(clock sim.Clock, cfg Config, build ShardBuilder) *Cluster {
 		c.shards = append(c.shards, build(i, c.table.View(i)))
 	}
 	for _, s := range c.shards {
-		s.SetChatRelay(c.relayChat)
+		src := s
+		s.SetChatRelay(func(from *mve.Player) int { return c.relayChat(src, from) })
 	}
 	return c
 }
@@ -306,16 +315,28 @@ func (c *Cluster) TileCenter(t world.TileID) world.BlockPos { return c.topo.Cent
 // shard chat): each shard counts its local deliveries and the total is
 // the sender's fan-out cost. In-flight sessions (mid-handoff) are on no
 // shard and miss the message, exactly as they would miss any broadcast.
-func (c *Cluster) relayChat(from *mve.Player) int {
+//
+// src is the sending player's shard. Under lane-parallel execution chat
+// actions run inside src's lane, so the cross-shard counter writes are
+// deferred to src's commit drain; the recipient counts themselves are
+// safe to read during the wave (session membership only changes in
+// serial events) and cannot change before the drain runs.
+func (c *Cluster) relayChat(src *mve.Server, from *mve.Player) int {
 	total := 0
 	for i, s := range c.shards {
 		if !c.table.Alive(i) {
 			continue
 		}
-		n := s.PlayerCount()
-		s.ChatsDelivered.Add(int64(n))
-		total += n
+		total += s.PlayerCount()
 	}
+	sim.Commit(src.Clock(), func() {
+		for i, s := range c.shards {
+			if !c.table.Alive(i) {
+				continue
+			}
+			s.ChatsDelivered.Add(int64(s.PlayerCount()))
+		}
+	})
 	return total
 }
 

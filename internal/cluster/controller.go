@@ -397,7 +397,8 @@ func (c *Cluster) RecoverShard(i int) bool {
 		c.shards[i] = c.build(i, c.table.View(i))
 		c.shards[i].TickDurations = crashed.TickDurations
 		c.shards[i].TickSeries = crashed.TickSeries
-		c.shards[i].SetChatRelay(c.relayChat)
+		src := c.shards[i]
+		src.SetChatRelay(func(from *mve.Player) int { return c.relayChat(src, from) })
 		c.table.SetDead(i, false)
 		c.persistTable()
 		c.MigrationLog.Append(MigrationRecord{

@@ -354,11 +354,49 @@ type visCell struct{ x, z int }
 // visPair keys per-shard-pair digest state.
 type visPair struct{ src, dst int }
 
-// visPairState is one shard pair's digest buffer and delta encoder,
-// reused every scan.
+// digestMaxSkips caps how many consecutive scans a pair's publication
+// may be suppressed: a forced refresh lands at least every
+// digestMaxSkips+1 scans, strictly inside the ghostTTLScans expiry
+// window, so a rate-limited ghost can never be reaped as stale.
+const digestMaxSkips = ghostTTLScans - 2
+
+// visPairState is one shard pair's digest buffer, delta encoder, and
+// rate-limiter state, reused every scan.
 type visPairState struct {
 	entries []DigestEntry
 	enc     DigestEncoder
+
+	// Rate limiter: lastPub is a copy of the entry list most recently
+	// published (backing array reused — entry Names share the sessions'
+	// strings, so the steady-state copy allocates nothing), lastEpoch the
+	// ownership epoch it was published under, and skips the consecutive
+	// scans suppressed since. pubValid goes false whenever the pair goes
+	// quiet (no entries), because ghosts may expire while a pair is
+	// silent and a later identical-looking scan must re-publish them.
+	lastPub   []DigestEntry
+	lastEpoch uint64
+	pubValid  bool
+	skips     int
+}
+
+// shouldSkip reports whether this scan's entries may go unpublished:
+// identical to the last published digest, same ownership epoch, and the
+// consecutive-skip cap not yet reached. Shared verbatim by the
+// incremental and FullRescan paths — both feed the same apply loop, so
+// the digest stream stays byte-identical across the two modes.
+func (ps *visPairState) shouldSkip(epoch uint64) bool {
+	if !ps.pubValid || epoch != ps.lastEpoch || ps.skips >= digestMaxSkips {
+		return false
+	}
+	if len(ps.entries) != len(ps.lastPub) {
+		return false
+	}
+	for i := range ps.entries {
+		if ps.entries[i] != ps.lastPub[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // addSorted inserts v into the ascending slice s if absent.
@@ -548,11 +586,29 @@ func (c *Cluster) VisibilityScanOnce() {
 	}
 	c.visResidents = residents
 
-	// Apply: materialise the digests as ghosts, in (src, dst) order.
+	// Apply: materialise the digests as ghosts, in (src, dst) order. A
+	// pair whose entries are identical to its last published digest under
+	// an unchanged epoch is rate-limited: nothing goes on the wire and no
+	// registry is touched, capped at digestMaxSkips consecutive scans so
+	// the staleness stamps refresh before the expiry TTL.
 	for src := 0; src < len(c.shards); src++ {
 		for dst := 0; dst < len(c.shards); dst++ {
 			ps := c.visPairs[visPair{src: src, dst: dst}]
-			if ps == nil || len(ps.entries) == 0 {
+			if ps == nil {
+				continue
+			}
+			if len(ps.entries) == 0 {
+				// Quiet pair: invalidate the limiter. Its ghosts expire
+				// over the coming scans, so when traffic resumes — even
+				// with byte-identical entries — publication must not be
+				// suppressed.
+				ps.pubValid = false
+				ps.skips = 0
+				continue
+			}
+			if ps.shouldSkip(epoch) {
+				ps.skips++
+				c.DigestsSkipped.Inc()
 				continue
 			}
 			if c.vis.Observer != nil {
@@ -568,6 +624,11 @@ func (c *Cluster) VisibilityScanOnce() {
 				}
 				c.GhostUpdates.Inc()
 			}
+			ps.lastPub = append(ps.lastPub[:0], ps.entries...)
+			ps.lastEpoch = epoch
+			ps.pubValid = true
+			ps.skips = 0
+			c.DigestsSent.Inc()
 		}
 	}
 

@@ -255,3 +255,39 @@ func TestDigestEncoderDelta(t *testing.T) {
 	roundTrip(prev, grown, 2, digestKindFull)
 	_ = prev
 }
+
+// TestDigestRateLimiterSkipsIdlePairs: a shard pair whose entry list is
+// unchanged under a quiet ownership epoch skips publication, but a
+// forced refresh lands at least every digestMaxSkips+1 scans — so the
+// staleness stamps keep refreshing, no ghost expires, and the gap audit
+// stays clean throughout.
+func TestDigestRateLimiterSkipsIdlePairs(t *testing.T) {
+	loop, c := newTestCluster(t, 45, 2, Config{Visibility: VisibilityConfig{Enabled: true, Margin: 16}})
+	c.ConnectAt("alice", nil, world.BlockPos{X: 60, Y: 0, Z: 8})
+	c.ConnectAt("bob", nil, world.BlockPos{X: 70, Y: 0, Z: 8})
+	c.Start()
+	loop.RunUntil(time.Second)
+	sent, skipped := c.DigestsSent.Value(), c.DigestsSkipped.Value()
+	ghosts := c.GhostCount()
+	if ghosts == 0 {
+		t.Fatal("no ghosts materialised; test proves nothing")
+	}
+	loop.RunUntil(4 * time.Second)
+	dSent := c.DigestsSent.Value() - sent
+	dSkip := c.DigestsSkipped.Value() - skipped
+	if dSkip == 0 {
+		t.Fatal("stationary pair never skipped publication")
+	}
+	if dSent == 0 {
+		t.Fatal("rate limiter never force-refreshed an idle pair")
+	}
+	if dSkip > int64(digestMaxSkips)*dSent {
+		t.Fatalf("skip cap violated: %d skips for %d sends (max %d per send)", dSkip, dSent, digestMaxSkips)
+	}
+	if got := c.GhostCount(); got != ghosts {
+		t.Fatalf("rate limiting changed the ghost population: %d → %d", ghosts, got)
+	}
+	if c.VisibilityGaps.Value() != 0 {
+		t.Fatalf("rate limiting opened %d visibility gap ticks", c.VisibilityGaps.Value())
+	}
+}

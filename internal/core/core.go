@@ -129,6 +129,15 @@ type Config struct {
 	// ghost events) at the most recent N records
 	// (0 → cluster.DefaultLogRetention, < 0 → unbounded).
 	LogRetention int
+
+	// Workers > 0 runs shard game loops on the virtual clock's
+	// lane-batched scheduler: same-timestamp ticks of distinct shards
+	// execute concurrently on a pool of Workers goroutines, with shared-
+	// substrate side effects deferred to the deterministic post-wave
+	// commit drain. Every pool size produces identical runs; 0 (the
+	// default) keeps the classic serial loop. Requires a *sim.Loop clock
+	// (ignored under the real-time clock).
+	Workers int
 }
 
 // ShardComponents holds the per-shard component instances riding on the
@@ -271,12 +280,29 @@ func New(clock sim.Clock, cfg Config) *System {
 	if topo == nil {
 		topo = world.BandTopology{BandChunks: cfg.BandChunks}
 	}
+	// Lane-parallel execution: each shard's game loop runs on its own
+	// lane of the virtual clock, so same-timestamp ticks of distinct
+	// shards execute concurrently while scans, the controller, and all
+	// substrate completions stay on the serial lane. Lane ids are
+	// 1-based (lane 0 is the serial lane); a recovered shard re-acquires
+	// its lane and continues the same RNG stream.
+	var laneLoop *sim.Loop
+	if cfg.Workers > 0 {
+		if lp, ok := clock.(*sim.Loop); ok {
+			lp.SetWorkers(cfg.Workers)
+			laneLoop = lp
+		}
+	}
 	// buildShard assembles shard i's components. Called once per shard at
 	// boot, and again by cluster.RecoverShard to build the replacement
 	// process after a shard failure — then the fresh components replace
 	// the crashed shard's entry in sys.Shards.
 	buildShard := func(i int, region world.Region) *mve.Server {
 		shard := &ShardComponents{}
+		shardClock := clock
+		if laneLoop != nil {
+			shardClock = laneLoop.Lane(i + 1)
+		}
 		srvCfg := mve.Config{
 			Profile:      profile,
 			WorldType:    cfg.WorldType,
@@ -294,12 +320,21 @@ func New(clock sim.Clock, cfg Config) *System {
 			home := topo.Center(world.HomeTile(topo, shardCount, i))
 			srvCfg.BootCenters = []world.BlockPos{{}, home}
 		}
+		// FaaS submissions from a shard lane go through the commit
+		// buffer: the shared platform (warm pools, RNG-drawn latencies)
+		// must see invocations in deterministic lane order, not wave
+		// completion order. On the serial path the wrapper is a direct
+		// call.
+		var invoke laneInvoker = sys.Platform
+		if laneLoop != nil && sys.Platform != nil {
+			invoke = &commitInvoker{clock: shardClock, platform: sys.Platform}
+		}
 		if cfg.ServerlessSC {
-			shard.SpecExec = specexec.NewManager(sys.Platform, SCFunctionName, spec)
+			shard.SpecExec = specexec.NewManager(invoke, SCFunctionName, spec)
 			srvCfg.SC = &scAdapter{mgr: shard.SpecExec}
 		}
 		if cfg.ServerlessTG {
-			shard.TGBackend = tgen.NewBackend(sys.Platform, tgen.FunctionName)
+			shard.TGBackend = tgen.NewBackend(invoke, tgen.FunctionName)
 			srvCfg.Terrain = shard.TGBackend
 		}
 		switch {
@@ -322,7 +357,7 @@ func New(clock sim.Clock, cfg Config) *System {
 		if cfg.WrapStore != nil && srvCfg.Store != nil {
 			srvCfg.Store = cfg.WrapStore(srvCfg.Store)
 		}
-		shard.Server = mve.NewServer(clock, srvCfg)
+		shard.Server = mve.NewServer(shardClock, srvCfg)
 		if i < len(sys.Shards) {
 			sys.Shards[i] = shard // failover rebuild replaces in place
 		} else {
@@ -363,6 +398,27 @@ func New(clock sim.Clock, cfg Config) *System {
 	sys.Cache = s0.Cache
 	sys.RStore = s0.RStore
 	return sys
+}
+
+// laneInvoker is the FaaS submission surface shard components are built
+// against: *faas.Platform directly on the serial path, or commitInvoker
+// under lane-parallel execution. It satisfies both specexec.TickSource
+// and tgen.Invoker.
+type laneInvoker interface {
+	Invoke(name string, payload []byte, cb func(faas.Invocation))
+}
+
+// commitInvoker defers submissions to the lane's commit drain, so the
+// shared platform processes them on the loop thread in ascending lane
+// order regardless of wave scheduling. Invocation callbacks then fire
+// from platform events in serial context.
+type commitInvoker struct {
+	clock    sim.Clock
+	platform *faas.Platform
+}
+
+func (ci *commitInvoker) Invoke(name string, payload []byte, cb func(faas.Invocation)) {
+	sim.Commit(ci.clock, func() { ci.platform.Invoke(name, payload, cb) })
 }
 
 // blobTransfer persists handoff snapshots under the player's storage key

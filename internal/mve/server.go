@@ -561,12 +561,17 @@ func (s *Server) scanTerrainDemand() {
 	}
 	// Give pre-fetching stores the avatar positions (§III-E) — ghosts
 	// included, so the terrain around an avatar approaching from a
-	// neighbouring shard is warm before its handoff lands.
+	// neighbouring shard is warm before its handoff lands. The store
+	// stack reaches shared substrate (remote blob reads), so the call
+	// goes through the commit buffer on a lane clock.
 	if obs, ok := s.store.(AvatarObserver); ok {
 		for _, name := range s.ghostOrder {
 			avatarPositions = append(avatarPositions, s.ghosts[name].Pos())
 		}
-		obs.ObserveAvatars(avatarPositions, s.cfg.ViewDistance+PrefetchMargin)
+		viewDist := s.cfg.ViewDistance + PrefetchMargin
+		sim.Commit(s.clock, func() {
+			obs.ObserveAvatars(avatarPositions, viewDist)
+		})
 	}
 }
 
@@ -577,12 +582,17 @@ func (s *Server) requestChunk(cp world.ChunkPos) {
 	}
 	s.requested[cp] = true
 	if s.store != nil {
-		s.store.Load(cp, func(c *world.Chunk, ok bool) {
-			if ok {
-				s.loadedFromStore = append(s.loadedFromStore, c)
-				return
-			}
-			s.terrain.Request(cp)
+		// The load reaches shared substrate; its callback runs from
+		// storage-completion events (serial context), so touching
+		// per-shard state there is safe.
+		sim.Commit(s.clock, func() {
+			s.store.Load(cp, func(c *world.Chunk, ok bool) {
+				if ok {
+					s.loadedFromStore = append(s.loadedFromStore, c)
+					return
+				}
+				s.terrain.Request(cp)
+			})
 		})
 		return
 	}
@@ -611,7 +621,10 @@ func (s *Server) applyCompletedChunks() time.Duration {
 		apply(c)
 		if s.store != nil && s.owned(c.Pos) {
 			s.noteStore(c.Pos)
-			s.store.Store(c) // persist freshly generated terrain
+			c := c
+			// Persist freshly generated terrain; the write reaches
+			// shared substrate.
+			sim.Commit(s.clock, func() { s.store.Store(c) })
 		}
 	}
 	return cost
@@ -702,7 +715,8 @@ func (s *Server) unloadFarChunks() {
 		c := s.world.Chunk(cp)
 		if s.store != nil && c != nil && s.owned(cp) {
 			s.noteStore(cp)
-			s.store.Store(c)
+			c := c
+			sim.Commit(s.clock, func() { s.store.Store(c) })
 		}
 		s.world.RemoveChunk(cp)
 		// Drop client knowledge so re-approach resends.

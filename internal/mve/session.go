@@ -73,6 +73,16 @@ func (s *Server) Players() []*Player {
 	return out
 }
 
+// EachPlayer visits every connected player in join order without
+// allocating (the zero-alloc counterpart of Players, for per-tick hot
+// paths like the network push loop). fn must not connect or disconnect
+// sessions.
+func (s *Server) EachPlayer(fn func(*Player)) {
+	for _, id := range s.playerOrder {
+		fn(s.players[id])
+	}
+}
+
 // Player returns the session with the given id, or nil.
 func (s *Server) Player(id PlayerID) *Player { return s.players[id] }
 

@@ -117,6 +117,15 @@ type session struct {
 	actions chan mve.Action
 	sent    map[world.ChunkPos]bool
 
+	// avatarBuf is the session's reusable avatar batch: each push,
+	// snapshot coalesces every local player and ghost into this one
+	// buffer and flushes it as a single state update — one message per
+	// tick instead of per-entity sends, and no steady-state allocation
+	// (the buffer is re-sliced to zero length and refilled). It is owned
+	// by the push loop: the previous update has been written before the
+	// next snapshot overwrites it.
+	avatarBuf []netproto.AvatarState
+
 	writeMu sync.Mutex // serialises the push loop and pong replies
 }
 
@@ -245,21 +254,8 @@ func (c *session) snapshot() (update netproto.Message, chunks []netproto.Message
 	srv := c.server.inst.Server()
 	c.server.inst.Locked(func() {
 		update = netproto.Message{Type: netproto.MsgStateUpdate, Tick: srv.Tick()}
-		for _, p := range srv.Players() {
-			update.Avatars = append(update.Avatars, netproto.AvatarState{
-				ID: int64(p.ID), X: p.X, Z: p.Z,
-			})
-		}
-		// Ghost avatars — sessions hosted by neighbouring shards,
-		// replicated here by the cluster's visibility bus — merge into
-		// the same update under negated ids, so a client near a region
-		// border renders one continuous world. Local player ids are
-		// positive; a negative id marks the avatar read-only.
-		srv.EachGhost(func(g *mve.GhostAvatar) {
-			update.Avatars = append(update.Avatars, netproto.AvatarState{
-				ID: -g.ID, X: g.X, Z: g.Z,
-			})
-		})
+		c.avatarBuf = appendAvatars(c.avatarBuf[:0], srv)
+		update.Avatars = c.avatarBuf
 		pos := c.player.Pos()
 		for _, cp := range world.ChunksWithin(pos, srv.Config().ViewDistance) {
 			if len(chunks) >= c.server.cfg.ChunksPerPush {
@@ -279,6 +275,24 @@ func (c *session) snapshot() (update netproto.Message, chunks []netproto.Message
 		}
 	})
 	return update, chunks
+}
+
+// appendAvatars coalesces the server's avatar state into buf: every
+// local player, then every ghost avatar — sessions hosted by
+// neighbouring shards, replicated here by the cluster's visibility bus —
+// merged into the same batch under negated ids, so a client near a
+// region border renders one continuous world. Local player ids are
+// positive; a negative id marks the avatar read-only. The fast path is
+// allocation-free once buf has warmed to the avatar population (see
+// BenchmarkAppendAvatars). Must run under the game-loop lock.
+func appendAvatars(buf []netproto.AvatarState, srv *mve.Server) []netproto.AvatarState {
+	srv.EachPlayer(func(p *mve.Player) {
+		buf = append(buf, netproto.AvatarState{ID: int64(p.ID), X: p.X, Z: p.Z})
+	})
+	srv.EachGhost(func(g *mve.GhostAvatar) {
+		buf = append(buf, netproto.AvatarState{ID: -g.ID, X: g.X, Z: g.Z})
+	})
+	return buf
 }
 
 // --- Client ------------------------------------------------------------------

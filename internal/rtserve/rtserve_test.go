@@ -1,11 +1,14 @@
 package rtserve
 
 import (
+	"fmt"
 	"net"
 	"testing"
 	"time"
 
 	"servo"
+	"servo/internal/mve"
+	"servo/internal/sim"
 	"servo/internal/world"
 )
 
@@ -183,4 +186,58 @@ func TestGhostAvatarsInStateUpdates(t *testing.T) {
 		inst.Locked(func() { n = inst.Server().GhostCount() })
 		return n == 0
 	})
+}
+
+// benchServer builds a bare game server populated with local players and
+// cross-shard ghosts, the avatar mix the push loop batches every tick.
+func benchServer(players, ghosts int) *mve.Server {
+	srv := mve.NewServer(sim.NewLoop(1), mve.Config{WorldType: "flat"})
+	for i := 0; i < players; i++ {
+		srv.ConnectAt(fmt.Sprintf("p%d", i), nil, float64(i), float64(i))
+	}
+	for i := 0; i < ghosts; i++ {
+		srv.UpsertGhost(fmt.Sprintf("g%d", i), float64(i), -float64(i), 1, 1)
+	}
+	return srv
+}
+
+// TestAppendAvatarsBatchesPlayersAndGhosts: one snapshot coalesces every
+// local player (positive id) and every ghost (negated id) into a single
+// buffer, and a warmed buffer is refilled without allocating.
+func TestAppendAvatarsBatchesPlayersAndGhosts(t *testing.T) {
+	srv := benchServer(8, 3)
+	buf := appendAvatars(nil, srv)
+	if len(buf) != 11 {
+		t.Fatalf("batched %d avatars, want 11", len(buf))
+	}
+	pos, neg := 0, 0
+	for _, a := range buf {
+		if a.ID >= 0 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos != 8 || neg != 3 {
+		t.Fatalf("batch has %d players / %d ghosts, want 8 / 3", pos, neg)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		buf = appendAvatars(buf[:0], srv)
+	}); allocs != 0 {
+		t.Fatalf("warmed batch refill allocates %.1f times per push, want 0", allocs)
+	}
+}
+
+// BenchmarkAppendAvatars measures the per-push avatar batching fast path
+// (100 players + 20 ghosts): the buffer is reused, so steady state is
+// allocation-free.
+func BenchmarkAppendAvatars(b *testing.B) {
+	srv := benchServer(100, 20)
+	buf := appendAvatars(nil, srv)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = appendAvatars(buf[:0], srv)
+	}
+	_ = buf
 }

@@ -254,6 +254,7 @@ func (r *Runner) build() {
 		LocalStore:   spec.Backend.LocalStore,
 		StorageTier:  tierFor(spec.Backend.StorageTier),
 		Shards:       spec.Shards,
+		Workers:      spec.Workers,
 	}
 	if tp := spec.Topology; tp != nil {
 		built, err := (world.TopologySpec{

@@ -343,6 +343,11 @@ type Spec struct {
 	// ghost events) at the most recent N records (0 → the cluster
 	// default, -1 → unbounded).
 	LogRetention int `json:"log_retention,omitempty"`
+	// Workers > 0 runs shard game loops on the virtual clock's
+	// lane-batched parallel scheduler (a pool of Workers goroutines).
+	// The report is byte-identical for every Workers >= 1; 0 keeps the
+	// classic serial loop.
+	Workers int `json:"workers,omitempty"`
 
 	World      WorldSpec        `json:"world,omitempty"`
 	Backend    BackendSpec      `json:"backend,omitempty"`
@@ -440,6 +445,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.LogRetention < -1 {
 		return s.errf("log_retention must be >= -1 (got %d)", s.LogRetention)
+	}
+	if s.Workers < 0 || s.Workers > 256 {
+		return s.errf("workers must be in [0, 256] (got %d)", s.Workers)
 	}
 
 	if err := s.validateWorld(); err != nil {

@@ -37,9 +37,10 @@ type Clock interface {
 
 // event is a single scheduled callback.
 type event struct {
-	at  Time
-	seq uint64 // tie-breaker: FIFO among events with equal timestamps
-	fn  func()
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among events with equal timestamps
+	lane int    // execution lane; 0 = serial (see lane.go)
+	fn   func()
 }
 
 // eventQueue is a min-heap ordered by (at, seq).
@@ -63,20 +64,32 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
-// Loop is a single-threaded virtual-time event loop.
+// Loop is a virtual-time event loop. By default it is single-threaded
+// and drains events one at a time; SetWorkers(n >= 1) switches it to
+// lane-batched execution where same-timestamp events on distinct lanes
+// run concurrently (see lane.go).
 // The zero value is not usable; construct with NewLoop.
 type Loop struct {
 	now   Time
 	seq   uint64
 	queue eventQueue
 	rng   *rand.Rand
+	seed  int64
+
+	// Lane-batched execution state (see lane.go).
+	workers int
+	lanes   map[int]*laneState
+	sem     chan struct{}
+	batch   []*event
+	groups  []*laneState
+	stats   BatchStats
 }
 
 var _ Clock = (*Loop)(nil)
 
 // NewLoop returns a Loop at time 0 whose random source is seeded with seed.
 func NewLoop(seed int64) *Loop {
-	return &Loop{rng: rand.New(rand.NewSource(seed))}
+	return &Loop{rng: rand.New(rand.NewSource(seed)), seed: seed}
 }
 
 // Now returns the current virtual time.
@@ -87,12 +100,15 @@ func (l *Loop) RNG() *rand.Rand { return l.rng }
 
 // At schedules fn at absolute virtual time t. Times in the past run at the
 // current time (they are clamped to Now).
-func (l *Loop) At(t Time, fn func()) {
+func (l *Loop) At(t Time, fn func()) { l.push(0, t, fn) }
+
+// push schedules fn at t on the given lane, clamping past times to Now.
+func (l *Loop) push(lane int, t Time, fn func()) {
 	if t < l.now {
 		t = l.now
 	}
 	l.seq++
-	heap.Push(&l.queue, &event{at: t, seq: l.seq, fn: fn})
+	heap.Push(&l.queue, &event{at: t, seq: l.seq, lane: lane, fn: fn})
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -109,18 +125,27 @@ func (l *Loop) Step() bool {
 	if len(l.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&l.queue).(*event)
+	e := popEvent(&l.queue)
 	l.now = e.at
 	e.fn()
 	return true
 }
 
+// popEvent pops the earliest (at, seq) event.
+func popEvent(q *eventQueue) *event { return heap.Pop(q).(*event) }
+
 // RunUntil executes events until the queue is empty or the next event is
 // strictly after deadline. The clock is left at the time of the last
 // executed event (or at deadline if it advanced past all events).
 func (l *Loop) RunUntil(deadline Time) {
-	for len(l.queue) > 0 && l.queue[0].at <= deadline {
-		l.Step()
+	if l.workers > 0 {
+		for len(l.queue) > 0 && l.queue[0].at <= deadline {
+			l.StepBatch()
+		}
+	} else {
+		for len(l.queue) > 0 && l.queue[0].at <= deadline {
+			l.Step()
+		}
 	}
 	if l.now < deadline {
 		l.now = deadline
@@ -129,6 +154,11 @@ func (l *Loop) RunUntil(deadline Time) {
 
 // Run executes events until the queue is empty.
 func (l *Loop) Run() {
+	if l.workers > 0 {
+		for l.StepBatch() {
+		}
+		return
+	}
 	for l.Step() {
 	}
 }

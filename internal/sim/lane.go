@@ -1,0 +1,321 @@
+// Lane-keyed parallel scheduling for the virtual-time Loop.
+//
+// A lane is an independent execution track (one per cluster shard): all
+// events sharing a timestamp but carrying distinct lanes may execute
+// concurrently on a bounded worker pool, while lane-less events (lane 0,
+// everything scheduled through the plain Clock surface) keep the strict
+// serial order of the classic Loop and act as barriers between waves.
+//
+// Determinism contract: the observable event stream — execution order of
+// callbacks within a lane, RNG draw sequences, and the order in which
+// deferred side effects reach shared state — is a pure function of the
+// seed and the schedule, independent of the worker-pool size. `-workers 1`
+// and `-workers N` produce byte-identical runs because:
+//
+//   - events within one lane always run serially, in (timestamp, seq)
+//     order, on a single goroutine per wave;
+//   - each lane owns a private RNG stream derived from the root seed and
+//     the lane id, so draws never interleave across lanes;
+//   - side effects that touch shared substrate are not executed in the
+//     wave at all: lane code wraps them in Commit, and the Loop drains
+//     the per-lane commit buffers on the loop thread in ascending lane
+//     order after the wave barrier;
+//   - events scheduled from inside a wave are buffered per lane and
+//     pushed onto the heap in the same ascending lane order, so sequence
+//     numbers (the FIFO tie-breaker) are assigned deterministically.
+//
+// Workers(0) — the default everywhere — bypasses all of this and runs the
+// exact legacy serial path.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// deferred is an event scheduled from inside a wave, held back until the
+// barrier so heap sequence numbers stay deterministic.
+type deferred struct {
+	at Time
+	fn func()
+}
+
+// laneState is the Loop-owned state of one lane. It survives the clock
+// wrappers handed out by Lane: re-requesting a lane (e.g. when a crashed
+// shard is rebuilt) continues the same RNG stream.
+type laneState struct {
+	id  int
+	rng *rand.Rand
+
+	// active is true while the lane is executing inside a wave; it is
+	// written by the loop thread before the wave's goroutine starts and
+	// after the barrier, so the lane's own goroutine reads it race-free.
+	active bool
+
+	wave    []func()   // callbacks of the current wave, in seq order
+	pending []deferred // schedule requests made during the wave
+	commits []func()   // deferred shared-substrate side effects
+	busy    int64      // wall ns spent executing the current wave
+}
+
+// BatchStats accumulates the work/span profile of batch execution: WorkNs
+// is the total wall time spent inside event callbacks, SpanNs the
+// critical path (serial segments plus the longest lane of each wave).
+// Work/Span is the speedup the lane schedule exposes — the wall speedup
+// an adequately-cored machine realises.
+type BatchStats struct {
+	WorkNs int64
+	SpanNs int64
+}
+
+// Speedup returns the work/span ratio (1 when nothing was measured).
+func (s BatchStats) Speedup() float64 {
+	if s.SpanNs <= 0 {
+		return 1
+	}
+	return float64(s.WorkNs) / float64(s.SpanNs)
+}
+
+// Committer is the deferred-side-effect surface of lane-aware clocks.
+// Code holding a plain Clock uses the package-level Commit helper, which
+// degrades to an immediate call on non-lane clocks.
+type Committer interface {
+	// Commit runs fn now when called from serial context, or defers it
+	// to the post-wave drain (loop thread, ascending lane order) when
+	// called from inside a wave.
+	Commit(fn func())
+}
+
+// Commit runs fn through clock's commit buffer when the clock has one,
+// and immediately otherwise. Lane code must route every side effect that
+// touches state shared across lanes (blob store, FaaS platform, cluster
+// counters and logs) through Commit; on the legacy serial path this
+// compiles down to a direct call.
+func Commit(clock Clock, fn func()) {
+	if c, ok := clock.(Committer); ok {
+		c.Commit(fn)
+		return
+	}
+	fn()
+}
+
+// LaneClock is a Clock view of one lane of a Loop. Components constructed
+// against it schedule lane-tagged events and draw from the lane's private
+// RNG stream; from inside a wave, scheduling is buffered until the
+// barrier.
+type LaneClock struct {
+	loop *Loop
+	ls   *laneState
+}
+
+var (
+	_ Clock     = (*LaneClock)(nil)
+	_ Committer = (*LaneClock)(nil)
+)
+
+// Lane returns the clock of the given lane (> 0; lane 0 is the serial
+// lane every plain Loop event runs on). The lane's RNG stream is derived
+// from the loop seed and the lane id, and persists across calls.
+func (l *Loop) Lane(id int) *LaneClock {
+	if id <= 0 {
+		panic("sim: lane ids must be > 0 (0 is the serial lane)")
+	}
+	return &LaneClock{loop: l, ls: l.lane(id)}
+}
+
+// lane returns (creating if needed) the state of lane id.
+func (l *Loop) lane(id int) *laneState {
+	if l.lanes == nil {
+		l.lanes = make(map[int]*laneState)
+	}
+	ls := l.lanes[id]
+	if ls == nil {
+		ls = &laneState{id: id, rng: rand.New(rand.NewSource(laneSeed(l.seed, id)))}
+		l.lanes[id] = ls
+	}
+	return ls
+}
+
+// laneSeed derives the RNG seed of a lane from the root seed: a
+// splitmix64-style finalizer so adjacent lane ids get uncorrelated
+// streams.
+func laneSeed(seed int64, lane int) int64 {
+	z := uint64(seed) + uint64(lane)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// ID returns the lane id.
+func (c *LaneClock) ID() int { return c.ls.id }
+
+// Now implements Clock. The loop's clock is fixed for the duration of a
+// batch, so reading it from a wave goroutine is race-free.
+func (c *LaneClock) Now() Time { return c.loop.now }
+
+// RNG implements Clock: the lane's private deterministic stream.
+func (c *LaneClock) RNG() *rand.Rand { return c.ls.rng }
+
+// After implements Clock: the event carries this lane's tag. From inside
+// a wave the request is buffered and pushed at the barrier so sequence
+// numbers are assigned in deterministic lane order.
+func (c *LaneClock) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	if c.ls.active {
+		c.ls.pending = append(c.ls.pending, deferred{at: c.loop.now + d, fn: fn})
+		return
+	}
+	c.loop.push(c.ls.id, c.loop.now+d, fn)
+}
+
+// Commit implements Committer.
+func (c *LaneClock) Commit(fn func()) {
+	if c.ls.active {
+		c.ls.commits = append(c.ls.commits, fn)
+		return
+	}
+	fn()
+}
+
+// SetWorkers selects the execution mode: 0 (the default) is the exact
+// legacy serial path; n >= 1 enables lane-batched execution on a pool of
+// n goroutines. Any n >= 1 produces identical runs — the pool size only
+// changes wall time.
+func (l *Loop) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	l.workers = n
+	if n > 0 && cap(l.sem) != n {
+		l.sem = make(chan struct{}, n)
+	}
+}
+
+// Workers returns the configured pool size (0 = serial mode).
+func (l *Loop) Workers() int { return l.workers }
+
+// AtLane schedules fn at absolute time t on the given lane (0 = serial).
+func (l *Loop) AtLane(lane int, t Time, fn func()) {
+	l.push(lane, t, fn)
+}
+
+// AfterLane schedules fn to run d after the current virtual time on the
+// given lane (0 = serial).
+func (l *Loop) AfterLane(lane int, d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	l.push(lane, l.now+d, fn)
+}
+
+// BatchStats returns the accumulated work/span profile of StepBatch
+// execution since the last reset.
+func (l *Loop) BatchStats() BatchStats { return l.stats }
+
+// ResetBatchStats clears the work/span profile.
+func (l *Loop) ResetBatchStats() { l.stats = BatchStats{} }
+
+// StepBatch executes every event scheduled at the earliest pending
+// timestamp, advancing the clock to it. Maximal consecutive runs of
+// lane-tagged events (in seq order) form waves that execute concurrently
+// across lanes — serially within each lane — on the worker pool;
+// lane-less events execute alone, in their seq position, as barriers.
+// It reports whether any event was executed.
+func (l *Loop) StepBatch() bool {
+	if len(l.queue) == 0 {
+		return false
+	}
+	t := l.queue[0].at
+	l.now = t
+	batch := l.batch[:0]
+	for len(l.queue) > 0 && l.queue[0].at == t {
+		batch = append(batch, popEvent(&l.queue))
+	}
+	for i := 0; i < len(batch); {
+		if batch[i].lane == 0 {
+			start := time.Now()
+			batch[i].fn()
+			d := time.Since(start).Nanoseconds()
+			l.stats.WorkNs += d
+			l.stats.SpanNs += d
+			i++
+			continue
+		}
+		j := i
+		for j < len(batch) && batch[j].lane != 0 {
+			j++
+		}
+		l.runWave(batch[i:j])
+		i = j
+	}
+	for i := range batch {
+		batch[i] = nil
+	}
+	l.batch = batch[:0]
+	return true
+}
+
+// runWave executes one maximal run of lane-tagged events: per-lane groups
+// run serially on their own goroutine, lanes run concurrently bounded by
+// the pool, and after the barrier each lane's buffered schedule requests
+// and commits drain on the loop thread in ascending lane order.
+func (l *Loop) runWave(run []*event) {
+	groups := l.groups[:0]
+	for _, e := range run {
+		ls := l.lane(e.lane)
+		if !ls.active {
+			ls.active = true
+			ls.busy = 0
+			groups = append(groups, ls)
+		}
+		ls.wave = append(ls.wave, e.fn)
+	}
+	if l.sem == nil {
+		l.sem = make(chan struct{}, 1)
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(groups))
+	for _, g := range groups {
+		g := g
+		go func() {
+			l.sem <- struct{}{}
+			start := time.Now()
+			for _, fn := range g.wave {
+				fn()
+			}
+			g.busy = time.Since(start).Nanoseconds()
+			<-l.sem
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+
+	sort.Slice(groups, func(i, j int) bool { return groups[i].id < groups[j].id })
+	var span int64
+	for _, g := range groups {
+		// Flip before draining: pendings and commits issued from the
+		// drains themselves run in serial context (immediately).
+		g.active = false
+		l.stats.WorkNs += g.busy
+		if g.busy > span {
+			span = g.busy
+		}
+	}
+	l.stats.SpanNs += span
+	for _, g := range groups {
+		g.wave = g.wave[:0]
+		for _, p := range g.pending {
+			l.push(g.id, p.at, p.fn)
+		}
+		g.pending = g.pending[:0]
+		for _, fn := range g.commits {
+			fn()
+		}
+		g.commits = g.commits[:0]
+	}
+	l.groups = groups[:0]
+}

@@ -128,6 +128,12 @@ type Config struct {
 	// RealTime runs the instance on the wall clock instead of virtual
 	// time. Run then blocks for real durations.
 	RealTime bool
+	// Workers > 0 runs shard ticks through the virtual clock's
+	// lane-batched scheduler: same-timestamp events from distinct shards
+	// execute on a worker pool of this size, with side effects ordered so
+	// the observable event stream is byte-identical for every pool size.
+	// Zero keeps the classic serial loop. Ignored under RealTime.
+	Workers int
 }
 
 // topology builds the world-level tiling the config describes. A grid
@@ -247,6 +253,7 @@ func NewInstance(cfg Config) *Instance {
 		Rebalance:        cfg.Rebalance,
 		Visibility:       cfg.Visibility.Enabled,
 		VisibilityMargin: cfg.Visibility.Margin,
+		Workers:          cfg.Workers,
 	})
 	if cl := inst.sys.Cluster; cl != nil {
 		cl.Start()
@@ -399,6 +406,29 @@ func (i *Instance) Run(d time.Duration) {
 		return
 	}
 	time.Sleep(d)
+}
+
+// ParallelSpeedup returns the work/span ratio of the lane-batched
+// scheduler accumulated since the last ResetParallelStats: summed
+// callback work over the critical path the lane schedule could not
+// shorten (serial segments plus each wave's longest lane). It is the
+// parallelism the schedule exposes — the wall speedup an adequately
+// provisioned worker pool realises — independent of how many cores this
+// machine actually has. 1 when the instance runs serially (Workers 0 or
+// real time).
+func (i *Instance) ParallelSpeedup() float64 {
+	if i.loop == nil || i.loop.Workers() == 0 {
+		return 1
+	}
+	return i.loop.BatchStats().Speedup()
+}
+
+// ResetParallelStats zeroes the lane scheduler's accumulated work/span
+// statistics (no-op outside lane mode).
+func (i *Instance) ResetParallelStats() {
+	if i.loop != nil {
+		i.loop.ResetBatchStats()
+	}
 }
 
 // Now returns the instance's current (virtual or wall) time.
