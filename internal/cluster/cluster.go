@@ -240,6 +240,7 @@ type Cluster struct {
 	visResidents []int
 	visBuckets   map[visCell][]int
 	visPairs     map[visPair]*visPairState
+	visBorders   []world.BorderNeighbor
 
 	// Checkpoints counts periodic player-checkpoint writes (checkpoint.go).
 	Checkpoints metrics.Counter

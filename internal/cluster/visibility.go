@@ -486,7 +486,8 @@ func (c *Cluster) VisibilityScanOnce() {
 			if home != p.shard {
 				dsts = addSorted(dsts, home)
 			}
-			for _, bn := range world.BordersWithin(c.topo, pos, margin) {
+			c.visBorders = world.BordersWithinAppend(c.visBorders[:0], c.topo, pos, margin)
+			for _, bn := range c.visBorders {
 				if o := c.table.Owner(bn.Tile); o != p.shard {
 					dsts = addSorted(dsts, o)
 				}

@@ -138,6 +138,13 @@ type Config struct {
 	// default) keeps the classic serial loop. Requires a *sim.Loop clock
 	// (ignored under the real-time clock).
 	Workers int
+
+	// PhaseLock re-aligns each shard's tick schedule to the global
+	// TickInterval grid after an overlong tick, instead of letting the
+	// shard drift off-phase forever. Saturated clusters then keep
+	// forming same-timestamp waves, so the lane scheduler's parallelism
+	// survives overload. Deterministic at every Workers setting.
+	PhaseLock bool
 }
 
 // ShardComponents holds the per-shard component instances riding on the
@@ -311,6 +318,7 @@ func New(clock sim.Clock, cfg Config) *System {
 			TickInterval: cfg.TickInterval,
 			Cost:         cfg.Cost,
 			Region:       region,
+			PhaseLock:    cfg.PhaseLock,
 		}
 		if shardCount > 1 {
 			// Boot both spawn and the center of the shard's own home tile

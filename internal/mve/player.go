@@ -29,9 +29,19 @@ type Player struct {
 	behavior Behavior
 
 	// known tracks chunks already sent to this client; sendQueue holds
-	// chunks waiting to be serialised (drained a few per tick).
+	// chunks waiting to be serialised (drained a few per tick), with
+	// sendHead indexing the next unsent entry — a head-index ring over
+	// one reusable backing array (see drainSendQueues).
 	known     map[world.ChunkPos]bool
 	sendQueue []world.ChunkPos
+	sendHead  int
+
+	// Demand cursor: the chunk rect covered by this player's last full
+	// terrain-demand walk. While the rect is unchanged (and nothing in
+	// it was unloaded) the scan skips the walk entirely; fresh sessions
+	// and handoff arrivals start invalid (see scanTerrainDemand).
+	demandRect  world.ChunkRect
+	demandValid bool
 
 	// ChunksReceived counts chunk payloads delivered to this client.
 	ChunksReceived int

@@ -2,6 +2,7 @@ package mve
 
 import (
 	"math"
+	"slices"
 	"sort"
 	"time"
 
@@ -71,6 +72,21 @@ type Config struct {
 	// and its own region's home band so shard-aware fleet placement does
 	// not open with a generation storm.
 	BootCenters []world.BlockPos
+	// FullDemandRescan disables the incremental terrain-demand cursor:
+	// every scan re-walks every player's whole view rect, the
+	// pre-incremental behaviour. The observable request/send streams are
+	// identical either way — this is the benchmark baseline and the
+	// determinism cross-check, not a correctness knob.
+	FullDemandRescan bool
+	// PhaseLock keeps the tick schedule phase-aligned through overload:
+	// after an overlong tick (duration > TickInterval) the next tick
+	// snaps to the next global TickInterval boundary instead of running
+	// exactly one tick-duration later. Without it one overlong tick
+	// phase-shifts the shard against its peers forever, so same-timestamp
+	// waves — the parallel scheduler's unit of concurrency — degrade to
+	// singletons exactly when the cluster saturates. Virtual-time
+	// arithmetic only: byte-identical at every worker-pool size.
+	PhaseLock bool
 }
 
 // Defaults for Config fields.
@@ -144,6 +160,26 @@ type Server struct {
 	requested map[world.ChunkPos]bool
 	// loadedFromStore queues store-loaded chunks for on-loop application.
 	loadedFromStore []*world.Chunk
+	// newlyLoaded accumulates chunk positions applied since the last
+	// demand scan: the only chunks a clean-cursor player can newly see
+	// (see scanTerrainDemand).
+	newlyLoaded []world.ChunkPos
+
+	// Reusable tick-loop scratch, so the steady-state tick allocates
+	// nothing. obsBufs double-buffers the avatar positions handed to the
+	// store's ObserveAvatars: the hand-off crosses a sim.Commit closure
+	// that runs after the wave, so the buffer being filled next scan must
+	// not be the one still referenced by the pending commit.
+	obsBufs    [2][]world.BlockPos
+	obsIdx     int
+	obsPending []world.BlockPos
+	obsFn      func()
+	unloadAll  []world.ChunkPos
+	unloadFar  []world.ChunkPos
+	unloadIDs  []uint64
+	// tickFn is the stored tickOnce method value; rescheduling through it
+	// avoids a closure allocation every tick.
+	tickFn func()
 
 	tick    uint64
 	running bool
@@ -161,6 +197,10 @@ type Server struct {
 	ChunksSent     metrics.Counter
 	ActionCount    metrics.Counter
 	ChatsDelivered metrics.Counter
+	// TerrainRecomputes counts full per-player demand-rect walks — the
+	// incremental scan's cache-miss counter (the engine-tick sibling of
+	// the visibility bus's VisRecomputes).
+	TerrainRecomputes metrics.Counter
 	// ConstructsResumed counts halted constructs whose simulation resumed
 	// because their chunk was reloaded (§II-A).
 	ConstructsResumed metrics.Counter
@@ -204,6 +244,7 @@ func NewServer(clock sim.Clock, cfg Config) *Server {
 		TickDurations: metrics.NewSample(16384),
 		TickSeries:    &metrics.TimeSeries{},
 	}
+	s.tickFn = s.tickOnce
 	if cfg.Region.Table != nil {
 		s.tileTopo = cfg.Region.Table.Topology()
 	} else {
@@ -318,7 +359,7 @@ func (s *Server) Start() {
 		return
 	}
 	s.running = true
-	s.clock.After(s.cfg.TickInterval, s.tickOnce)
+	s.clock.After(s.cfg.TickInterval, s.tickFn)
 }
 
 // Stop halts the game loop after the current tick.
@@ -532,46 +573,127 @@ func (s *Server) tickOnce() {
 	s.TickSeries.Add(s.clock.Now(), d)
 
 	// 6. Next tick: at the fixed rate, or immediately after an overlong
-	// tick (an overloaded server ticks back to back).
+	// tick (an overloaded server ticks back to back). With PhaseLock the
+	// overlong reschedule snaps forward to the next global TickInterval
+	// boundary, so shards that fell behind re-join the cluster-wide wave
+	// instead of drifting off-phase forever.
 	next := s.cfg.TickInterval
 	if d > next {
 		next = d
+		if s.cfg.PhaseLock {
+			target := s.clock.Now() + d
+			if rem := target % s.cfg.TickInterval; rem != 0 {
+				target += s.cfg.TickInterval - rem
+			}
+			next = target - s.clock.Now()
+		}
 	}
-	s.clock.After(next, s.tickOnce)
+	s.clock.After(next, s.tickFn)
 }
 
 // scanTerrainDemand requests every chunk within any player's view distance
 // that is neither loaded nor already requested, and refreshes send queues.
+//
+// The scan is incremental: each player caches the chunk rect its view
+// distance resolved to at its last full walk (the demand cursor). A
+// player whose rect is unchanged is clean, and for a clean player the
+// full walk is a no-op by construction — after a full walk every chunk
+// in the rect is either known (queued for send) or in flight in
+// s.requested, requests only leave that set by loading (tracked in
+// s.newlyLoaded), and an unload of a chunk inside a cached rect
+// invalidates the cursor (unloadFarChunks). So clean players only need
+// the chunks applied since the previous scan, replayed in rect order;
+// dirty players — fresh sessions, handoff arrivals, chunk-rect
+// crossings, view-distance changes — take the full walk and count one
+// TerrainRecomputes. The request/send streams are byte-identical to the
+// full rescan (Config.FullDemandRescan is the cross-check).
 func (s *Server) scanTerrainDemand() {
-	var avatarPositions []world.BlockPos
+	avatars := s.obsBufs[s.obsIdx][:0]
+	newly := s.newlyLoaded
+	if len(newly) > 1 {
+		slices.SortFunc(newly, func(a, b world.ChunkPos) int {
+			if a.X != b.X {
+				return a.X - b.X
+			}
+			return a.Z - b.Z
+		})
+	}
 	for _, id := range s.playerOrder {
 		p := s.players[id]
 		pos := p.Pos()
-		avatarPositions = append(avatarPositions, pos)
-		for _, cp := range world.ChunksWithin(pos, s.cfg.ViewDistance) {
-			if s.world.Loaded(cp) {
-				if !p.known[cp] {
+		avatars = append(avatars, pos)
+		rect := world.ChunkRectWithin(pos, s.cfg.ViewDistance)
+		if !s.cfg.FullDemandRescan && p.demandValid && rect == p.demandRect {
+			// Clean cursor: replay only the chunks loaded since the last
+			// scan. Sorted (X, Z) order is exactly the full walk's
+			// iteration order restricted to this set, so the send queue
+			// receives them in the same order a full rescan would.
+			for _, cp := range newly {
+				if rect.Contains(cp) && !p.known[cp] {
 					p.known[cp] = true
 					p.sendQueue = append(p.sendQueue, cp)
 				}
-				continue
 			}
-			s.requestChunk(cp)
+			continue
 		}
+		s.TerrainRecomputes.Inc()
+		for cx := rect.Min.X; cx <= rect.Max.X; cx++ {
+			for cz := rect.Min.Z; cz <= rect.Max.Z; cz++ {
+				cp := world.ChunkPos{X: cx, Z: cz}
+				if s.world.Loaded(cp) {
+					if !p.known[cp] {
+						p.known[cp] = true
+						p.sendQueue = append(p.sendQueue, cp)
+					}
+					continue
+				}
+				s.requestChunk(cp)
+			}
+		}
+		p.demandRect, p.demandValid = rect, true
 	}
+	s.newlyLoaded = newly[:0]
 	// Give pre-fetching stores the avatar positions (§III-E) — ghosts
 	// included, so the terrain around an avatar approaching from a
 	// neighbouring shard is warm before its handoff lands. The store
 	// stack reaches shared substrate (remote blob reads), so the call
-	// goes through the commit buffer on a lane clock.
-	if obs, ok := s.store.(AvatarObserver); ok {
+	// goes through the commit buffer on a lane clock; obsPending is read
+	// by the persistent closure at drain time, and the buffer flip keeps
+	// the next scan from clobbering it while queued.
+	if _, ok := s.store.(AvatarObserver); ok {
 		for _, name := range s.ghostOrder {
-			avatarPositions = append(avatarPositions, s.ghosts[name].Pos())
+			avatars = append(avatars, s.ghosts[name].Pos())
 		}
-		viewDist := s.cfg.ViewDistance + PrefetchMargin
-		sim.Commit(s.clock, func() {
-			obs.ObserveAvatars(avatarPositions, viewDist)
-		})
+		s.obsBufs[s.obsIdx] = avatars
+		s.obsIdx = 1 - s.obsIdx
+		s.obsPending = avatars
+		if s.obsFn == nil {
+			s.obsFn = func() {
+				if obs, ok := s.store.(AvatarObserver); ok {
+					obs.ObserveAvatars(s.obsPending, s.cfg.ViewDistance+PrefetchMargin)
+				}
+			}
+		}
+		sim.Commit(s.clock, s.obsFn)
+		return
+	}
+	s.obsBufs[s.obsIdx] = avatars
+}
+
+// ScanTerrainDemand runs one demand scan outside the tick cadence — the
+// benchmark entry point (the game loop calls the scan on its own period).
+func (s *Server) ScanTerrainDemand() { s.scanTerrainDemand() }
+
+// SetViewDistance changes the view distance mid-run and invalidates
+// every player's demand cursor, so the next scan re-walks the new rects
+// in full.
+func (s *Server) SetViewDistance(blocks int) {
+	if blocks <= 0 || blocks == s.cfg.ViewDistance {
+		return
+	}
+	s.cfg.ViewDistance = blocks
+	for _, p := range s.players {
+		p.demandValid = false
 	}
 }
 
@@ -634,6 +756,7 @@ func (s *Server) applyCompletedChunks() time.Duration {
 func (s *Server) applyChunk(c *world.Chunk, countResume bool) {
 	s.world.AddChunk(c)
 	delete(s.requested, c.Pos)
+	s.newlyLoaded = append(s.newlyLoaded, c.Pos)
 	if hs := s.halted[c.Pos]; len(hs) > 0 && countResume {
 		delete(s.halted, c.Pos)
 		for _, h := range hs {
@@ -643,16 +766,23 @@ func (s *Server) applyChunk(c *world.Chunk, countResume bool) {
 	}
 }
 
+// sendCompactMin is the consumed-prefix length at which a send queue is
+// compacted in place (once the prefix is also at least half the queue).
+const sendCompactMin = 64
+
 // drainSendQueues serialises queued chunks to clients, a few per player per
-// tick, and returns the work cost.
+// tick, and returns the work cost. The queue is a head-index ring over one
+// backing array: popping advances sendHead instead of re-slicing, which
+// would pin the consumed prefix for the array's lifetime, and the array is
+// reused once drained (or compacted when the dead prefix dominates).
 func (s *Server) drainSendQueues() time.Duration {
 	var cost time.Duration
 	for _, id := range s.playerOrder {
 		p := s.players[id]
 		sent := 0
-		for len(p.sendQueue) > 0 && sent < s.cfg.MaxChunkSendsPerTick {
-			cp := p.sendQueue[0]
-			p.sendQueue = p.sendQueue[1:]
+		for p.sendHead < len(p.sendQueue) && sent < s.cfg.MaxChunkSendsPerTick {
+			cp := p.sendQueue[p.sendHead]
+			p.sendHead++
 			if !s.world.Loaded(cp) {
 				continue // unloaded before we could send it
 			}
@@ -660,6 +790,15 @@ func (s *Server) drainSendQueues() time.Duration {
 			p.ChunksReceived++
 			s.ChunksSent.Inc()
 			sent++
+		}
+		switch {
+		case p.sendHead == len(p.sendQueue):
+			p.sendQueue = p.sendQueue[:0]
+			p.sendHead = 0
+		case p.sendHead >= sendCompactMin && p.sendHead*2 >= len(p.sendQueue):
+			n := copy(p.sendQueue, p.sendQueue[p.sendHead:])
+			p.sendQueue = p.sendQueue[:n]
+			p.sendHead = 0
 		}
 	}
 	return cost
@@ -672,8 +811,9 @@ func (s *Server) unloadFarChunks() {
 		return
 	}
 	limit := s.cfg.ViewDistance + unloadMargin
-	var far []world.ChunkPos
-	for _, cp := range s.world.LoadedChunks() {
+	far := s.unloadFar[:0]
+	s.unloadAll = s.world.LoadedChunksAppend(s.unloadAll[:0])
+	for _, cp := range s.unloadAll {
 		near := false
 		for _, id := range s.playerOrder {
 			if cp.DistanceBlocks(s.players[id].Pos()) <= limit {
@@ -685,21 +825,23 @@ func (s *Server) unloadFarChunks() {
 			far = append(far, cp)
 		}
 	}
-	sort.Slice(far, func(i, j int) bool {
-		if far[i].X != far[j].X {
-			return far[i].X < far[j].X
+	s.unloadFar = far
+	slices.SortFunc(far, func(a, b world.ChunkPos) int {
+		if a.X != b.X {
+			return a.X - b.X
 		}
-		return far[i].Z < far[j].Z
+		return a.Z - b.Z
 	})
 	for _, cp := range far {
 		// Halt constructs anchored in this chunk.
-		var ids []uint64
+		ids := s.unloadIDs[:0]
 		for id, h := range s.anchors {
 			if h.anchor.Chunk() == cp {
 				ids = append(ids, id)
 			}
 		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		s.unloadIDs = ids
+		slices.Sort(ids)
 		for _, id := range ids {
 			h := s.anchors[id]
 			s.halted[cp] = append(s.halted[cp], h)
@@ -719,9 +861,15 @@ func (s *Server) unloadFarChunks() {
 			sim.Commit(s.clock, func() { s.store.Store(c) })
 		}
 		s.world.RemoveChunk(cp)
-		// Drop client knowledge so re-approach resends.
+		// Drop client knowledge so re-approach resends, and invalidate
+		// the demand cursor of any player whose cached rect held the
+		// chunk — that restores the clean-cursor invariant (every rect
+		// chunk loaded-or-requested) the incremental scan relies on.
 		for _, p := range s.players {
 			delete(p.known, cp)
+			if p.demandValid && p.demandRect.Contains(cp) {
+				p.demandValid = false
+			}
 		}
 	}
 }
@@ -735,12 +883,16 @@ func (s *Server) MinViewMargin() int {
 	for _, id := range s.playerOrder {
 		p := s.players[id]
 		pos := p.Pos()
-		for _, cp := range world.ChunksWithin(pos, s.cfg.ViewDistance) {
-			if s.world.Loaded(cp) {
-				continue
-			}
-			if d := cp.DistanceBlocks(pos); d < min {
-				min = d
+		r := world.ChunkRectWithin(pos, s.cfg.ViewDistance)
+		for cx := r.Min.X; cx <= r.Max.X; cx++ {
+			for cz := r.Min.Z; cz <= r.Max.Z; cz++ {
+				cp := world.ChunkPos{X: cx, Z: cz}
+				if s.world.Loaded(cp) {
+					continue
+				}
+				if d := cp.DistanceBlocks(pos); d < min {
+					min = d
+				}
 			}
 		}
 	}

@@ -1,0 +1,194 @@
+// Tests for the incremental terrain-demand scan (the per-player demand
+// cursor) and tick re-phase-locking. The incremental scan must be
+// observationally identical to the full rescan: same requests, same
+// known sets, same send queues, in the same order — Config.
+// FullDemandRescan keeps the baseline alive as the cross-check.
+
+package mve
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"servo/internal/sim"
+	"servo/internal/world"
+)
+
+// demandSignature serialises everything the demand scan can observably
+// affect: counters, per-player chunk knowledge and pending send queues
+// (in queue order), the in-flight request set, and the loaded-chunk set.
+func demandSignature(s *Server) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tick=%d sent=%d applied=%d loaded=%d\n",
+		s.Tick(), s.ChunksSent.Value(), s.ChunksApplied.Value(), s.World().LoadedCount())
+	for _, id := range s.playerOrder {
+		p := s.players[id]
+		known := make([]world.ChunkPos, 0, len(p.known))
+		for cp := range p.known {
+			known = append(known, cp)
+		}
+		sort.Slice(known, func(i, j int) bool {
+			if known[i].X != known[j].X {
+				return known[i].X < known[j].X
+			}
+			return known[i].Z < known[j].Z
+		})
+		fmt.Fprintf(&b, "p%d recv=%d known=%v queue=%v\n",
+			p.ID, p.ChunksReceived, known, p.sendQueue[p.sendHead:])
+	}
+	requested := make([]world.ChunkPos, 0, len(s.requested))
+	for cp := range s.requested {
+		requested = append(requested, cp)
+	}
+	sort.Slice(requested, func(i, j int) bool {
+		if requested[i].X != requested[j].X {
+			return requested[i].X < requested[j].X
+		}
+		return requested[i].Z < requested[j].Z
+	})
+	fmt.Fprintf(&b, "requested=%v\n", requested)
+	return b.String()
+}
+
+// walker returns a deterministic behavior that strides outward, crossing
+// chunk boundaries regularly so demand cursors keep dirtying.
+func walker(stride float64) Behavior {
+	return BehaviorFunc(func(r *rand.Rand, p *Player, s *Server) []Action {
+		if s.Tick()%25 != 1 {
+			return nil
+		}
+		leg := float64(s.Tick() / 25)
+		return []Action{MoveTo(p.X+stride, p.Z+stride*leg/4, 8)}
+	})
+}
+
+// driveDemandRun runs one server through the shared script — walking
+// players, a mid-run view-distance change, and a handoff-displaced
+// player — collecting a signature each scan period.
+func driveDemandRun(full bool) (sigs []string, recomputes int64) {
+	loop := sim.NewLoop(11)
+	s := NewServer(loop, Config{
+		Profile:          ProfileOpencraft,
+		WorldType:        "flat",
+		Seed:             11,
+		ViewDistance:     48,
+		FullDemandRescan: full,
+	})
+	s.Connect("strider", walker(6))
+	s.Connect("camper", nil) // never moves: stays clean after its first scan
+	s.Connect("drifter", walker(3))
+	s.Start()
+
+	// Mid-run view-distance growth: every cursor must invalidate and the
+	// wider rects must stream in identically.
+	loop.After(4*time.Second, func() { s.SetViewDistance(64) })
+	// Handoff displacement: evict a session and re-admit it far away
+	// (the cluster's cross-shard handoff path), where no terrain is
+	// loaded yet.
+	loop.After(6*time.Second, func() {
+		snap, ok := s.EvictPlayer(s.playerOrder[0])
+		if !ok {
+			panic("evict failed")
+		}
+		snap.X, snap.Z = 400, -300
+		snap.DestX, snap.DestZ = 400, -300
+		s.AdmitPlayer(snap)
+	})
+
+	for loop.Now() < 10*time.Second {
+		loop.RunUntil(loop.Now() + scanPeriodDuration(s))
+		sigs = append(sigs, demandSignature(s))
+	}
+	return sigs, s.TerrainRecomputes.Value()
+}
+
+func scanPeriodDuration(s *Server) time.Duration {
+	return time.Duration(terrainScanPeriod) * s.cfg.TickInterval
+}
+
+func TestIncrementalDemandMatchesFullRescan(t *testing.T) {
+	incSigs, incRecomputes := driveDemandRun(false)
+	fullSigs, fullRecomputes := driveDemandRun(true)
+	if len(incSigs) != len(fullSigs) {
+		t.Fatalf("checkpoint counts diverge: inc %d, full %d", len(incSigs), len(fullSigs))
+	}
+	for i := range incSigs {
+		if incSigs[i] != fullSigs[i] {
+			t.Fatalf("streams diverge at checkpoint %d:\nincremental:\n%s\nfull rescan:\n%s",
+				i, incSigs[i], fullSigs[i])
+		}
+	}
+	if incRecomputes == 0 {
+		t.Fatal("incremental run recorded no TerrainRecomputes — cursors never dirtied")
+	}
+	if incRecomputes >= fullRecomputes {
+		t.Fatalf("incremental scan recomputed %d rects, full rescan %d — no work was skipped",
+			incRecomputes, fullRecomputes)
+	}
+}
+
+// TestIncrementalDemandSteadyStateSkips pins the point of the cursor: a
+// stationary fleet stops recomputing entirely after its first scan.
+func TestIncrementalDemandSteadyStateSkips(t *testing.T) {
+	loop := sim.NewLoop(3)
+	s := NewServer(loop, Config{Profile: ProfileOpencraft, WorldType: "flat", ViewDistance: 48})
+	for i := 0; i < 5; i++ {
+		s.ConnectAt(fmt.Sprintf("idle%d", i), nil, float64(i*20), float64(i*10))
+	}
+	s.Start()
+	runFor(loop, time.Second)
+	warm := s.TerrainRecomputes.Value()
+	if warm < 5 {
+		t.Fatalf("first scans recomputed %d rects, want >= 5", warm)
+	}
+	runFor(loop, 4*time.Second)
+	if got := s.TerrainRecomputes.Value(); got != warm {
+		t.Fatalf("stationary players kept recomputing: %d -> %d", warm, got)
+	}
+}
+
+// TestPhaseLockRealignsOverlongTicks checks the re-phase-locking
+// arithmetic: with a modelled tick cost above the tick interval, a
+// phase-locked server keeps every tick on the global TickInterval grid,
+// while the default drifts off-phase after the first overrun.
+func TestPhaseLockRealignsOverlongTicks(t *testing.T) {
+	overloaded := CostParams{TickBase: 70 * time.Millisecond} // > 50 ms interval, no noise
+	run := func(phaseLock bool) []time.Duration {
+		loop := sim.NewLoop(1)
+		s := NewServer(loop, Config{
+			Profile:   ProfileOpencraft,
+			WorldType: "flat",
+			Cost:      &overloaded,
+			PhaseLock: phaseLock,
+		})
+		s.Start()
+		runFor(loop, 2*time.Second)
+		times, _ := s.TickSeries.Points()
+		return times
+	}
+
+	locked := run(true)
+	if len(locked) == 0 {
+		t.Fatal("phase-locked server never ticked")
+	}
+	for i, at := range locked {
+		if at%DefaultTickInterval != 0 {
+			t.Fatalf("phase-locked tick %d at %v is off the %v grid", i, at, DefaultTickInterval)
+		}
+	}
+
+	free := run(false)
+	off := 0
+	for _, at := range free {
+		if at%DefaultTickInterval != 0 {
+			off++
+		}
+	}
+	if off == 0 {
+		t.Fatal("unlocked overloaded server stayed on-grid — the overload fixture is not overlong")
+	}
+}

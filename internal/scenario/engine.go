@@ -255,6 +255,7 @@ func (r *Runner) build() {
 		StorageTier:  tierFor(spec.Backend.StorageTier),
 		Shards:       spec.Shards,
 		Workers:      spec.Workers,
+		PhaseLock:    spec.PhaseLock,
 	}
 	if tp := spec.Topology; tp != nil {
 		built, err := (world.TopologySpec{

@@ -348,6 +348,12 @@ type Spec struct {
 	// The report is byte-identical for every Workers >= 1; 0 keeps the
 	// classic serial loop.
 	Workers int `json:"workers,omitempty"`
+	// PhaseLock re-aligns a shard's tick schedule to the global tick
+	// grid after an overlong tick, so saturated shards keep ticking at
+	// shared timestamps (and the parallel scheduler keeps forming
+	// waves) instead of drifting off-phase forever. Deterministic at
+	// every workers setting.
+	PhaseLock bool `json:"phase_lock,omitempty"`
 
 	World      WorldSpec        `json:"world,omitempty"`
 	Backend    BackendSpec      `json:"backend,omitempty"`

@@ -12,10 +12,12 @@ import (
 )
 
 // workersGateScenarios are the bundled scenarios the gate replays at
-// both pool sizes: the two sharded workloads, covering cross-shard
-// handoff, visibility replication, and the serverless substrate under
-// lane-parallel shard ticks.
-var workersGateScenarios = []string{"border-patrol", "sharded-stress"}
+// both pool sizes: the sharded workloads, covering cross-shard handoff,
+// visibility replication, and the serverless substrate under
+// lane-parallel shard ticks, plus the saturated phase-locked cluster —
+// overlong ticks re-snapping to the tick grid must reschedule
+// identically whether the wave ran on one worker or four.
+var workersGateScenarios = []string{"border-patrol", "sharded-stress", "saturated-lockstep"}
 
 // renderAtWorkers runs one bundled scenario at the given pool size and
 // returns the concatenated text + CSV renderings.

@@ -83,6 +83,11 @@ type Loop struct {
 	batch   []*event
 	groups  []*laneState
 	stats   BatchStats
+
+	// free recycles executed events back into push, so a steady-state
+	// schedule (e.g. a game loop rescheduling itself every tick) runs
+	// without a heap allocation per event.
+	free []*event
 }
 
 var _ Clock = (*Loop)(nil)
@@ -108,7 +113,23 @@ func (l *Loop) push(lane int, t Time, fn func()) {
 		t = l.now
 	}
 	l.seq++
-	heap.Push(&l.queue, &event{at: t, seq: l.seq, lane: lane, fn: fn})
+	var e *event
+	if n := len(l.free); n > 0 {
+		e = l.free[n-1]
+		l.free[n-1] = nil
+		l.free = l.free[:n-1]
+	} else {
+		e = new(event)
+	}
+	*e = event{at: t, seq: l.seq, lane: lane, fn: fn}
+	heap.Push(&l.queue, e)
+}
+
+// recycle returns an executed event to the freelist, dropping its
+// callback reference so the closure can be collected.
+func (l *Loop) recycle(e *event) {
+	e.fn = nil
+	l.free = append(l.free, e)
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -127,7 +148,9 @@ func (l *Loop) Step() bool {
 	}
 	e := popEvent(&l.queue)
 	l.now = e.at
-	e.fn()
+	fn := e.fn
+	l.recycle(e)
+	fn()
 	return true
 }
 

@@ -253,6 +253,7 @@ func (l *Loop) StepBatch() bool {
 		i = j
 	}
 	for i := range batch {
+		l.recycle(batch[i])
 		batch[i] = nil
 	}
 	l.batch = batch[:0]

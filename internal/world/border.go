@@ -27,39 +27,67 @@ type BorderNeighbor struct {
 // from several sides). It never touches topology internals — any
 // Topology works.
 func BordersWithin(topo Topology, pos BlockPos, margin int) []BorderNeighbor {
+	return BordersWithinAppend(nil, topo, pos, margin)
+}
+
+// BordersWithinAppend is BordersWithin appending into dst (first-seen
+// order preserved); callers that reuse dst across calls run the scan
+// allocation-free. The fold deduplicates by linear search over the
+// appended suffix — the foreign-tile set a view square clips is a
+// handful of entries, far below map break-even.
+func BordersWithinAppend(dst []BorderNeighbor, topo Topology, pos BlockPos, margin int) []BorderNeighbor {
 	if topo == nil || margin < 0 {
-		return nil
+		return dst
 	}
 	home := topo.TileOf(pos.Chunk())
-	var out []BorderNeighbor
-	idx := make(map[TileID]int)
-	for _, cp := range ChunksWithin(pos, margin) {
-		t := topo.TileOf(cp)
-		if t == home {
-			continue
-		}
-		dist := cp.DistanceBlocks(pos)
-		if i, ok := idx[t]; ok {
-			if dist < out[i].Dist {
-				out[i].Dist = dist
+	base := len(dst)
+	r := ChunkRectWithin(pos, margin)
+	for cx := r.Min.X; cx <= r.Max.X; cx++ {
+		for cz := r.Min.Z; cz <= r.Max.Z; cz++ {
+			cp := ChunkPos{X: cx, Z: cz}
+			t := topo.TileOf(cp)
+			if t == home {
+				continue
 			}
-			continue
+			dist := cp.DistanceBlocks(pos)
+			found := false
+			for i := base; i < len(dst); i++ {
+				if dst[i].Tile == t {
+					if dist < dst[i].Dist {
+						dst[i].Dist = dist
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				dst = append(dst, BorderNeighbor{Tile: t, Dist: dist})
+			}
 		}
-		idx[t] = len(out)
-		out = append(out, BorderNeighbor{Tile: t, Dist: dist})
 	}
-	return out
+	return dst
 }
 
 // BorderDistance returns the Chebyshev distance in blocks from pos to
 // the nearest block lying in a different tile, or max+1 when no foreign
 // tile is within max blocks (including topologies with a single tile,
-// where no border exists at all).
+// where no border exists at all). It allocates nothing.
 func BorderDistance(topo Topology, pos BlockPos, max int) int {
 	best := max + 1
-	for _, bn := range BordersWithin(topo, pos, max) {
-		if bn.Dist < best {
-			best = bn.Dist
+	if topo == nil || max < 0 {
+		return best
+	}
+	home := topo.TileOf(pos.Chunk())
+	r := ChunkRectWithin(pos, max)
+	for cx := r.Min.X; cx <= r.Max.X; cx++ {
+		for cz := r.Min.Z; cz <= r.Max.Z; cz++ {
+			cp := ChunkPos{X: cx, Z: cz}
+			if topo.TileOf(cp) == home {
+				continue
+			}
+			if d := cp.DistanceBlocks(pos); d < best {
+				best = d
+			}
 		}
 	}
 	return best

@@ -68,6 +68,40 @@ func axisDistance(v, lo, hi int) int {
 	}
 }
 
+// ChunkRect is an inclusive axis-aligned rectangle of chunk positions,
+// the shape every view-distance query resolves to. Two positions yield
+// the same demand set exactly when their rects are equal, which is what
+// makes it usable as an incremental-scan cache key.
+type ChunkRect struct {
+	Min, Max ChunkPos
+}
+
+// ChunkRectWithin returns the rect of every chunk any part of which lies
+// within radius blocks (Chebyshev) of center. A negative radius returns
+// an empty rect (Min > Max).
+func ChunkRectWithin(center BlockPos, radius int) ChunkRect {
+	if radius < 0 {
+		return ChunkRect{Min: ChunkPos{X: 1}, Max: ChunkPos{X: 0}}
+	}
+	return ChunkRect{
+		Min: BlockPos{X: center.X - radius, Z: center.Z - radius}.Chunk(),
+		Max: BlockPos{X: center.X + radius, Z: center.Z + radius}.Chunk(),
+	}
+}
+
+// Contains reports whether cp lies inside the rect.
+func (r ChunkRect) Contains(cp ChunkPos) bool {
+	return cp.X >= r.Min.X && cp.X <= r.Max.X && cp.Z >= r.Min.Z && cp.Z <= r.Max.Z
+}
+
+// Count returns the number of chunks in the rect.
+func (r ChunkRect) Count() int {
+	if r.Max.X < r.Min.X || r.Max.Z < r.Min.Z {
+		return 0
+	}
+	return (r.Max.X - r.Min.X + 1) * (r.Max.Z - r.Min.Z + 1)
+}
+
 // ChunksWithin returns every chunk position any part of which lies within
 // radius blocks (Chebyshev) of center. radius 0 returns just the chunk
 // containing center.
@@ -75,15 +109,20 @@ func ChunksWithin(center BlockPos, radius int) []ChunkPos {
 	if radius < 0 {
 		return nil
 	}
-	minC := BlockPos{X: center.X - radius, Z: center.Z - radius}.Chunk()
-	maxC := BlockPos{X: center.X + radius, Z: center.Z + radius}.Chunk()
-	out := make([]ChunkPos, 0, (maxC.X-minC.X+1)*(maxC.Z-minC.Z+1))
-	for cx := minC.X; cx <= maxC.X; cx++ {
-		for cz := minC.Z; cz <= maxC.Z; cz++ {
-			out = append(out, ChunkPos{X: cx, Z: cz})
+	return ChunksWithinAppend(make([]ChunkPos, 0, ChunkRectWithin(center, radius).Count()), center, radius)
+}
+
+// ChunksWithinAppend appends ChunksWithin(center, radius) to dst and
+// returns it, in the same deterministic order (X-major, Z ascending).
+// Callers that reuse dst across calls run the query allocation-free.
+func ChunksWithinAppend(dst []ChunkPos, center BlockPos, radius int) []ChunkPos {
+	r := ChunkRectWithin(center, radius)
+	for cx := r.Min.X; cx <= r.Max.X; cx++ {
+		for cz := r.Min.Z; cz <= r.Max.Z; cz++ {
+			dst = append(dst, ChunkPos{X: cx, Z: cz})
 		}
 	}
-	return out
+	return dst
 }
 
 // floorDiv divides rounding toward negative infinity, so that negative

@@ -48,11 +48,17 @@ func (w *World) LoadedCount() int { return len(w.chunks) }
 
 // LoadedChunks returns the positions of all loaded chunks (unordered).
 func (w *World) LoadedChunks() []ChunkPos {
-	out := make([]ChunkPos, 0, len(w.chunks))
+	return w.LoadedChunksAppend(make([]ChunkPos, 0, len(w.chunks)))
+}
+
+// LoadedChunksAppend appends the positions of all loaded chunks to dst
+// (unordered) and returns it; reusing dst across calls makes the
+// enumeration allocation-free.
+func (w *World) LoadedChunksAppend(dst []ChunkPos) []ChunkPos {
 	for p := range w.chunks {
-		out = append(out, p)
+		dst = append(dst, p)
 	}
-	return out
+	return dst
 }
 
 // BlockAt returns the block at an absolute position. Unloaded chunks and

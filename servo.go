@@ -134,6 +134,11 @@ type Config struct {
 	// the observable event stream is byte-identical for every pool size.
 	// Zero keeps the classic serial loop. Ignored under RealTime.
 	Workers int
+	// PhaseLock snaps a shard's next tick to the global TickInterval
+	// grid after an overlong tick, so saturated shards re-align and keep
+	// forming same-timestamp waves instead of drifting off-phase
+	// forever. Deterministic at every Workers setting.
+	PhaseLock bool
 }
 
 // topology builds the world-level tiling the config describes. A grid
@@ -254,6 +259,7 @@ func NewInstance(cfg Config) *Instance {
 		Visibility:       cfg.Visibility.Enabled,
 		VisibilityMargin: cfg.Visibility.Margin,
 		Workers:          cfg.Workers,
+		PhaseLock:        cfg.PhaseLock,
 	})
 	if cl := inst.sys.Cluster; cl != nil {
 		cl.Start()
