@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet fmtcheck build test race validate sim bench benchsmoke benchjson benchdiff clusterrace replaygate bordergate workersgate
+.PHONY: ci vet fmtcheck build test race validate sim bench benchsmoke benchjson benchdiff clusterrace replaygate bordergate workersgate scalegate
 
-ci: vet fmtcheck build race clusterrace validate replaygate bordergate workersgate benchsmoke benchdiff
+ci: vet fmtcheck build race clusterrace validate replaygate bordergate workersgate scalegate benchsmoke benchdiff
 
 vet:
 	$(GO) vet ./...
@@ -65,6 +65,14 @@ bordergate:
 workersgate:
 	$(GO) test -count=1 -run TestWorkersByteIdentity ./internal/scenario/
 
+# scalegate runs the elastic-scaling scenarios with assertions on: the
+# diurnal cycle must scale 2 -> 8 -> 2 with zero lost players, and the
+# crash-looping shard must be quarantined while the cluster keeps
+# serving. (Their workers-1-vs-4 byte identity rides through
+# workersgate.)
+scalegate:
+	$(GO) run ./cmd/servo-sim run daily-cycle crash-loop-quarantine
+
 # sim executes every bundled scenario and fails on any assertion failure.
 sim:
 	$(GO) run ./cmd/servo-sim run all
@@ -82,7 +90,7 @@ benchsmoke:
 # suite (tick latency, handoff p99, digest encode, visibility scan,
 # scenario throughput) written as a schema'd BENCH_$(PR).json artifact,
 # checked in with the PR that changed the numbers.
-PR ?= 8
+PR ?= 9
 benchjson:
 	$(GO) run ./cmd/servo-bench -format json -pr $(PR) -out BENCH_$(PR).json
 

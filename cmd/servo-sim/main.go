@@ -36,7 +36,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   servo-sim list
   servo-sim validate all | <name|file.json>...
-  servo-sim run [-v] [-seed N] [-shards N] [-workers N] [-topology band|grid:XxZ] [-format text|csv] all | <name|file.json>...
+  servo-sim run [-v] [-seed N] [-shards N] [-workers N] [-topology band|grid:XxZ] [-autoscale] [-format text|csv] all | <name|file.json>...
   servo-sim replay all | <name|file.json>...`)
 }
 
@@ -139,6 +139,7 @@ func cmdRun(args []string) int {
 	shards := fs.Int("shards", 0, "override every scenario's shard count (0 = use the spec's; >1 runs a region-sharded cluster)")
 	workers := fs.Int("workers", -1, "override every scenario's worker-pool size (-1 = use the spec's; 0 = classic serial loop; >=1 runs lane-batched shard ticks, byte-identical for every pool size)")
 	topology := fs.String("topology", "", `override every scenario's region topology: "band" or "grid:<X>x<Z>" (e.g. grid:4x4; requires a sharded scenario)`)
+	autoscale := fs.Bool("autoscale", false, "force-enable elastic shard autoscaling with default policy knobs (requires a sharded scenario; specs with their own autoscale section keep it)")
 	format := fs.String("format", "text", `report format: "text" or "csv" (csv covers summary metrics, assertions, and the per-tick series)`)
 	_ = fs.Parse(args)
 	if *format != "text" && *format != "csv" {
@@ -183,6 +184,11 @@ func cmdRun(args []string) int {
 			// onto a grid (or a grid forced onto one shard) errors out.
 			t := *topo
 			spec.Topology = &t
+		}
+		if *autoscale && spec.Autoscale == nil {
+			// Default knobs; re-validated inside Run, so forcing autoscale
+			// onto a single-server spec errors out instead of no-opping.
+			spec.Autoscale = &scenario.AutoscaleSpec{}
 		}
 		var log io.Writer
 		if *verbose {

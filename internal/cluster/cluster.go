@@ -81,6 +81,13 @@ type Config struct {
 	TableStore TableStore
 	// Rebalance configures the controller loop (zero value: disabled).
 	Rebalance RebalanceConfig
+	// Autoscale configures the elastic shard-count policy subsystem
+	// (zero value: disabled; see autoscaler.go).
+	Autoscale AutoscaleConfig
+	// OnRetire, when non-nil, runs after a drained shard is retired —
+	// internal/core stops the shard's cache flusher through it, the same
+	// teardown FailShard performs for a crashed shard.
+	OnRetire func(shard int)
 	// Visibility configures the interest-management layer: border-tile
 	// avatar replication across shards (zero value: disabled).
 	Visibility VisibilityConfig
@@ -186,6 +193,25 @@ type Cluster struct {
 	// migrating marks tiles whose ownership flush is in flight.
 	migrating map[world.TileID]bool
 
+	// Autoscaler state (see autoscaler.go).
+	auto AutoscaleConfig
+	// tracker records per-shard crash history (nil unless autoscaling is
+	// enabled, so failover semantics are unchanged without it).
+	tracker *failureTracker
+	// draining marks shards being emptied toward retirement.
+	draining map[int]bool
+	// recoverWanted marks shards whose RecoverShard was refused by
+	// quarantine; the autoscaler re-admits them once probation expires.
+	recoverWanted map[int]bool
+	// rateState holds per-tile demand-rate history between policy ticks.
+	rateState  map[world.TileID]*tileRateState
+	lastRateAt time.Duration
+	// lastScaleUp / lastScaleDown drive the per-direction cooldowns.
+	lastScaleUp   time.Duration
+	lastScaleDown time.Duration
+	// lastActiveCount is the most recent ShardsActive sample.
+	lastActiveCount int
+
 	// Handoff metrics.
 	Handoffs       metrics.Counter
 	HandoffLatency *metrics.Sample
@@ -204,6 +230,20 @@ type Cluster struct {
 	// the deterministic replay surface, like Log), bounded by
 	// Config.LogRetention.
 	MigrationLog RecordRing[MigrationRecord]
+
+	// Autoscaling metrics (see autoscaler.go).
+	ScaleUps     metrics.Counter // shards added at runtime
+	ScaleDowns   metrics.Counter // shards drained and retired
+	Quarantines  metrics.Counter // crash-loop quarantine entries
+	TilesDrained metrics.Counter // tiles migrated off draining shards
+	// ScaleLog records autoscaling events in occurrence order (part of
+	// the deterministic replay surface), bounded by Config.LogRetention.
+	ScaleLog RecordRing[ScaleRecord]
+	// ShardsActive samples the alive shard count at every change: the
+	// scale trajectory, reported as a time series.
+	ShardsActive *metrics.TimeSeries
+	// ShardsPeak is the highest alive shard count seen.
+	ShardsPeak int
 
 	// Visibility state (see visibility.go).
 	vis VisibilityConfig
@@ -264,6 +304,7 @@ func New(clock sim.Clock, cfg Config, build ShardBuilder) *Cluster {
 	}
 	cfg.Rebalance = cfg.Rebalance.withDefaults()
 	cfg.Visibility = cfg.Visibility.withDefaults()
+	cfg.Autoscale = cfg.Autoscale.withDefaults(cfg.Shards)
 	c := &Cluster{
 		clock:          clock,
 		cfg:            cfg,
@@ -274,7 +315,11 @@ func New(clock sim.Clock, cfg Config, build ShardBuilder) *Cluster {
 		tableStore:     cfg.TableStore,
 		reb:            cfg.Rebalance,
 		vis:            cfg.Visibility,
+		auto:           cfg.Autoscale,
 		migrating:      make(map[world.TileID]bool),
+		draining:       make(map[int]bool),
+		recoverWanted:  make(map[int]bool),
+		rateState:      make(map[world.TileID]*tileRateState),
 		players:        make(map[PlayerID]*Player),
 		HandoffLatency: metrics.NewSample(4096),
 		HandoffsIn:     make([]metrics.Counter, cfg.Shards),
@@ -282,8 +327,17 @@ func New(clock sim.Clock, cfg Config, build ShardBuilder) *Cluster {
 		Log:            newRecordRing[HandoffRecord](cfg.LogRetention),
 		MigrationLog:   newRecordRing[MigrationRecord](cfg.LogRetention),
 		GhostLog:       newRecordRing[GhostRecord](cfg.LogRetention),
+		ScaleLog:       newRecordRing[ScaleRecord](cfg.LogRetention),
+		ShardsActive:   &metrics.TimeSeries{},
 		visBuckets:     make(map[visCell][]int),
 		visPairs:       make(map[visPair]*visPairState),
+	}
+	if cfg.Autoscale.Enabled {
+		c.tracker = newFailureTracker(failureTrackerConfig{
+			maxFailures: cfg.Autoscale.MaxFailures,
+			window:      cfg.Autoscale.FailureWindow,
+			probation:   cfg.Autoscale.Probation,
+		})
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		c.shards = append(c.shards, build(i, c.table.View(i)))
@@ -307,6 +361,10 @@ func (c *Cluster) Epoch() uint64 { return c.table.Epoch() }
 
 // Alive reports whether shard i's loop is running.
 func (c *Cluster) Alive(i int) bool { return c.table.Alive(i) }
+
+// AliveCount returns the number of alive (neither dead nor retired)
+// shards.
+func (c *Cluster) AliveCount() int { return c.table.AliveCount() }
 
 // TileCenter returns the block position at the center of a tile's
 // canonical rectangle (tile-targeted fleet placement).
@@ -378,8 +436,13 @@ func (c *Cluster) Start() {
 		})
 	}
 	c.clock.After(c.cfg.ScanInterval, c.scan)
+	c.lastRateAt = c.clock.Now()
+	c.noteShardsActive()
 	if c.reb.Enabled {
 		c.clock.After(c.reb.Interval, c.controllerTick)
+	}
+	if c.auto.Enabled {
+		c.clock.After(c.auto.Interval, c.autoscalerTick)
 	}
 	if c.vis.Enabled {
 		c.clock.After(c.vis.Interval, c.visibilityScan)

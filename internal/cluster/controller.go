@@ -83,8 +83,10 @@ func (c *Cluster) controllerTick() {
 		return
 	}
 	defer c.clock.After(c.reb.Interval, c.controllerTick)
-	if len(c.migrating) > 0 {
-		return // let the in-flight migration land before re-measuring
+	if len(c.migrating) > 0 || len(c.draining) > 0 {
+		// Let the in-flight migration (or a drain emptying a shard toward
+		// retirement) land before re-measuring.
+		return
 	}
 	imb, hot, cold := c.loadImbalance()
 	if imb < c.reb.Threshold || hot == cold {
@@ -120,7 +122,7 @@ func (c *Cluster) loadImbalance() (imb float64, hot, cold int) {
 	var hotLoad, coldLoad float64
 	var loads []float64
 	for i := range c.shards {
-		if !c.table.Alive(i) {
+		if !c.table.Alive(i) || c.draining[i] {
 			continue
 		}
 		load := float64(c.shardLoad(i))
@@ -286,6 +288,9 @@ func (c *Cluster) migrateTile(tile world.TileID, dst int, reason string) bool {
 		}
 		c.persistTable()
 		c.TilesMoved.Inc()
+		if reason == "drain" {
+			c.TilesDrained.Inc()
+		}
 		c.MigrationLog.Append(MigrationRecord{
 			Tile: tile, From: src, To: dst,
 			Epoch: c.table.Epoch(), Reason: reason,
@@ -315,8 +320,16 @@ func (c *Cluster) FailShard(i int) bool {
 	}
 	c.shards[i].Crash()
 	c.table.SetDead(i, true)
+	// A crash aborts any drain in progress on the shard: failover owns
+	// the cleanup from here.
+	delete(c.draining, i)
+	if c.tracker != nil && c.tracker.RecordFailure(i, c.clock.Now()) {
+		c.Quarantines.Inc()
+		c.ScaleLog.Append(ScaleRecord{At: c.clock.Now(), Kind: "quarantine", Shard: i, Epoch: c.table.Epoch()})
+	}
 	c.persistTable()
 	c.Failovers.Inc()
+	c.noteShardsActive()
 	c.MigrationLog.Append(MigrationRecord{
 		From: i, To: -1, Epoch: c.table.Epoch(), Reason: "failover",
 	})
@@ -380,9 +393,16 @@ func (c *Cluster) readmit(p *Player) {
 // which resident players walk home through the boundary scan. Reports
 // whether a recovery was started.
 func (c *Cluster) RecoverShard(i int) bool {
-	if i < 0 || i >= len(c.shards) || c.table.Alive(i) || c.stopped {
+	if i < 0 || i >= len(c.shards) || c.table.Alive(i) || c.table.Retired(i) || c.stopped {
 		return false
 	}
+	if c.tracker != nil && c.tracker.Quarantined(i, c.clock.Now()) {
+		// Crash-looping shard: refuse re-admission until probation passes.
+		// The autoscaler retries once it does.
+		c.recoverWanted[i] = true
+		return false
+	}
+	delete(c.recoverWanted, i)
 	pending := 1
 	finish := func() {
 		pending--
@@ -397,10 +417,14 @@ func (c *Cluster) RecoverShard(i int) bool {
 		c.shards[i] = c.build(i, c.table.View(i))
 		c.shards[i].TickDurations = crashed.TickDurations
 		c.shards[i].TickSeries = crashed.TickSeries
+		// Tile-cost accounting survives the rebuild too: the autoscaler
+		// differences the cluster-summed signal, which must not regress.
+		c.shards[i].AdoptTileCosts(crashed.TileCosts())
 		src := c.shards[i]
 		src.SetChatRelay(func(from *mve.Player) int { return c.relayChat(src, from) })
 		c.table.SetDead(i, false)
 		c.persistTable()
+		c.noteShardsActive()
 		c.MigrationLog.Append(MigrationRecord{
 			From: -1, To: i, Epoch: c.table.Epoch(), Reason: "recover",
 		})

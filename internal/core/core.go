@@ -107,6 +107,11 @@ type Config struct {
 	// RebalanceInterval is the controller check cadence
 	// (0 → cluster.DefaultRebalanceInterval).
 	RebalanceInterval time.Duration
+	// Autoscale configures the cluster's elastic shard-count policy
+	// subsystem: utilization-band scale-up/down over the per-tile cost
+	// signal with predictive spreading and crash-loop quarantine (zero
+	// value: disabled). Only meaningful with Shards > 1.
+	Autoscale cluster.AutoscaleConfig
 	// Visibility enables the cluster's interest-management layer:
 	// avatars within the border margin of a tile boundary replicate to
 	// the neighbouring shards as read-only ghost avatars, so players
@@ -390,7 +395,17 @@ func New(clock sim.Clock, cfg Config) *System {
 				Margin:   cfg.VisibilityMargin,
 				Interval: cfg.VisibilityInterval,
 			},
+			Autoscale:    cfg.Autoscale,
 			LogRetention: cfg.LogRetention,
+			// A retired shard's flusher stops like a failed shard's: the
+			// drain already flushed everything it owned.
+			OnRetire: func(i int) {
+				if i < len(sys.Shards) {
+					if ca := sys.Shards[i].Cache; ca != nil {
+						ca.StopFlusher()
+					}
+				}
+			},
 		}
 		if sys.Remote != nil {
 			clCfg.Transfer = &blobTransfer{remote: sys.Remote}

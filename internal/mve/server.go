@@ -317,6 +317,21 @@ func (s *Server) TileCosts() map[world.TileID]TileCost {
 	return out
 }
 
+// AdoptTileCosts folds a predecessor server's per-tile cost accounting
+// into this one (a shard rebuilt after failover, or a retired slot
+// reused by a scale-up). Demand-rate consumers difference the
+// cluster-summed signal over time, so a replacement server must not
+// make the cumulative totals regress.
+func (s *Server) AdoptTileCosts(costs map[world.TileID]TileCost) {
+	if s.tileTopo == nil {
+		return
+	}
+	for t, c := range costs {
+		s.tileActions[t] += c.Actions
+		s.tileStores[t] += c.Stores
+	}
+}
+
 // noteAction attributes one processed action to the acting avatar's tile.
 func (s *Server) noteAction(pos world.BlockPos) {
 	if s.tileTopo != nil {

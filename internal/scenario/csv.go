@@ -18,6 +18,8 @@ import (
 //	kind=assert     name=<metric op bound>   value=<actual>  ok=<pass|fail>
 //	kind=tick       shard=<i> at_ms=<t>      value=<tick duration, ms>
 //	kind=tile_load  shard=<owner> name=tile_<x>_<z>_{actions,stores}  value=<count>
+//	kind=scale      name=shards_active at_ms=<t>  value=<alive shard count>
+//	kind=scale_event shard=<i> name=<kind> at_ms=<t>  value=<plan tiles>
 //
 // None of the emitted fields contain commas or quotes, so the output
 // needs no CSV escaping.
@@ -56,6 +58,12 @@ func (r *Report) RenderCSVRows() string {
 	for _, tl := range r.TileLoads {
 		fmt.Fprintf(&b, "tile_load,%d,tile_%d_%d_actions,,%d,\n", tl.Owner, tl.X, tl.Z, tl.Actions)
 		fmt.Fprintf(&b, "tile_load,%d,tile_%d_%d_stores,,%d,\n", tl.Owner, tl.X, tl.Z, tl.Stores)
+	}
+	for _, p := range r.ScaleSeries {
+		fmt.Fprintf(&b, "scale,,shards_active,%s,%d,\n", fmtVal(msOf(p.At)), p.Count)
+	}
+	for _, ev := range r.ScaleEvents {
+		fmt.Fprintf(&b, "scale_event,%d,%s,%s,%d,\n", ev.Shard, ev.Kind, fmtVal(msOf(ev.At)), ev.Tiles)
 	}
 	for _, s := range r.Series {
 		for _, p := range s.Ticks {

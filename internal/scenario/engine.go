@@ -79,12 +79,14 @@ func (f front) connect(name string, b mve.Behavior, pl placement) ref {
 	return ref{p: f.sys.Server.Connect(name, b)}
 }
 
-func (f front) disconnect(r ref) {
+// disconnect ends a session, reporting whether it was still live (a
+// false return means the player had already vanished — the signal the
+// players_lost audit counts).
+func (f front) disconnect(r ref) bool {
 	if r.cp != nil {
-		f.sys.Cluster.Disconnect(r.cp.ID)
-		return
+		return f.sys.Cluster.Disconnect(r.cp.ID)
 	}
-	f.sys.Server.Disconnect(r.p.ID)
+	return f.sys.Server.Disconnect(r.p.ID)
 }
 
 func (f front) count() int {
@@ -163,6 +165,13 @@ type Runner struct {
 	scZ      int // next free Z band for construct placement
 	crowdSeq int // flash-crowd naming sequence
 	peak     int // peak concurrent players
+
+	// joins and leaves audit every measured session: joins counts
+	// r.connect calls, leaves counts disconnects that found a live
+	// session. joins - leaves - final count = players lost by the system
+	// (a session that vanished without the harness disconnecting it),
+	// the zero-loss invariant scale and failover scenarios assert on.
+	joins, leaves int
 
 	// botSeconds integrates concurrency over the measured window (one
 	// virtual-second samples), and wall is the wall-clock time the window
@@ -272,6 +281,24 @@ func (r *Runner) build() {
 		cfg.Rebalance = true
 		cfg.RebalanceThreshold = rb.Threshold
 		cfg.RebalanceInterval = rb.Interval.D()
+	}
+	if a := spec.Autoscale; a != nil {
+		cfg.Autoscale = cluster.AutoscaleConfig{
+			Enabled:       true,
+			MinShards:     a.MinShards,
+			MaxShards:     a.MaxShards,
+			Interval:      a.Interval.D(),
+			HighUtil:      a.HighUtil,
+			LowUtil:       a.LowUtil,
+			ShardCapacity: a.ShardCapacity,
+			UpCooldown:    a.UpCooldown.D(),
+			DownCooldown:  a.DownCooldown.D(),
+			Horizon:       a.Horizon.D(),
+			MaxMoves:      a.MaxMoves,
+			MaxFailures:   a.MaxFailures,
+			FailureWindow: a.FailureWindow.D(),
+			Probation:     a.Probation.D(),
+		}
 	}
 	if v := spec.Visibility; v != nil {
 		cfg.Visibility = true
@@ -456,13 +483,22 @@ func (r *Runner) placeConstructs(count, blocks int) {
 }
 
 // connect joins one player at the placement and tracks the concurrency
-// peak.
+// peak and the join audit.
 func (r *Runner) connect(name, behavior string, pl placement) ref {
 	m := r.front.connect(name, workload.ForName(behavior), pl)
+	r.joins++
 	if n := r.front.count(); n > r.peak {
 		r.peak = n
 	}
 	return m
+}
+
+// disconnect ends one measured session, counting confirmed leaves for
+// the players_lost audit.
+func (r *Runner) disconnect(m ref) {
+	if r.front.disconnect(m) {
+		r.leaves++
+	}
 }
 
 // schedule queues every fleet join/leave, stress bot, and timed event on
@@ -482,7 +518,7 @@ func (r *Runner) schedule() {
 		if g.LeaveAt != 0 {
 			r.at(g.LeaveAt.D(), func() {
 				for _, m := range members {
-					r.front.disconnect(m)
+					r.disconnect(m)
 				}
 				r.logf("fleet[%d]: %d players left", gi, len(members))
 			})
@@ -540,7 +576,7 @@ func (r *Runner) runBot(i int, st *StressSpec) {
 	}
 	session := time.Duration(r.hrng.ExpFloat64() * float64(st.Churn.MeanSession.D()))
 	r.loop.After(session, func() {
-		r.front.disconnect(m)
+		r.disconnect(m)
 		pause := time.Duration(r.hrng.ExpFloat64() * float64(st.Churn.MeanPause.D()))
 		r.loop.After(pause, func() { r.runBot(i, st) })
 	})
@@ -570,7 +606,7 @@ func (r *Runner) fire(e Event) {
 	case EvDisconnect:
 		victims := r.front.newest(e.Count)
 		for _, m := range victims {
-			r.front.disconnect(m)
+			r.disconnect(m)
 		}
 		r.logf("disconnect: %d players left", len(victims))
 	case EvSpawnSCs:
@@ -673,6 +709,8 @@ type baseline struct {
 	rebalances, tilesMoved                      int64
 	failovers, playersFailedOver                int64
 	ghostUpdates, visibilityGaps                int64
+	scaleUps, scaleDowns                        int64
+	quarantines, tilesDrained                   int64
 	handoffsIn, handoffsOut                     []int64
 }
 
@@ -725,6 +763,12 @@ func (r *Runner) snapshotBaseline() {
 		b.playersFailedOver = cl.PlayersFailedOver.Value()
 		b.ghostUpdates = cl.GhostUpdates.Value()
 		b.visibilityGaps = cl.VisibilityGaps.Value()
+		b.scaleUps = cl.ScaleUps.Value()
+		b.scaleDowns = cl.ScaleDowns.Value()
+		b.quarantines = cl.Quarantines.Value()
+		b.tilesDrained = cl.TilesDrained.Value()
+		// Membership may have grown past the boot set by now (autoscale
+		// fires during warm-up too); the baseline covers whatever exists.
 		for i := range r.sys.Shards {
 			b.handoffsIn = append(b.handoffsIn, cl.HandoffsIn[i].Value())
 			b.handoffsOut = append(b.handoffsOut, cl.HandoffsOut[i].Value())
@@ -850,6 +894,12 @@ func (r *Runner) collect() *Report {
 	}
 	vals["players_final"] = float64(r.front.count())
 	vals["players_peak"] = float64(r.peak)
+	// The zero-loss audit: every join the harness made, minus confirmed
+	// leaves, minus whoever is still connected. Positive means the system
+	// dropped sessions on the floor (e.g. during a drain or failover);
+	// a transient negative can occur when a disconnect raced an in-flight
+	// handoff that the run ended before settling.
+	vals["players_lost"] = float64(r.joins-r.leaves) - vals["players_final"]
 
 	var actions, chunksApplied, chunksSent, resumed, discards, chats int64
 	var cacheHits, cacheMisses, prefetch int64
@@ -956,6 +1006,12 @@ func (r *Runner) collect() *Report {
 		vals["bands_moved"] = vals["tiles_moved"] // PR 3 band-era alias
 		vals["failovers"] = float64(cl.Failovers.Value() - b.failovers)
 		vals["players_failed_over"] = float64(cl.PlayersFailedOver.Value() - b.playersFailedOver)
+		vals["shards_active"] = float64(cl.AliveCount())
+		vals["shards_peak"] = float64(cl.ShardsPeak)
+		vals["scale_ups"] = float64(cl.ScaleUps.Value() - b.scaleUps)
+		vals["scale_downs"] = float64(cl.ScaleDowns.Value() - b.scaleDowns)
+		vals["quarantines"] = float64(cl.Quarantines.Value() - b.quarantines)
+		vals["tiles_drained"] = float64(cl.TilesDrained.Value() - b.tilesDrained)
 		if spec.Visibility != nil {
 			vals["ghost_avatars"] = float64(cl.GhostCount())
 			vals["ghost_updates"] = float64(cl.GhostUpdates.Value() - b.ghostUpdates)
@@ -974,8 +1030,24 @@ func (r *Runner) collect() *Report {
 			vals[fmt.Sprintf("shard%d_tick_p50_ms", i)] = msOf(srv.TickDurations.Percentile(50))
 			vals[fmt.Sprintf("shard%d_tick_p99_ms", i)] = msOf(srv.TickDurations.Percentile(99))
 			vals[fmt.Sprintf("shard%d_players_final", i)] = float64(srv.PlayerCount())
-			vals[fmt.Sprintf("shard%d_handoffs_in", i)] = float64(cl.HandoffsIn[i].Value() - b.handoffsIn[i])
-			vals[fmt.Sprintf("shard%d_handoffs_out", i)] = float64(cl.HandoffsOut[i].Value() - b.handoffsOut[i])
+			// Shards added after warm-up have no baseline row: their
+			// counters started at zero inside the measured window.
+			var hin, hout int64
+			if i < len(b.handoffsIn) {
+				hin, hout = b.handoffsIn[i], b.handoffsOut[i]
+			}
+			vals[fmt.Sprintf("shard%d_handoffs_in", i)] = float64(cl.HandoffsIn[i].Value() - hin)
+			vals[fmt.Sprintf("shard%d_handoffs_out", i)] = float64(cl.HandoffsOut[i].Value() - hout)
+			// Membership span: the first and last tick this shard slot ever
+			// ran (warm-up included), so a report over a dynamic shard set
+			// shows when each shard was active. -1 = the slot never ticked.
+			if times, _ := srv.TickSeries.Points(); len(times) > 0 {
+				vals[fmt.Sprintf("shard%d_first_active_ms", i)] = msOf(times[0])
+				vals[fmt.Sprintf("shard%d_last_active_ms", i)] = msOf(times[len(times)-1])
+			} else {
+				vals[fmt.Sprintf("shard%d_first_active_ms", i)] = -1
+				vals[fmt.Sprintf("shard%d_last_active_ms", i)] = -1
+			}
 		}
 	}
 	vals["cost_dollars"] = cost
@@ -994,6 +1066,16 @@ func (r *Runner) collect() *Report {
 			rep.TileLoads = append(rep.TileLoads, TileLoadRow{
 				X: tl.Tile.X, Z: tl.Tile.Z, Owner: tl.Owner,
 				Actions: tl.Actions, Stores: tl.Stores,
+			})
+		}
+		times, counts := cl.ShardsActive.Points()
+		for j := range times {
+			rep.ScaleSeries = append(rep.ScaleSeries, ScalePoint{At: times[j], Count: int(counts[j])})
+		}
+		for _, ev := range cl.ScaleLog.All() {
+			rep.ScaleEvents = append(rep.ScaleEvents, ScaleEventRow{
+				At: ev.At, Kind: ev.Kind, Shard: ev.Shard,
+				Tiles: ev.Tiles, Epoch: ev.Epoch,
 			})
 		}
 	}

@@ -38,6 +38,7 @@ var metricOrder = []struct {
 	{"tick_mean_ms", needsNone},
 	{"players_final", needsNone},
 	{"players_peak", needsNone},
+	{"players_lost", needsNone}, // joins - confirmed leaves - final (0 = zero-loss)
 	{"actions", needsNone},
 	{"chats_delivered", needsNone}, // chat deliveries (cluster-wide when sharded)
 	{"chunks_applied", needsNone},
@@ -73,6 +74,12 @@ var metricOrder = []struct {
 	{"bands_moved", needsCluster},     // legacy alias of tiles_moved (PR 3 band-era name)
 	{"failovers", needsCluster},       // shards failed over
 	{"players_failed_over", needsCluster},
+	{"shards_active", needsCluster},           // alive shards at end of run
+	{"shards_peak", needsCluster},             // highest alive shard count seen
+	{"scale_ups", needsCluster},               // shards added at runtime
+	{"scale_downs", needsCluster},             // shards drained and retired
+	{"quarantines", needsCluster},             // crash-loop quarantine entries
+	{"tiles_drained", needsCluster},           // tiles migrated off draining shards
 	{"ghost_avatars", needsVisibility},        // live ghost avatars at end of run
 	{"ghost_updates", needsVisibility},        // digest entries applied to ghost registries
 	{"visibility_gap_ticks", needsVisibility}, // replication scans with an unserved visible pair
@@ -84,6 +91,7 @@ var metricOrder = []struct {
 var shardMetricBases = []string{
 	"ticks_total", "tick_p50_ms", "tick_p99_ms",
 	"players_final", "handoffs_in", "handoffs_out",
+	"first_active_ms", "last_active_ms",
 }
 
 // parseShardMetric splits a "shard<i>_<base>" name. ok is false if the
@@ -186,6 +194,25 @@ type TileLoadRow struct {
 	Actions, Stores int64
 }
 
+// ScalePoint is one shards_active observation: the alive shard count
+// sampled at every lifecycle transition (scale-up, retirement,
+// failover, recovery) — the cluster's scale trajectory.
+type ScalePoint struct {
+	At    time.Duration
+	Count int
+}
+
+// ScaleEventRow is one autoscaling event from the cluster's scale log,
+// in occurrence order: scale-up, drain, scale-down, spread, quarantine,
+// or readmit. The CSV emitter renders it; the text report does not.
+type ScaleEventRow struct {
+	At    time.Duration
+	Kind  string
+	Shard int
+	Tiles int
+	Epoch uint64
+}
+
 // Report is the outcome of one scenario run. Its rendering is a pure
 // function of the virtual-clock execution: two runs of the same spec
 // produce byte-identical reports (text and CSV alike).
@@ -200,6 +227,11 @@ type Report struct {
 	// TileLoads holds the per-tile cost rows of a sharded run for the
 	// CSV emitter, in space-filling-index order.
 	TileLoads []TileLoadRow
+	// ScaleSeries is the alive-shard-count trajectory of a sharded run,
+	// and ScaleEvents its autoscaling event log, both for the CSV
+	// emitter.
+	ScaleSeries []ScalePoint
+	ScaleEvents []ScaleEventRow
 	// Wall is the wall-clock time the measured window took to simulate,
 	// and BotSeconds the bot-seconds of simulation it advanced (the
 	// concurrency integrated over virtual time). BotSeconds/Wall.Seconds()

@@ -212,6 +212,48 @@ type RebalanceSpec struct {
 	Interval Span `json:"interval,omitempty"`
 }
 
+// AutoscaleSpec enables the cluster's elastic shard autoscaling: a
+// policy loop differences per-tile demand into rates, scales the shard
+// set up/down on utilization bands with per-direction cooldowns,
+// projects rates along their derivative to spread forming hotspots
+// proactively, and quarantines crash-looping shards. Its presence in a
+// spec turns the subsystem on. Scale-ups spawn fresh shards over the
+// persisted world; scale-downs drain every owned tile through the
+// durable migration path before retiring, so no player is ever lost.
+type AutoscaleSpec struct {
+	// MinShards / MaxShards bound the alive shard count (min 0 → the boot
+	// shard count; max 0 → twice the boot count). Only shards added at
+	// runtime are ever removed, so the effective floor is the boot count.
+	MinShards int `json:"min_shards,omitempty"`
+	MaxShards int `json:"max_shards,omitempty"`
+	// ShardCapacity is one shard's nominal demand capacity in cost units
+	// (actions + chunk stores) per second; 0 → 500. Workload-dependent —
+	// calibrate it against the tile_load CSV rows of a probe run.
+	ShardCapacity float64 `json:"shard_capacity,omitempty"`
+	// Interval is the policy check cadence; 0 → 2s.
+	Interval Span `json:"interval,omitempty"`
+	// HighUtil / LowUtil are the utilization band edges: projected
+	// utilization above high scales up, demand that would stay under low
+	// on one fewer shard scales down (0 → 0.75 / 0.35).
+	HighUtil float64 `json:"high_util,omitempty"`
+	LowUtil  float64 `json:"low_util,omitempty"`
+	// UpCooldown / DownCooldown are the minimum gaps between successive
+	// scale-ups / scale-downs (0 → 2× / 6× the interval).
+	UpCooldown   Span `json:"up_cooldown,omitempty"`
+	DownCooldown Span `json:"down_cooldown,omitempty"`
+	// Horizon is how far ahead tile-load derivatives are projected when
+	// deciding (0 → 2× the interval) — the predictive window that catches
+	// a flash crowd forming.
+	Horizon Span `json:"horizon,omitempty"`
+	// MaxMoves caps each planning round's migration plan; 0 → 4.
+	MaxMoves int `json:"max_moves,omitempty"`
+	// MaxFailures crashes within FailureWindow quarantine a shard for
+	// Probation (zeros → 3 failures in 2m, 2m probation).
+	MaxFailures   int  `json:"max_failures,omitempty"`
+	FailureWindow Span `json:"failure_window,omitempty"`
+	Probation     Span `json:"probation,omitempty"`
+}
+
 // PrewriteSpec runs a write phase before the measured scenario: a
 // throwaway system over the same storage substrate explores (persisting
 // terrain and player records), is stopped and flushed, and then the
@@ -330,6 +372,11 @@ type Spec struct {
 	// Rebalance, if set, enables the cluster controller's live tile
 	// rebalancing (requires shards > 1).
 	Rebalance *RebalanceSpec `json:"rebalance,omitempty"`
+	// Autoscale, if set, enables elastic shard autoscaling: the policy
+	// loop grows and shrinks the shard set on demand bands, spreads
+	// forming hotspots predictively, and quarantines crash-looping
+	// shards (requires shards > 1).
+	Autoscale *AutoscaleSpec `json:"autoscale,omitempty"`
 	// Visibility, if set, enables cross-shard avatar visibility: border
 	// avatars replicate to neighbouring shards as read-only ghosts
 	// (requires shards > 1).
@@ -433,6 +480,9 @@ func (s *Spec) Validate() error {
 			return s.errf("rebalance.threshold must be >= 1 (got %g)", rb.Threshold)
 		}
 	}
+	if err := s.validateAutoscale(); err != nil {
+		return err
+	}
 	if v := s.Visibility; v != nil {
 		if s.Shards <= 1 {
 			return s.errf("visibility requires shards > 1")
@@ -490,6 +540,69 @@ func (s *Spec) Validate() error {
 		if err := s.validateAssertion(i, a); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// maxShards is the highest shard index bound the scenario can reach:
+// the autoscale ceiling when the subsystem is on, the static shard
+// count otherwise. Per-shard assertions validate against it.
+func (s *Spec) maxShards() int {
+	if a := s.Autoscale; a != nil {
+		if a.MaxShards > 0 {
+			return a.MaxShards
+		}
+		return 2 * s.Shards
+	}
+	return s.Shards
+}
+
+func (s *Spec) validateAutoscale() error {
+	a := s.Autoscale
+	if a == nil {
+		return nil
+	}
+	if s.Shards <= 1 {
+		return s.errf("autoscale requires shards > 1")
+	}
+	if a.MinShards < 0 || a.MaxShards < 0 {
+		return s.errf("autoscale.min_shards and max_shards must be non-negative")
+	}
+	if a.MaxShards != 0 {
+		if a.MaxShards < s.Shards {
+			return s.errf("autoscale.max_shards %d is below the boot shard count %d", a.MaxShards, s.Shards)
+		}
+		if a.MaxShards > 64 {
+			return s.errf("autoscale.max_shards must be <= 64 (got %d)", a.MaxShards)
+		}
+	}
+	if a.MinShards != 0 && a.MaxShards != 0 && a.MinShards > a.MaxShards {
+		return s.errf("autoscale.min_shards %d exceeds max_shards %d", a.MinShards, a.MaxShards)
+	}
+	if tp := s.Topology; tp.Grid() && s.maxShards() > tp.TilesX*tp.TilesZ {
+		return s.errf("autoscale.max_shards %d over a %dx%d grid: more shards than tiles", s.maxShards(), tp.TilesX, tp.TilesZ)
+	}
+	if a.HighUtil < 0 || a.HighUtil > 1 || a.LowUtil < 0 || a.LowUtil > 1 {
+		return s.errf("autoscale.high_util and low_util must be in [0, 1]")
+	}
+	hi, lo := a.HighUtil, a.LowUtil
+	if hi == 0 {
+		hi = 0.75
+	}
+	if lo == 0 {
+		lo = 0.35
+	}
+	if lo >= hi {
+		return s.errf("autoscale.low_util %g must be below high_util %g", lo, hi)
+	}
+	if a.ShardCapacity < 0 {
+		return s.errf("autoscale.shard_capacity must be non-negative")
+	}
+	if a.MaxMoves < 0 {
+		return s.errf("autoscale.max_moves must be non-negative")
+	}
+	if a.MaxFailures < 0 {
+		return s.errf("autoscale.max_failures must be non-negative")
 	}
 	return nil
 }
@@ -976,8 +1089,8 @@ func (s *Spec) validateAssertion(i int, a Assertion) error {
 			if s.Shards <= 1 {
 				return s.errf("assertions[%d]: per-shard metric %q requires shards > 1", i, a.Metric)
 			}
-			if shard >= s.Shards {
-				return s.errf("assertions[%d]: metric %q names shard %d but the scenario has %d shards", i, a.Metric, shard, s.Shards)
+			if shard >= s.maxShards() {
+				return s.errf("assertions[%d]: metric %q names shard %d but the scenario reaches at most %d shards", i, a.Metric, shard, s.maxShards())
 			}
 			needs = needsNone
 		} else {

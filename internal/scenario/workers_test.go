@@ -16,8 +16,13 @@ import (
 // visibility replication, and the serverless substrate under
 // lane-parallel shard ticks, plus the saturated phase-locked cluster —
 // overlong ticks re-snapping to the tick grid must reschedule
-// identically whether the wave ran on one worker or four.
-var workersGateScenarios = []string{"border-patrol", "sharded-stress", "saturated-lockstep"}
+// identically whether the wave ran on one worker or four, and the
+// elastic scenarios — the autoscaler's scale events, drains, and
+// quarantine decisions are part of the replay surface too.
+var workersGateScenarios = []string{
+	"border-patrol", "sharded-stress", "saturated-lockstep",
+	"daily-cycle", "crash-loop-quarantine",
+}
 
 // renderAtWorkers runs one bundled scenario at the given pool size and
 // returns the concatenated text + CSV renderings.

@@ -29,12 +29,21 @@ import (
 type OwnershipTable struct {
 	topo   Topology
 	shards int
-	epoch  uint64
+	// base is the boot-time shard count, frozen at construction: the
+	// default assignment always splits tiles over base shards, so growing
+	// the table (autoscaling) never reshuffles defaults. Shards added by
+	// Grow own nothing by default and gain tiles only through overrides.
+	base  int
+	epoch uint64
 	// overrides are tiles migrated away from the default assignment.
 	overrides map[TileID]int
 	// dead marks shards whose loops were killed; their tiles reroute to
 	// the surviving shards until they recover.
 	dead map[int]bool
+	// retired marks shards drained and removed by the autoscaler. Like
+	// dead shards their tiles reroute to survivors, but retirement is
+	// deliberate: a retired slot is only revived by Grow reusing it.
+	retired map[int]bool
 }
 
 // NewOwnershipTable returns a table splitting topo over the given shard
@@ -50,8 +59,10 @@ func NewOwnershipTable(shards int, topo Topology) *OwnershipTable {
 	return &OwnershipTable{
 		topo:      topo,
 		shards:    shards,
+		base:      shards,
 		overrides: make(map[TileID]int),
 		dead:      make(map[int]bool),
+		retired:   make(map[int]bool),
 	}
 }
 
@@ -59,8 +70,12 @@ func NewOwnershipTable(shards int, topo Topology) *OwnershipTable {
 // the table.
 func (t *OwnershipTable) Topology() Topology { return t.topo }
 
-// Shards returns the shard count.
+// Shards returns the shard count, including dead and retired slots.
 func (t *OwnershipTable) Shards() int { return t.shards }
+
+// Base returns the boot-time shard count the default assignment splits
+// tiles over; Grow never changes it.
+func (t *OwnershipTable) Base() int { return t.base }
 
 // Epoch returns the current ownership epoch: it increases on every
 // migration, failover, and recovery.
@@ -89,9 +104,9 @@ func (t *OwnershipTable) Owner(tile TileID) int {
 	tile = t.Canon(tile)
 	o, ok := t.overrides[tile]
 	if !ok {
-		o = DefaultOwner(t.topo, t.shards, tile)
+		o = DefaultOwner(t.topo, t.base, tile)
 	}
-	if t.dead[o] {
+	if t.dead[o] || t.retired[o] {
 		alive := t.AliveShards()
 		if len(alive) > 0 {
 			o = alive[floorMod(t.topo.Index(tile), len(alive))]
@@ -111,13 +126,13 @@ func (t *OwnershipTable) ShardOfBlock(b BlockPos) int { return t.ShardOf(b.Chunk
 // when the tile's effective owner already is the target.
 func (t *OwnershipTable) SetOwner(tile TileID, shard int) bool {
 	tile = t.Canon(tile)
-	if shard < 0 || shard >= t.shards || t.dead[shard] {
+	if shard < 0 || shard >= t.shards || t.dead[shard] || t.retired[shard] {
 		return false
 	}
 	if t.Owner(tile) == shard {
 		return false
 	}
-	if DefaultOwner(t.topo, t.shards, tile) == shard {
+	if DefaultOwner(t.topo, t.base, tile) == shard {
 		// Back to its default owner: drop the override instead of pinning.
 		delete(t.overrides, tile)
 	} else {
@@ -131,7 +146,7 @@ func (t *OwnershipTable) SetOwner(tile TileID, shard int) bool {
 // again (its tiles revert), bumping the epoch on any change. Killing the
 // last alive shard is refused: ownership must always resolve somewhere.
 func (t *OwnershipTable) SetDead(shard int, dead bool) bool {
-	if shard < 0 || shard >= t.shards || t.dead[shard] == dead {
+	if shard < 0 || shard >= t.shards || t.dead[shard] == dead || t.retired[shard] {
 		return false
 	}
 	if dead && len(t.AliveShards()) <= 1 {
@@ -146,14 +161,54 @@ func (t *OwnershipTable) SetDead(shard int, dead bool) bool {
 	return true
 }
 
-// Alive reports whether the shard's loop is considered running.
-func (t *OwnershipTable) Alive(shard int) bool { return !t.dead[shard] }
+// Grow admits one more shard slot and returns its index, bumping the
+// epoch. A previously retired slot is reused (lowest index first) so a
+// scale-down/scale-up cycle does not grow the table without bound;
+// otherwise a fresh index is appended. Either way the new shard owns no
+// tiles by default — the default assignment stays frozen over Base() —
+// and gains territory only through SetOwner overrides.
+func (t *OwnershipTable) Grow() int {
+	for i := 0; i < t.shards; i++ {
+		if t.retired[i] {
+			delete(t.retired, i)
+			t.epoch++
+			return i
+		}
+	}
+	idx := t.shards
+	t.shards++
+	t.epoch++
+	return idx
+}
+
+// Retire marks a drained shard as removed: its tiles (there should be
+// none left after a drain) reroute to survivors, SetOwner refuses it as
+// a target, and its slot becomes reusable by Grow. Retiring a dead,
+// out-of-range, or the last alive shard is refused.
+func (t *OwnershipTable) Retire(shard int) bool {
+	if shard < 0 || shard >= t.shards || t.dead[shard] || t.retired[shard] {
+		return false
+	}
+	if len(t.AliveShards()) <= 1 {
+		return false
+	}
+	t.retired[shard] = true
+	t.epoch++
+	return true
+}
+
+// Retired reports whether the shard slot was drained and removed.
+func (t *OwnershipTable) Retired(shard int) bool { return t.retired[shard] }
+
+// Alive reports whether the shard's loop is considered running: neither
+// crashed (dead) nor drained away (retired).
+func (t *OwnershipTable) Alive(shard int) bool { return !t.dead[shard] && !t.retired[shard] }
 
 // AliveShards returns the alive shard indices in ascending order.
 func (t *OwnershipTable) AliveShards() []int {
 	out := make([]int, 0, t.shards)
 	for i := 0; i < t.shards; i++ {
-		if !t.dead[i] {
+		if !t.dead[i] && !t.retired[i] {
 			out = append(out, i)
 		}
 	}

@@ -94,6 +94,28 @@ type VisibilityConfig struct {
 	Margin int
 }
 
+// AutoscaleConfig tunes the cluster's elastic shard-count policy: the
+// autoscaler differences the per-tile cost signal into demand rates,
+// scales the shard count up/down on utilization bands (with
+// per-direction cooldowns), spreads forming hotspots proactively along
+// the tile-load derivative, and quarantines crash-looping shards. Scale
+// events run on the virtual clock in lane order, so they replay
+// byte-identically at every Workers setting. Zero-valued fields take the
+// cluster defaults (see internal/cluster).
+type AutoscaleConfig struct {
+	// Enabled turns the policy loop on.
+	Enabled bool
+	// MinShards / MaxShards bound the alive shard count (0 → the boot
+	// count / twice the boot count). Only shards added at runtime are
+	// ever removed, so the effective floor is at least the boot count.
+	MinShards int
+	MaxShards int
+	// ShardCapacity is one shard's demand capacity in cost units
+	// (actions + chunk stores) per second; the utilization bands are
+	// fractions of it.
+	ShardCapacity float64
+}
+
 // Config configures an Instance.
 type Config struct {
 	// Seed makes the instance deterministic. Zero means seed 1.
@@ -125,6 +147,9 @@ type Config struct {
 	// region-tile border see the neighbouring shard's avatars as
 	// read-only ghosts. Only meaningful with Shards > 1.
 	Visibility VisibilityConfig
+	// Autoscale enables the elastic shard-count policy subsystem. Only
+	// meaningful with Shards > 1.
+	Autoscale AutoscaleConfig
 	// RealTime runs the instance on the wall clock instead of virtual
 	// time. Run then blocks for real durations.
 	RealTime bool
@@ -258,8 +283,14 @@ func NewInstance(cfg Config) *Instance {
 		Rebalance:        cfg.Rebalance,
 		Visibility:       cfg.Visibility.Enabled,
 		VisibilityMargin: cfg.Visibility.Margin,
-		Workers:          cfg.Workers,
-		PhaseLock:        cfg.PhaseLock,
+		Autoscale: cluster.AutoscaleConfig{
+			Enabled:       cfg.Autoscale.Enabled,
+			MinShards:     cfg.Autoscale.MinShards,
+			MaxShards:     cfg.Autoscale.MaxShards,
+			ShardCapacity: cfg.Autoscale.ShardCapacity,
+		},
+		Workers:   cfg.Workers,
+		PhaseLock: cfg.PhaseLock,
 	})
 	if cl := inst.sys.Cluster; cl != nil {
 		cl.Start()
