@@ -47,6 +47,7 @@ func run() int {
 	out := flag.String("out", "", "with -format json: write the artifact here instead of stdout")
 	pr := flag.Int("pr", 0, "with -format json: PR number stamped into the artifact")
 	diff := flag.String("diff", "", "re-run the suite and diff against an artifact path, or 'latest' for the newest BENCH_*.json")
+	only := flag.String("only", "", "substring filter over suite metric names: run only the matching harnesses (suite and diff modes)")
 	tolerance := flag.Float64("tolerance", bench.DefaultTolerance, "relative regression tolerance of -diff")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the selected run to this file")
@@ -93,14 +94,14 @@ func run() int {
 	}
 
 	if *diff != "" {
-		return runDiff(*diff, *tolerance, logf)
+		return runDiff(*diff, *tolerance, *only, logf)
 	}
 	if *format != "" {
 		if *format != "json" {
 			fmt.Fprintf(os.Stderr, "servo-bench: unknown -format %q (want json)\n", *format)
 			return 2
 		}
-		return runSuite(*pr, *out, logf)
+		return runSuite(*pr, *out, *only, logf)
 	}
 
 	opt := experiment.Options{Seed: *seed, Scale: *scale}
@@ -115,8 +116,8 @@ func run() int {
 }
 
 // runSuite records the benchmark artifact.
-func runSuite(pr int, out string, logf func(string, ...any)) int {
-	f, err := bench.Run(pr, logf)
+func runSuite(pr int, out, only string, logf func(string, ...any)) int {
+	f, err := bench.Run(pr, only, logf)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "servo-bench:", err)
 		return 1
@@ -139,7 +140,9 @@ func runSuite(pr int, out string, logf func(string, ...any)) int {
 }
 
 // runDiff re-runs the suite and gates it against a recorded artifact.
-func runDiff(ref string, tol float64, logf func(string, ...any)) int {
+// only narrows the re-measurement to matching metrics; Compare skips
+// whatever the filtered run did not record.
+func runDiff(ref string, tol float64, only string, logf func(string, ...any)) int {
 	if ref == "latest" {
 		ref = bench.LatestArtifact(".")
 		if ref == "" {
@@ -159,7 +162,7 @@ func runDiff(ref string, tol float64, logf func(string, ...any)) int {
 	var cur bench.File
 	var regs []bench.Regression
 	for attempt := 0; attempt < diffAttempts; attempt++ {
-		f, err := bench.Run(old.PR, logf)
+		f, err := bench.Run(old.PR, only, logf)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "servo-bench:", err)
 			return 1

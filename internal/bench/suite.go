@@ -8,15 +8,18 @@ package bench
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
 	"servo"
 	"servo/internal/cluster"
+	"servo/internal/core"
 	"servo/internal/mve"
 	"servo/internal/sc"
 	"servo/internal/scenario"
 	"servo/internal/sim"
+	"servo/internal/workload"
 	"servo/internal/world"
 )
 
@@ -29,50 +32,151 @@ const ScenarioName = "border-patrol"
 // digestEntries sizes the digest encode harnesses.
 const digestEntries = 512
 
-// Run executes the whole suite and returns the artifact. logf (may be
-// nil) receives progress lines.
-func Run(pr int, logf func(format string, args ...any)) (File, error) {
+// suiteStep is one harness of the suite: a build-load-measure unit that
+// declares the metric names it records, so -only can select it without
+// running everything else first.
+type suiteStep struct {
+	name    string
+	metrics []string
+	run     func(f *File) error
+}
+
+// steps enumerates the suite in recording order.
+func steps() []suiteStep {
+	return []suiteStep{
+		{"engine tick (200 constructs, 100 players)",
+			[]string{"engine_tick_wall_us"},
+			func(f *File) error {
+				f.Add("engine_tick_wall_us", "us/tick", Lower, true, engineTick()/1e3)
+				return nil
+			}},
+		{"steady-state tick allocations (50 idle players)",
+			[]string{"tick_steady_allocs_per_op"},
+			func(f *File) error {
+				f.Add("tick_steady_allocs_per_op", "allocs/op", Lower, true, steadyTickAllocs())
+				return nil
+			}},
+		{"parallel engine tick (4 shards, workers=4)",
+			[]string{"engine_tick_wall_us_parallel", "tick_parallel_speedup_x"},
+			func(f *File) error {
+				parNs, speedup := parallelTick()
+				f.Add("engine_tick_wall_us_parallel", "us/tick", Lower, true, parNs/1e3)
+				f.Add("tick_parallel_speedup_x", "x", Higher, true, speedup)
+				return nil
+			}},
+		{"saturated parallel tick (overlong ticks, phase lock on/off)",
+			[]string{"tick_parallel_speedup_saturated_x", "tick_parallel_speedup_saturated_unlocked_x"},
+			func(f *File) error {
+				// The work/span ratio weighs real callback wall times, so
+				// like every wall metric it keeps the best of wallRounds
+				// independent rounds against co-tenant noise.
+				var locked, unlocked float64
+				for r := 0; r < wallRounds; r++ {
+					if v := saturatedSpeedup(true); v > locked {
+						locked = v
+					}
+					if v := saturatedSpeedup(false); v > unlocked {
+						unlocked = v
+					}
+				}
+				f.Add("tick_parallel_speedup_saturated_x", "x", Higher, true, locked)
+				// The no-phase-lock decay, recorded (not gated) so every
+				// artifact carries the comparison: without re-phase-locking,
+				// overlong ticks drift the shards off any shared timestamp
+				// and waves collapse.
+				f.Add("tick_parallel_speedup_saturated_unlocked_x", "x", Higher, false, unlocked)
+				return nil
+			}},
+		{"chunk codec round trip (zero-alloc contract)",
+			[]string{"chunk_codec_ns_per_op", "chunk_codec_allocs_per_op"},
+			func(f *File) error {
+				chunkCodecMetrics(f)
+				return nil
+			}},
+		{"chunk generation storm (4 shards, cold default world)",
+			[]string{"chunk_storm_wall_us", "chunk_apply_ns_per_chunk", "gen_dedup_x"},
+			func(f *File) error {
+				chunkStormMetrics(f)
+				return nil
+			}},
+		{"terrain demand scan (100 players)",
+			[]string{"terrain_scan_inc_ns_per_player", "terrain_scan_inc_allocs_per_op",
+				"terrain_scan_full_ns_per_player", "terrain_scan_full_allocs_per_op",
+				"terrain_scan_speedup_x"},
+			func(f *File) error {
+				terrainScanMetrics(f)
+				return nil
+			}},
+		{"scenario " + ScenarioName,
+			[]string{"tick_p99_virtual_ms", "handoff_p99_virtual_ms", "scenario_bots_per_wallsec"},
+			scenarioMetrics},
+		{fmt.Sprintf("ghost digest encode (%d entries)", digestEntries),
+			[]string{"digest_encode_ns_per_entry", "digest_encode_allocs_per_op",
+				"digest_delta_ns_per_entry", "digest_delta_allocs_per_op"},
+			func(f *File) error {
+				digestMetrics(f)
+				return nil
+			}},
+		{"visibility scan, 1000 border residents",
+			[]string{"vis_scan_1k_inc_ns_per_resident", "vis_scan_1k_inc_allocs_per_op",
+				"vis_scan_1k_full_ns_per_resident", "vis_scan_1k_full_allocs_per_op"},
+			func(f *File) error {
+				scanMetrics(f, 1000)
+				return nil
+			}},
+		{"visibility scan, 4000 border residents",
+			[]string{"vis_scan_4k_inc_ns_per_resident", "vis_scan_4k_inc_allocs_per_op",
+				"vis_scan_4k_full_ns_per_resident", "vis_scan_4k_full_allocs_per_op"},
+			func(f *File) error {
+				scanMetrics(f, 4000)
+				return nil
+			}},
+	}
+}
+
+// Run executes the suite and returns the artifact. only, when non-empty,
+// is a substring filter over metric names: only the harnesses recording a
+// matching metric run, and only matching metrics are kept — `servo-bench
+// -only chunk_` re-measures the chunk pipeline without paying for the
+// rest of the suite. logf (may be nil) receives progress lines.
+func Run(pr int, only string, logf func(format string, args ...any)) (File, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	f := NewFile(pr)
-
-	logf("bench: engine tick (200 constructs, 100 players)")
-	tickNs := engineTick()
-	f.Add("engine_tick_wall_us", "us/tick", Lower, true, tickNs/1e3)
-
-	logf("bench: steady-state tick allocations (50 idle players)")
-	f.Add("tick_steady_allocs_per_op", "allocs/op", Lower, true, steadyTickAllocs())
-
-	logf("bench: parallel engine tick (4 shards, workers=4)")
-	parNs, speedup := parallelTick()
-	f.Add("engine_tick_wall_us_parallel", "us/tick", Lower, true, parNs/1e3)
-	f.Add("tick_parallel_speedup_x", "x", Higher, true, speedup)
-
-	logf("bench: saturated parallel tick (overlong ticks, phase lock on/off)")
-	lockedSpeedup := saturatedSpeedup(true)
-	f.Add("tick_parallel_speedup_saturated_x", "x", Higher, true, lockedSpeedup)
-	// The no-phase-lock decay, recorded (not gated) so every artifact
-	// carries the comparison: without re-phase-locking, overlong ticks
-	// drift the shards off any shared timestamp and waves collapse.
-	f.Add("tick_parallel_speedup_saturated_unlocked_x", "x", Higher, false, saturatedSpeedup(false))
-
-	logf("bench: terrain demand scan (100 players)")
-	terrainScanMetrics(&f)
-
-	logf("bench: scenario %s", ScenarioName)
-	if err := scenarioMetrics(&f); err != nil {
-		return File{}, err
+	matched := false
+	for _, st := range steps() {
+		if only != "" && !stepMatches(st, only) {
+			continue
+		}
+		matched = true
+		logf("bench: %s", st.name)
+		if err := st.run(&f); err != nil {
+			return File{}, err
+		}
 	}
-
-	logf("bench: ghost digest encode (%d entries)", digestEntries)
-	digestMetrics(&f)
-
-	for _, n := range []int{1000, 4000} {
-		logf("bench: visibility scan, %d border residents", n)
-		scanMetrics(&f, n)
+	if !matched {
+		return File{}, fmt.Errorf("bench: no suite metric matches -only %q", only)
+	}
+	if only != "" {
+		kept := f.Metrics[:0]
+		for _, m := range f.Metrics {
+			if strings.Contains(m.Name, only) {
+				kept = append(kept, m)
+			}
+		}
+		f.Metrics = kept
 	}
 	return f, nil
+}
+
+func stepMatches(st suiteStep, only string) bool {
+	for _, name := range st.metrics {
+		if strings.Contains(name, only) {
+			return true
+		}
+	}
+	return false
 }
 
 // wallRounds is how many independent rounds each wall measurement
@@ -332,6 +436,100 @@ func scenarioMetrics(f *File) error {
 	}
 	f.Add("scenario_bots_per_wallsec", "bot-s/s", Higher, true, rep.BotSeconds/rep.Wall.Seconds())
 	return nil
+}
+
+// chunkCodecMetrics measures one warm encode+decode round trip of a
+// terrain-shaped chunk through the zero-alloc paths: EncodeAppend into a
+// reused buffer and DecodeChunkInto over a pool-recycled chunk. The
+// allocs/op gate is an exact zero — the chunk-churn fast path's whole
+// premise is that codec work stopped feeding the garbage collector.
+func chunkCodecMetrics(f *File) {
+	c := world.NewChunk(world.ChunkPos{X: 2, Z: -7})
+	for x := 0; x < world.ChunkSizeX; x++ {
+		for z := 0; z < world.ChunkSizeZ; z++ {
+			for y := 0; y < 60; y++ {
+				c.Set(x, y, z, world.Block{ID: world.Stone})
+			}
+			c.Set(x, 60, z, world.Block{ID: world.Grass})
+		}
+	}
+	buf := c.EncodeAppend(nil) // warm the buffer outside the measurement
+	dec := new(world.Chunk)
+	ns, allocs := wallBench(func() {
+		buf = c.EncodeAppend(buf[:0])
+		if err := world.DecodeChunkInto(dec, buf); err != nil {
+			panic(err)
+		}
+	})
+	f.Add("chunk_codec_ns_per_op", "ns/op", Lower, true, ns)
+	f.Add("chunk_codec_allocs_per_op", "allocs/op", Lower, true, allocs)
+}
+
+// chunkStormMetrics measures the chunk-churn fast path end to end: a
+// four-shard cluster over a cold default world takes a 32-player
+// star-walker herd whose view rectangles straddle every tile seam, so one
+// measured window exercises batched store loads, bounded nearest-first
+// generation dispatch, pooled decode, and cross-shard dedup adoption at
+// once. The virtual work is seed-deterministic, so rounds differ only in
+// wall time and the best round is kept; the per-chunk apply cost divides
+// that wall time by the (identical every round) chunks applied. The
+// dedup factor — demanded seam chunks per FaaS invocation actually paid
+// — comes off the same run's counters.
+func chunkStormMetrics(f *File) {
+	const (
+		herd     = 32
+		window   = 10 * time.Second
+		tileSpan = 4 * world.ChunkSizeX // TileChunks:4 tiles
+	)
+	var bestNs, chunks, dedupX float64
+	for r := 0; r < wallRounds; r++ {
+		loop := sim.NewLoop(17)
+		loop.SetWorkers(4)
+		sys := core.New(loop, core.Config{
+			Seed:         17,
+			WorldType:    "default",
+			ViewDistance: 64,
+			ServerlessTG: true,
+			ServerlessRS: true,
+			Shards:       4,
+			Workers:      4,
+			Topology:     world.GridTopology{TilesX: 2, TilesZ: 2, TileChunks: 4},
+		})
+		sys.Cluster.Start()
+		loop.RunUntil(loop.Now() + 2*time.Second) // settle the boot terrain
+		for i := 0; i < herd; i++ {
+			// Eight walkers per tile, centered on the 2×2 grid's four tiles.
+			tx, tz := i%2, (i/2)%2
+			sys.Cluster.ConnectAt(fmt.Sprintf("s%d", i), workload.ForName("S8"),
+				world.BlockPos{X: tx*tileSpan + tileSpan/2, Y: 0, Z: tz*tileSpan + tileSpan/2})
+		}
+		var applied0, invoked0 int64
+		deduped0 := 0
+		for _, sh := range sys.Shards {
+			applied0 += sh.Server.ChunksApplied.Value()
+			deduped0 += sh.TGBackend.GenDeduped
+		}
+		invoked0 = int64(sys.TGFn.Invocations.Count())
+		start := time.Now()
+		loop.RunUntil(loop.Now() + window)
+		ns := float64(time.Since(start).Nanoseconds())
+		var applied int64
+		deduped := 0
+		for _, sh := range sys.Shards {
+			applied += sh.Server.ChunksApplied.Value()
+			deduped += sh.TGBackend.GenDeduped
+		}
+		invoked := int64(sys.TGFn.Invocations.Count()) - invoked0
+		sys.Cluster.Stop()
+		if r == 0 || ns < bestNs {
+			bestNs = ns
+		}
+		chunks = float64(applied - applied0)
+		dedupX = float64(int(invoked)+deduped-deduped0) / float64(invoked)
+	}
+	f.Add("chunk_storm_wall_us", "us", Lower, true, bestNs/1e3)
+	f.Add("chunk_apply_ns_per_chunk", "ns/chunk", Lower, true, bestNs/chunks)
+	f.Add("gen_dedup_x", "x", Higher, true, dedupX)
 }
 
 // digestMetrics measures the digest wire forms: the stateless full

@@ -65,6 +65,21 @@ type Config struct {
 	// defaults.
 	SCFn faas.Config
 	TGFn faas.Config
+	// TGMaxInflight bounds each shard's concurrent terrain invocations;
+	// queued requests dispatch nearest-player-first as the window refills
+	// (0 → tgen.DefaultMaxInflight).
+	TGMaxInflight int
+	// DisableGenDedup turns off the cross-shard generation dedup cache
+	// (on by default for sharded serverless terrain: bordering shards
+	// adopt seam chunks a neighbour just generated instead of re-invoking
+	// FaaS).
+	DisableGenDedup bool
+	// GenDedupSize bounds the dedup cache in encoded chunks
+	// (0 → tgen.DefaultGenCacheSize).
+	GenDedupSize int
+	// ChunkPoolSize bounds each shard's chunk freelist
+	// (0 → world.DefaultChunkPoolCap).
+	ChunkPoolSize int
 	// StorageTier for remote storage (0 → Premium).
 	StorageTier blob.Tier
 	// Remote, if non-nil, is used as the backing object store instead of
@@ -168,6 +183,9 @@ type ShardComponents struct {
 	// store (nil unless ServerlessRS with the cache enabled).
 	Cache  *tcache.Cache
 	RStore *rstore.Store
+	// Pool is this shard's chunk freelist, shared by the game loop, the
+	// store decode path, and the terrain backend.
+	Pool *world.ChunkPool
 }
 
 // System is an assembled Servo (or baseline) instance: one shard by
@@ -191,6 +209,13 @@ type System struct {
 	// every shard.
 	SCFn *faas.Function
 	TGFn *faas.Function
+	// TGHandlerStats counts terrain-handler anomalies (malformed
+	// generation requests) across the shared deployment (nil unless
+	// ServerlessTG).
+	TGHandlerStats *tgen.HandlerStats
+	// GenCache is the shared cross-shard generation dedup cache (nil
+	// unless sharded serverless terrain with dedup enabled).
+	GenCache *tgen.GenCache
 	// TGBackend is shard 0's serverless terrain backend (nil unless
 	// ServerlessTG).
 	TGBackend *tgen.Backend
@@ -272,7 +297,11 @@ func New(clock sim.Clock, cfg Config) *System {
 			fnCfg = DefaultTGFnConfig()
 		}
 		gen := terrain.ForWorldType(cfg.WorldType, cfg.Seed)
-		sys.TGFn = tgen.Register(sys.Platform, gen, fnCfg)
+		sys.TGHandlerStats = &tgen.HandlerStats{}
+		sys.TGFn = tgen.RegisterWithStats(sys.Platform, gen, fnCfg, sys.TGHandlerStats)
+		if shardCount > 1 && !cfg.DisableGenDedup {
+			sys.GenCache = tgen.NewGenCache(cfg.GenDedupSize)
+		}
 	}
 	if cfg.ServerlessRS || cfg.LocalStore {
 		sys.Remote = cfg.Remote
@@ -342,18 +371,28 @@ func New(clock sim.Clock, cfg Config) *System {
 		if laneLoop != nil && sys.Platform != nil {
 			invoke = &commitInvoker{clock: shardClock, platform: sys.Platform}
 		}
+		// One chunk freelist per shard, shared by the game loop (unload
+		// and superseded-apply recycling), the store decode path, and the
+		// terrain backend, so recycled chunks feed every decode.
+		shard.Pool = world.NewChunkPool(cfg.ChunkPoolSize)
+		srvCfg.ChunkPool = shard.Pool
 		if cfg.ServerlessSC {
 			shard.SpecExec = specexec.NewManager(invoke, SCFunctionName, spec)
 			srvCfg.SC = &scAdapter{mgr: shard.SpecExec}
 		}
 		if cfg.ServerlessTG {
 			shard.TGBackend = tgen.NewBackend(invoke, tgen.FunctionName)
+			shard.TGBackend.SetMaxInflight(cfg.TGMaxInflight)
+			shard.TGBackend.UseChunkPool(shard.Pool)
+			if sys.GenCache != nil {
+				shard.TGBackend.UseDedup(shardClock, sys.GenCache)
+			}
 			srvCfg.Terrain = shard.TGBackend
 		}
 		switch {
 		case cfg.ServerlessRS:
 			if cfg.DisableCache {
-				srvCfg.Store = &uncachedStore{remote: sys.Remote}
+				srvCfg.Store = &uncachedStore{remote: sys.Remote, pool: shard.Pool}
 			} else {
 				cacheCfg := tcache.DefaultConfig()
 				if cfg.CacheConfig != nil {
@@ -362,10 +401,11 @@ func New(clock sim.Clock, cfg Config) *System {
 				shard.Cache = tcache.New(clock, sys.Remote, cacheCfg)
 				shard.Cache.StartFlusher()
 				shard.RStore = rstore.New(shard.Cache)
+				shard.RStore.UseChunkPool(shard.Pool)
 				srvCfg.Store = shard.RStore
 			}
 		case cfg.LocalStore:
-			srvCfg.Store = &uncachedStore{remote: sys.Remote}
+			srvCfg.Store = &uncachedStore{remote: sys.Remote, pool: shard.Pool}
 		}
 		if cfg.WrapStore != nil && srvCfg.Store != nil {
 			srvCfg.Store = cfg.WrapStore(srvCfg.Store)
@@ -554,9 +594,15 @@ func NewBlobChunkStore(remote *blob.Store) mve.ChunkStore {
 // serverless configuration.
 type uncachedStore struct {
 	remote *blob.Store
+	// pool recycles decoded chunks; nil falls back to plain allocation.
+	pool *world.ChunkPool
+	// scratch is the reused encode buffer; the blob store retains the
+	// bytes it is handed, so writes copy it into one exact-size slice.
+	scratch []byte
 }
 
 var _ mve.ChunkStore = (*uncachedStore)(nil)
+var _ mve.BatchingChunkStore = (*uncachedStore)(nil)
 
 func (u *uncachedStore) Load(pos world.ChunkPos, cb func(*world.Chunk, bool)) {
 	// GetRetrying: a false not-found would make the server regenerate and
@@ -566,8 +612,9 @@ func (u *uncachedStore) Load(pos world.ChunkPos, cb func(*world.Chunk, bool)) {
 			cb(nil, false)
 			return
 		}
-		c, derr := world.DecodeChunk(data)
-		if derr != nil {
+		c := u.pool.Get(pos)
+		if derr := world.DecodeChunkInto(c, data); derr != nil {
+			u.pool.Put(c)
 			cb(nil, false)
 			return
 		}
@@ -575,15 +622,31 @@ func (u *uncachedStore) Load(pos world.ChunkPos, cb func(*world.Chunk, bool)) {
 	})
 }
 
+// LoadMany implements mve.BatchingChunkStore: each position takes the
+// same retrying read path as Load, in the order given.
+func (u *uncachedStore) LoadMany(pos []world.ChunkPos, cb func(pos world.ChunkPos, c *world.Chunk, ok bool)) {
+	for _, cp := range pos {
+		cp := cp
+		u.Load(cp, func(c *world.Chunk, ok bool) { cb(cp, c, ok) })
+	}
+}
+
+func (u *uncachedStore) encode(c *world.Chunk) []byte {
+	u.scratch = c.EncodeAppend(u.scratch[:0])
+	out := make([]byte, len(u.scratch))
+	copy(out, u.scratch)
+	return out
+}
+
 func (u *uncachedStore) Store(c *world.Chunk) {
-	u.remote.PutRetrying(tcache.Key(c.Pos), c.Encode())
+	u.remote.PutRetrying(tcache.Key(c.Pos), u.encode(c))
 }
 
 // StoreThen implements mve.SyncingChunkStore: done runs once data for
 // the chunk is durably stored — even if a concurrent unload-path write
 // superseded this one (ownership migrations gate the tile flip on it).
 func (u *uncachedStore) StoreThen(c *world.Chunk, done func()) {
-	u.remote.PutDurablyThen(tcache.Key(c.Pos), c.Encode(), done)
+	u.remote.PutDurablyThen(tcache.Key(c.Pos), u.encode(c), done)
 }
 
 // SavePlayer implements mve.PlayerStore.

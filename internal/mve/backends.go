@@ -101,9 +101,21 @@ type TerrainBackend interface {
 	Request(pos world.ChunkPos)
 	// Drain returns chunks that completed since the last call.
 	Drain() []*world.Chunk
+	// DrainAppend appends the chunks that completed since the last call
+	// to dst and returns it — the zero-alloc sibling of Drain, letting
+	// the game loop reuse one drain slice across ticks.
+	DrainAppend(dst []*world.Chunk) []*world.Chunk
 	// Load reports backlog for the cost model: busy workers (local
 	// generation competing with the loop) and queued requests.
 	Load() (busyWorkers, queued int)
+}
+
+// TerrainFocus is an optional TerrainBackend extension: each demand scan
+// the server hands it the current avatar positions, so backends with a
+// bounded dispatch window (the serverless backend's nearest-player-first
+// queue) can prioritise the chunks players are about to see.
+type TerrainFocus interface {
+	SetFocus(positions []world.BlockPos)
 }
 
 // LocalTerrain generates chunks on a bounded local worker pool, modelling
@@ -180,6 +192,17 @@ func (l *LocalTerrain) Drain() []*world.Chunk {
 	out := l.done
 	l.done = nil
 	return out
+}
+
+// DrainAppend implements TerrainBackend; the backend's done list is reset
+// in place so its backing array is reused too.
+func (l *LocalTerrain) DrainAppend(dst []*world.Chunk) []*world.Chunk {
+	dst = append(dst, l.done...)
+	for i := range l.done {
+		l.done[i] = nil
+	}
+	l.done = l.done[:0]
+	return dst
 }
 
 // Load implements TerrainBackend.

@@ -22,6 +22,15 @@ type ChunkStore interface {
 	Store(c *world.Chunk)
 }
 
+// BatchingChunkStore is an optional ChunkStore extension that serves a
+// whole tick's worth of loads in one call. The server coalesces every
+// chunk requested between flushes into a single LoadMany — one substrate
+// event per tick instead of one per chunk — and the store answers each
+// position through cb exactly as Load would, in the order given.
+type BatchingChunkStore interface {
+	LoadMany(pos []world.ChunkPos, cb func(pos world.ChunkPos, c *world.Chunk, ok bool))
+}
+
 // AvatarObserver is implemented by stores that pre-fetch based on avatar
 // positions (Servo's terrain cache, §III-E).
 type AvatarObserver interface {
@@ -57,6 +66,11 @@ type Config struct {
 	Terrain TerrainBackend
 	// Store enables chunk persistence.
 	Store ChunkStore
+	// ChunkPool recycles Chunk allocations through the churn paths
+	// (far-chunk unloads, superseded applies). Typically shared with the
+	// store and terrain backend so recycled chunks feed their decode
+	// paths. Nil disables recycling (plain allocation).
+	ChunkPool *world.ChunkPool
 	// MaxChunkSendsPerTick throttles per-player chunk serialisation
 	// (default 4, as real servers do).
 	MaxChunkSendsPerTick int
@@ -158,8 +172,26 @@ type Server struct {
 	// requested tracks chunk demand already in flight (store load or
 	// generation).
 	requested map[world.ChunkPos]bool
-	// loadedFromStore queues store-loaded chunks for on-loop application.
+	// loadedFromStore queues store-loaded chunks for on-loop application;
+	// the backing array is reused across ticks.
 	loadedFromStore []*world.Chunk
+	// pendingLoads coalesces the chunk-load requests issued since the
+	// last flush; flushChunkLoads turns the whole batch into one commit
+	// (and, on a BatchingChunkStore, one LoadMany call) instead of one
+	// substrate event per chunk.
+	pendingLoads []world.ChunkPos
+	loadFn       func()
+	loadCB       func(pos world.ChunkPos, c *world.Chunk, ok bool)
+	// storeBatch groups this tick's persistence writes into one commit
+	// (flushFn); recycleBatch holds the chunks to return to the pool once
+	// those writes have been issued (stores encode synchronously, so a
+	// chunk is recyclable the moment its Store call returns).
+	storeBatch   []*world.Chunk
+	recycleBatch []*world.Chunk
+	flushFn      func()
+	pool         *world.ChunkPool
+	// drainBuf is the reused per-tick terrain-drain slice (DrainAppend).
+	drainBuf []*world.Chunk
 	// newlyLoaded accumulates chunk positions applied since the last
 	// demand scan: the only chunks a clean-cursor player can newly see
 	// (see scanTerrainDemand).
@@ -245,6 +277,46 @@ func NewServer(clock sim.Clock, cfg Config) *Server {
 		TickSeries:    &metrics.TimeSeries{},
 	}
 	s.tickFn = s.tickOnce
+	s.pool = cfg.ChunkPool
+	// Persistent closures for the per-tick batched commits, so the
+	// steady-state tick allocates nothing. loadCB answers one position of
+	// a batched load; loadFn issues the whole pending batch (one LoadMany
+	// when the store supports it) and resets the buffer — it runs in
+	// serial context (commit drain), strictly before the next tick's
+	// appends on this shard's lane.
+	s.loadCB = func(pos world.ChunkPos, c *world.Chunk, ok bool) {
+		if ok {
+			s.loadedFromStore = append(s.loadedFromStore, c)
+			return
+		}
+		s.terrain.Request(pos)
+	}
+	s.loadFn = func() {
+		batch := s.pendingLoads
+		if bs, ok := s.store.(BatchingChunkStore); ok {
+			bs.LoadMany(batch, s.loadCB)
+		} else {
+			for _, cp := range batch {
+				cp := cp
+				s.store.Load(cp, func(c *world.Chunk, ok bool) { s.loadCB(cp, c, ok) })
+			}
+		}
+		s.pendingLoads = s.pendingLoads[:0]
+	}
+	s.flushFn = func() {
+		for _, c := range s.storeBatch {
+			s.store.Store(c)
+		}
+		for i := range s.storeBatch {
+			s.storeBatch[i] = nil
+		}
+		s.storeBatch = s.storeBatch[:0]
+		for i, c := range s.recycleBatch {
+			s.pool.Put(c)
+			s.recycleBatch[i] = nil
+		}
+		s.recycleBatch = s.recycleBatch[:0]
+	}
 	if cfg.Region.Table != nil {
 		s.tileTopo = cfg.Region.Table.Topology()
 	} else {
@@ -282,6 +354,7 @@ func NewServer(clock sim.Clock, cfg Config) *Server {
 			}
 		}
 	}
+	s.flushChunkLoads()
 	return s
 }
 
@@ -577,6 +650,13 @@ func (s *Server) tickOnce() {
 	if s.tick%unloadScanPeriod == 0 {
 		s.unloadFarChunks()
 	}
+	// Flush the tick's grouped persistence writes (generated terrain from
+	// step 3, unloads from step 4) as one commit, then recycle the written
+	// chunks. The writes reach shared substrate in the same per-chunk
+	// order the old per-chunk commits used.
+	if len(s.storeBatch) > 0 || len(s.recycleBatch) > 0 {
+		sim.Commit(s.clock, s.flushFn)
+	}
 
 	// 5. Tick duration: work plus hardware noise and rare GC-like tails.
 	d := time.Duration(float64(work) * math.Exp(s.cost.NoiseSigma*rng.NormFloat64()))
@@ -668,6 +748,16 @@ func (s *Server) scanTerrainDemand() {
 		p.demandRect, p.demandValid = rect, true
 	}
 	s.newlyLoaded = newly[:0]
+	// Focus-aware backends (the serverless terrain backend's bounded
+	// nearest-player-first dispatch) get the player positions; the backend
+	// copies them, so handing over the scratch buffer is safe.
+	if tf, ok := s.terrain.(TerrainFocus); ok {
+		tf.SetFocus(avatars)
+	}
+	// One commit for the whole scan's chunk loads, queued ahead of the
+	// prefetch observation below so the per-chunk storage order matches
+	// the old per-chunk commits.
+	s.flushChunkLoads()
 	// Give pre-fetching stores the avatar positions (§III-E) — ghosts
 	// included, so the terrain around an avatar approaching from a
 	// neighbouring shard is warm before its handoff lands. The store
@@ -712,57 +802,74 @@ func (s *Server) SetViewDistance(blocks int) {
 	}
 }
 
-// requestChunk starts the load-or-generate path for one chunk.
+// requestChunk starts the load-or-generate path for one chunk. With a
+// store the request is only queued; flushChunkLoads turns the queue into
+// one batched commit per scan.
 func (s *Server) requestChunk(cp world.ChunkPos) {
 	if s.requested[cp] {
 		return
 	}
 	s.requested[cp] = true
 	if s.store != nil {
-		// The load reaches shared substrate; its callback runs from
-		// storage-completion events (serial context), so touching
-		// per-shard state there is safe.
-		sim.Commit(s.clock, func() {
-			s.store.Load(cp, func(c *world.Chunk, ok bool) {
-				if ok {
-					s.loadedFromStore = append(s.loadedFromStore, c)
-					return
-				}
-				s.terrain.Request(cp)
-			})
-		})
+		s.pendingLoads = append(s.pendingLoads, cp)
 		return
 	}
 	s.terrain.Request(cp)
 }
 
+// flushChunkLoads issues every queued chunk load as one commit. The loads
+// reach shared substrate and their callbacks run from storage-completion
+// events (serial context), so touching per-shard state there is safe —
+// exactly as the old per-chunk commits did, in the same per-chunk order,
+// but costing one substrate event per scan instead of one per chunk.
+func (s *Server) flushChunkLoads() {
+	if s.store == nil || len(s.pendingLoads) == 0 {
+		return
+	}
+	sim.Commit(s.clock, s.loadFn)
+}
+
 // applyCompletedChunks integrates generated and store-loaded chunks into
-// the world and returns the work cost.
+// the world and returns the work cost. Persistence writes for freshly
+// generated terrain are grouped into the tick's store batch (one commit
+// per tick, flushed by tickOnce) instead of one commit per chunk, and
+// superseded chunks are recycled through the pool.
 func (s *Server) applyCompletedChunks() time.Duration {
 	var cost time.Duration
-	apply := func(c *world.Chunk) {
+	apply := func(c *world.Chunk) bool {
 		if s.world.Loaded(c.Pos) {
-			return // superseded (e.g. reloaded while generating)
+			return false // superseded (e.g. reloaded while generating)
 		}
 		s.applyChunk(c, true)
 		if s.tick > bootGraceTicks {
 			cost += s.cost.ChunkApply
 		}
 		s.ChunksApplied.Inc()
+		return true
 	}
-	for _, c := range s.loadedFromStore {
-		apply(c)
-	}
-	s.loadedFromStore = nil
-	for _, c := range s.terrain.Drain() {
-		apply(c)
-		if s.store != nil && s.owned(c.Pos) {
-			s.noteStore(c.Pos)
-			c := c
-			// Persist freshly generated terrain; the write reaches
-			// shared substrate.
-			sim.Commit(s.clock, func() { s.store.Store(c) })
+	for i, c := range s.loadedFromStore {
+		if !apply(c) {
+			s.pool.Put(c)
 		}
+		s.loadedFromStore[i] = nil
+	}
+	s.loadedFromStore = s.loadedFromStore[:0]
+	s.drainBuf = s.terrain.DrainAppend(s.drainBuf[:0])
+	for i, c := range s.drainBuf {
+		applied := apply(c)
+		if s.store != nil && s.owned(c.Pos) {
+			// Persist freshly generated terrain — superseded chunks
+			// included, as before: their generation still happened and the
+			// stored bytes are identical.
+			s.noteStore(c.Pos)
+			s.storeBatch = append(s.storeBatch, c)
+			if !applied {
+				s.recycleBatch = append(s.recycleBatch, c)
+			}
+		} else if !applied {
+			s.pool.Put(c)
+		}
+		s.drainBuf[i] = nil
 	}
 	return cost
 }
@@ -869,13 +976,17 @@ func (s *Server) unloadFarChunks() {
 				}
 			}
 		}
-		c := s.world.Chunk(cp)
+		c := s.world.RemoveChunk(cp)
 		if s.store != nil && c != nil && s.owned(cp) {
+			// The write joins the tick's grouped store commit; the chunk is
+			// recycled inside that same commit, after its Store call.
 			s.noteStore(cp)
-			c := c
-			sim.Commit(s.clock, func() { s.store.Store(c) })
+			s.storeBatch = append(s.storeBatch, c)
+			s.recycleBatch = append(s.recycleBatch, c)
+		} else {
+			// No pending write references the chunk: recycle it directly.
+			s.pool.Put(c)
 		}
-		s.world.RemoveChunk(cp)
 		// Drop client knowledge so re-approach resends, and invalidate
 		// the demand cursor of any player whose cached rect held the
 		// chunk — that restores the clean-cursor invariant (every rect

@@ -126,6 +126,15 @@ type session struct {
 	// next snapshot overwrites it.
 	avatarBuf []netproto.AvatarState
 
+	// chunkBuf is the session's reusable chunk-encode scratch: each push,
+	// snapshot appends every outgoing chunk's encoding into this one
+	// buffer (chunkOffs marks the boundaries) and the messages reference
+	// sub-slices of it — no per-chunk encode allocation once the buffer
+	// has warmed. Owned by the push loop, like avatarBuf: the previous
+	// push's messages are written before the next snapshot overwrites it.
+	chunkBuf  []byte
+	chunkOffs []int
+
 	writeMu sync.Mutex // serialises the push loop and pong replies
 }
 
@@ -257,8 +266,13 @@ func (c *session) snapshot() (update netproto.Message, chunks []netproto.Message
 		c.avatarBuf = appendAvatars(c.avatarBuf[:0], srv)
 		update.Avatars = c.avatarBuf
 		pos := c.player.Pos()
+		// Encode every outgoing chunk into the shared scratch buffer and
+		// record the boundaries; the messages are built afterwards because
+		// appends may move the buffer while it grows.
+		c.chunkBuf = c.chunkBuf[:0]
+		c.chunkOffs = append(c.chunkOffs[:0], 0)
 		for _, cp := range world.ChunksWithin(pos, srv.Config().ViewDistance) {
-			if len(chunks) >= c.server.cfg.ChunksPerPush {
+			if len(c.chunkOffs)-1 >= c.server.cfg.ChunksPerPush {
 				break
 			}
 			if c.sent[cp] {
@@ -269,8 +283,12 @@ func (c *session) snapshot() (update netproto.Message, chunks []netproto.Message
 				continue
 			}
 			c.sent[cp] = true
+			c.chunkBuf = ch.EncodeAppend(c.chunkBuf)
+			c.chunkOffs = append(c.chunkOffs, len(c.chunkBuf))
+		}
+		for i := 1; i < len(c.chunkOffs); i++ {
 			chunks = append(chunks, netproto.Message{
-				Type: netproto.MsgChunkData, ChunkData: ch.Encode(),
+				Type: netproto.MsgChunkData, ChunkData: c.chunkBuf[c.chunkOffs[i-1]:c.chunkOffs[i]],
 			})
 		}
 	})

@@ -266,6 +266,10 @@ func (r *Runner) build() {
 		Workers:      spec.Workers,
 		PhaseLock:    spec.PhaseLock,
 	}
+	cfg.TGMaxInflight = spec.Backend.TGMaxInflight
+	if gd := spec.Backend.GenDedup; gd != nil && !*gd {
+		cfg.DisableGenDedup = true
+	}
 	if tp := spec.Topology; tp != nil {
 		built, err := (world.TopologySpec{
 			Kind:       tp.Kind,
@@ -702,7 +706,7 @@ type baseline struct {
 	discards                                    int64
 	scInv, scCold, scFaults                     int64
 	tgInv, tgCold, tgFaults                     int64
-	tgBackendFailures                           int
+	tgBackendFailures, genDeduped               int
 	cacheHits, cacheMisses, prefetch            int64
 	reads, writes, storeFaults                  int64
 	handoffs                                    int64
@@ -728,6 +732,7 @@ func (r *Runner) snapshotBaseline() {
 		}
 		if tb := sh.TGBackend; tb != nil {
 			b.tgBackendFailures += tb.Failures
+			b.genDeduped += tb.GenDeduped
 		}
 		if c := sh.Cache; c != nil {
 			b.cacheHits += c.Hits.Value()
@@ -903,7 +908,7 @@ func (r *Runner) collect() *Report {
 
 	var actions, chunksApplied, chunksSent, resumed, discards, chats int64
 	var cacheHits, cacheMisses, prefetch int64
-	var tgBackendFailures, constructs int
+	var tgBackendFailures, genDeduped, constructs int
 	var efficiency []float64
 	viewMargin := -1
 	for _, sh := range r.sys.Shards {
@@ -923,6 +928,7 @@ func (r *Runner) collect() *Report {
 		}
 		if tb := sh.TGBackend; tb != nil {
 			tgBackendFailures += tb.Failures
+			genDeduped += tb.GenDeduped
 		}
 		if c := sh.Cache; c != nil {
 			cacheHits += c.Hits.Value()
@@ -962,6 +968,7 @@ func (r *Runner) collect() *Report {
 	}
 	if spec.Backend.Terrain {
 		vals["tg_failures"] = float64(tgBackendFailures - b.tgBackendFailures)
+		vals["gen_deduped"] = float64(genDeduped - b.genDeduped)
 	}
 	if spec.hasFunctionBackend() {
 		vals["cold_starts"] = float64(coldStarts)
@@ -1136,9 +1143,10 @@ type flipStore struct {
 }
 
 var (
-	_ mve.ChunkStore     = (*flipStore)(nil)
-	_ mve.PlayerStore    = (*flipStore)(nil)
-	_ mve.AvatarObserver = (*flipStore)(nil)
+	_ mve.ChunkStore         = (*flipStore)(nil)
+	_ mve.BatchingChunkStore = (*flipStore)(nil)
+	_ mve.PlayerStore        = (*flipStore)(nil)
+	_ mve.AvatarObserver     = (*flipStore)(nil)
 )
 
 func (f *flipStore) cur() mve.ChunkStore {
@@ -1150,6 +1158,20 @@ func (f *flipStore) cur() mve.ChunkStore {
 
 func (f *flipStore) Load(pos world.ChunkPos, cb func(*world.Chunk, bool)) { f.cur().Load(pos, cb) }
 func (f *flipStore) Store(c *world.Chunk)                                 { f.cur().Store(c) }
+
+// LoadMany forwards a batched load to whichever side is active, falling
+// back to per-position loads if that side has no batch path.
+func (f *flipStore) LoadMany(pos []world.ChunkPos, cb func(world.ChunkPos, *world.Chunk, bool)) {
+	cur := f.cur()
+	if bs, ok := cur.(mve.BatchingChunkStore); ok {
+		bs.LoadMany(pos, cb)
+		return
+	}
+	for _, cp := range pos {
+		cp := cp
+		cur.Load(cp, func(c *world.Chunk, ok bool) { cb(cp, c, ok) })
+	}
+}
 
 func (f *flipStore) SavePlayer(name string, data []byte) {
 	if ps, ok := f.cur().(mve.PlayerStore); ok {

@@ -53,6 +53,7 @@ var metricOrder = []struct {
 	{"tg_invocations", needsTG},
 	{"tg_cold_starts", needsTG},
 	{"tg_failures", needsTG}, // failed generation invocations (incl. retried)
+	{"gen_deduped", needsTG}, // seam chunks adopted from the cross-shard dedup cache
 	{"cold_starts", needsFaaS},
 	{"faas_faults", needsFaaS},
 	{"cache_hits", needsCache},

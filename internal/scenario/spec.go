@@ -102,6 +102,12 @@ type BackendSpec struct {
 	LocalStore bool `json:"local_store,omitempty"`
 	// SpecExec tunes construct offloading. Only valid with Constructs.
 	SpecExec *SpecExecSpec `json:"spec_exec,omitempty"`
+	// TGMaxInflight caps concurrent terrain-generation invocations per
+	// shard (0 → the tgen default). Only valid with Terrain.
+	TGMaxInflight int `json:"tg_max_inflight,omitempty"`
+	// GenDedup toggles the cross-shard generation dedup cache on sharded
+	// terrain backends (unset → enabled). Only valid with Terrain.
+	GenDedup *bool `json:"gen_dedup,omitempty"`
 }
 
 // ConstructGroup places a grid of simulated constructs at scenario start.
@@ -718,6 +724,15 @@ func (s *Spec) validateBackend() error {
 		if b.SpecExec.TickLead != nil && *b.SpecExec.TickLead < 0 {
 			return s.errf("backend.spec_exec.tick_lead must be non-negative")
 		}
+	}
+	if b.TGMaxInflight < 0 {
+		return s.errf("backend.tg_max_inflight must be non-negative")
+	}
+	if b.TGMaxInflight > 0 && !b.Terrain {
+		return s.errf("backend.tg_max_inflight is set but backend.terrain is false")
+	}
+	if b.GenDedup != nil && !b.Terrain {
+		return s.errf("backend.gen_dedup is set but backend.terrain is false")
 	}
 	return nil
 }

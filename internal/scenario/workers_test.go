@@ -18,10 +18,13 @@ import (
 // overlong ticks re-snapping to the tick grid must reschedule
 // identically whether the wave ran on one worker or four, and the
 // elastic scenarios — the autoscaler's scale events, drains, and
-// quarantine decisions are part of the replay surface too.
+// quarantine decisions are part of the replay surface too, and the
+// generation storm — batched store loads, bounded generation dispatch,
+// pooled decode, and cross-shard dedup adoption must commit in the same
+// lane order at any pool size.
 var workersGateScenarios = []string{
 	"border-patrol", "sharded-stress", "saturated-lockstep",
-	"daily-cycle", "crash-loop-quarantine",
+	"daily-cycle", "crash-loop-quarantine", "gen-storm",
 }
 
 // renderAtWorkers runs one bundled scenario at the given pool size and

@@ -18,6 +18,13 @@ import (
 // Store is a cached remote chunk store.
 type Store struct {
 	cache *tcache.Cache
+	// pool recycles decoded chunks (UseChunkPool); nil falls back to
+	// plain allocation.
+	pool *world.ChunkPool
+	// scratch is the reused encode buffer: the cache retains the bytes it
+	// is handed, so writes copy the scratch into one exact-size slice —
+	// still dropping Encode's index side-table and growth reallocations.
+	scratch []byte
 
 	// DecodeFailures counts stored objects that failed to decode
 	// (corruption guard; always zero in healthy runs).
@@ -31,6 +38,10 @@ func New(cache *tcache.Cache) *Store {
 
 // Cache exposes the underlying terrain cache (for metrics).
 func (s *Store) Cache() *tcache.Cache { return s.cache }
+
+// UseChunkPool makes the store decode loads into recycled chunks from p
+// (typically the owning shard's pool).
+func (s *Store) UseChunkPool(p *world.ChunkPool) { s.pool = p }
 
 // Load implements mve.ChunkStore: fetch through the cache; a missing
 // object reports ok=false so the server generates the chunk instead.
@@ -46,8 +57,9 @@ func (s *Store) Load(pos world.ChunkPos, cb func(c *world.Chunk, ok bool)) {
 			cb(nil, false)
 			return
 		}
-		c, derr := world.DecodeChunk(data)
-		if derr != nil {
+		c := s.pool.Get(pos)
+		if derr := world.DecodeChunkInto(c, data); derr != nil {
+			s.pool.Put(c)
 			s.DecodeFailures++
 			cb(nil, false)
 			return
@@ -56,10 +68,30 @@ func (s *Store) Load(pos world.ChunkPos, cb func(c *world.Chunk, ok bool)) {
 	})
 }
 
+// LoadMany implements mve.BatchingChunkStore: one call serves a whole
+// tick's coalesced loads. Each position takes the same cache path as Load,
+// in the order given, so hit/miss accounting and storage-latency draws
+// are identical to the per-chunk calls this replaces.
+func (s *Store) LoadMany(pos []world.ChunkPos, cb func(pos world.ChunkPos, c *world.Chunk, ok bool)) {
+	for _, cp := range pos {
+		cp := cp
+		s.Load(cp, func(c *world.Chunk, ok bool) { cb(cp, c, ok) })
+	}
+}
+
+// encode serialises c through the reused scratch buffer into an owned
+// exact-size slice (the cache retains what it is handed).
+func (s *Store) encode(c *world.Chunk) []byte {
+	s.scratch = c.EncodeAppend(s.scratch[:0])
+	out := make([]byte, len(s.scratch))
+	copy(out, s.scratch)
+	return out
+}
+
 // Store implements mve.ChunkStore: encode and write back through the
 // cache (flushed to remote storage periodically).
 func (s *Store) Store(c *world.Chunk) {
-	s.cache.Put(c.Pos, c.Encode())
+	s.cache.Put(c.Pos, s.encode(c))
 }
 
 // StoreThen implements mve.SyncingChunkStore: the chunk is written
@@ -68,7 +100,7 @@ func (s *Store) Store(c *world.Chunk) {
 // source shard's band through this path before flipping the band to its
 // new owner.
 func (s *Store) StoreThen(c *world.Chunk, done func()) {
-	s.cache.PutThen(c.Pos, c.Encode(), done)
+	s.cache.PutThen(c.Pos, s.encode(c), done)
 }
 
 // PlayerKey returns the storage key for a player record.

@@ -117,63 +117,105 @@ func bitsFor(n int) uint {
 }
 
 // Encode serialises the chunk to the palette format described above.
+func (c *Chunk) Encode() []byte {
+	return c.EncodeAppend(nil)
+}
+
+// EncodeAppend serialises the chunk to the palette format described above,
+// appending to dst and returning the extended slice. With a reused scratch
+// buffer (`buf = c.EncodeAppend(buf[:0])`) it performs zero allocations
+// once the buffer has grown to steady-state capacity — EncodeAppend is the
+// hot path of chunk persistence, terrain generation and the wire protocol.
 //
 // Palette lookups use a linear scan with a last-hit memo instead of a map:
 // real chunks have tiny palettes (a handful of block types) and long runs
-// of identical blocks, which makes this several times faster than hashing —
-// Encode is the hot path of chunk persistence and the wire protocol.
-func (c *Chunk) Encode() []byte {
-	// Build the palette in first-appearance order for determinism, and
-	// precompute each block's palette index.
-	var palette []uint16
-	indices := make([]uint16, BlocksPerChunk)
+// of identical blocks, which makes this several times faster than hashing.
+// The palette is discovered in a first pass that writes it straight into
+// dst (first-appearance order for determinism); a second pass re-derives
+// each block's index against that in-place palette and packs the bits, so
+// no 64K index side-table is materialised.
+func (c *Chunk) EncodeAppend(dst []byte) []byte {
+	base := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, chunkMagic)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(c.Pos.X)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(c.Pos.Z)))
+	dst = binary.LittleEndian.AppendUint16(dst, 0) // palLen, patched below
+	palOff := len(dst)
 	lastKey := uint16(0xffff)
-	lastIdx := uint16(0)
+	for i := range c.blocks {
+		k := c.blocks[i].key()
+		if k == lastKey {
+			continue
+		}
+		found := false
+		for j := palOff; j < len(dst); j += 2 {
+			if binary.LittleEndian.Uint16(dst[j:]) == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			dst = binary.LittleEndian.AppendUint16(dst, k)
+		}
+		lastKey = k
+	}
+	palLen := (len(dst) - palOff) / 2
+	binary.LittleEndian.PutUint16(dst[base+12:], uint16(palLen))
+	bits := bitsFor(palLen)
+	dst = append(dst, byte(bits))
+	dataLen := (BlocksPerChunk*int(bits) + 7) / 8
+	dataOff := len(dst)
+	// The region must start zeroed because writeBits ORs into it. A warm
+	// buffer re-slices and clears in place — unconditional
+	// append(s, make(...)...) is compiled to the same thing in normal
+	// builds, but allocates under the race detector's instrumentation,
+	// which would fail the codec's gated zero-alloc contract there too.
+	if cap(dst) >= dataOff+dataLen {
+		dst = dst[:dataOff+dataLen]
+		clear(dst[dataOff:])
+	} else {
+		dst = append(dst, make([]byte, dataLen)...)
+	}
+	data := dst[dataOff:]
+	lastKey = 0xffff
+	lastIdx := uint32(0)
+	var bitPos uint
 	for i := range c.blocks {
 		k := c.blocks[i].key()
 		if k != lastKey {
-			found := -1
-			for j, pk := range palette {
-				if pk == k {
-					found = j
+			for j := 0; j < palLen; j++ {
+				if binary.LittleEndian.Uint16(dst[palOff+2*j:]) == k {
+					lastKey, lastIdx = k, uint32(j)
 					break
 				}
 			}
-			if found == -1 {
-				found = len(palette)
-				palette = append(palette, k)
-			}
-			lastKey, lastIdx = k, uint16(found)
 		}
-		indices[i] = lastIdx
-	}
-	bits := bitsFor(len(palette))
-	dataLen := (BlocksPerChunk*int(bits) + 7) / 8
-	out := make([]byte, 0, 4+8+2+2*len(palette)+1+dataLen)
-	out = binary.LittleEndian.AppendUint32(out, chunkMagic)
-	out = binary.LittleEndian.AppendUint32(out, uint32(int32(c.Pos.X)))
-	out = binary.LittleEndian.AppendUint32(out, uint32(int32(c.Pos.Z)))
-	out = binary.LittleEndian.AppendUint16(out, uint16(len(palette)))
-	for _, k := range palette {
-		out = binary.LittleEndian.AppendUint16(out, k)
-	}
-	out = append(out, byte(bits))
-	data := make([]byte, dataLen)
-	var bitPos uint
-	for _, idx := range indices {
-		writeBits(data, bitPos, bits, uint32(idx))
+		writeBits(data, bitPos, bits, lastIdx)
 		bitPos += bits
 	}
-	return append(out, data...)
+	return dst
 }
 
 // DecodeChunk parses a chunk previously produced by Encode.
 func DecodeChunk(buf []byte) (*Chunk, error) {
+	c := new(Chunk)
+	if err := DecodeChunkInto(c, buf); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// DecodeChunkInto parses a chunk previously produced by Encode into c,
+// overwriting every block plus Pos, Version and GenWork — the chunk needs
+// no prior reset, so pooled (recycled) chunks decode identically to fresh
+// ones. On error the chunk's contents are unspecified. Small palettes
+// (the terrain norm) decode with zero allocations.
+func DecodeChunkInto(c *Chunk, buf []byte) error {
 	if len(buf) < 15 {
-		return nil, fmt.Errorf("%w: truncated header (%d bytes)", ErrBadChunkEncoding, len(buf))
+		return fmt.Errorf("%w: truncated header (%d bytes)", ErrBadChunkEncoding, len(buf))
 	}
 	if binary.LittleEndian.Uint32(buf) != chunkMagic {
-		return nil, fmt.Errorf("%w: bad magic", ErrBadChunkEncoding)
+		return fmt.Errorf("%w: bad magic", ErrBadChunkEncoding)
 	}
 	pos := ChunkPos{
 		X: int(int32(binary.LittleEndian.Uint32(buf[4:]))),
@@ -181,13 +223,19 @@ func DecodeChunk(buf []byte) (*Chunk, error) {
 	}
 	palLen := int(binary.LittleEndian.Uint16(buf[12:]))
 	if palLen == 0 {
-		return nil, fmt.Errorf("%w: empty palette", ErrBadChunkEncoding)
+		return fmt.Errorf("%w: empty palette", ErrBadChunkEncoding)
 	}
 	off := 14
 	if len(buf) < off+2*palLen+1 {
-		return nil, fmt.Errorf("%w: truncated palette", ErrBadChunkEncoding)
+		return fmt.Errorf("%w: truncated palette", ErrBadChunkEncoding)
 	}
-	palette := make([]Block, palLen)
+	var palArr [64]Block
+	var palette []Block
+	if palLen <= len(palArr) {
+		palette = palArr[:palLen]
+	} else {
+		palette = make([]Block, palLen)
+	}
 	for i := range palette {
 		palette[i] = blockFromKey(binary.LittleEndian.Uint16(buf[off:]))
 		off += 2
@@ -195,24 +243,26 @@ func DecodeChunk(buf []byte) (*Chunk, error) {
 	bits := uint(buf[off])
 	off++
 	if bits == 0 || bits > 16 {
-		return nil, fmt.Errorf("%w: bad index width %d", ErrBadChunkEncoding, bits)
+		return fmt.Errorf("%w: bad index width %d", ErrBadChunkEncoding, bits)
 	}
 	dataLen := (BlocksPerChunk*int(bits) + 7) / 8
 	if len(buf) < off+dataLen {
-		return nil, fmt.Errorf("%w: truncated block data", ErrBadChunkEncoding)
+		return fmt.Errorf("%w: truncated block data", ErrBadChunkEncoding)
 	}
 	data := buf[off : off+dataLen]
-	c := NewChunk(pos)
+	c.Pos = pos
+	c.Version = 0
+	c.GenWork = 0
 	var bitPos uint
 	for i := 0; i < BlocksPerChunk; i++ {
 		idx := readBits(data, bitPos, bits)
 		bitPos += bits
 		if int(idx) >= palLen {
-			return nil, fmt.Errorf("%w: palette index %d out of range", ErrBadChunkEncoding, idx)
+			return fmt.Errorf("%w: palette index %d out of range", ErrBadChunkEncoding, idx)
 		}
 		c.blocks[i] = palette[idx]
 	}
-	return c, nil
+	return nil
 }
 
 // writeBits writes the low `bits` bits of v at bit offset pos. Values span
